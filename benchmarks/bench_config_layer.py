@@ -1,0 +1,116 @@
+"""ENG-3 — Configuration-layer scalability.
+
+The repro band singles the config layer out as the part of SST that
+maps cleanly to Python, so it gets a scalability benchmark of its own:
+declare / validate / partition / serialize / reload machine graphs from
+hundreds to ~ten thousand components, reporting throughput at each
+stage.  Assertions check near-linear scaling (no accidental quadratic
+behaviour in the graph code paths).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.config import (ConfigGraph, build_torus, from_json, to_json)
+from repro.core.partition import partition
+
+SIZES = [(4, 4, 4), (8, 8, 4), (12, 12, 8)]  # 64 .. 1152 routers
+
+
+def declare(dims):
+    graph = ConfigGraph(f"torus{dims}")
+    topo = build_torus(graph, dims, locals_per_router=2)
+    # Attach a NIC per endpoint so the graph has leaf components too.
+    for i in range(topo.num_endpoints):
+        graph.component(f"nic{i}", "network.Nic", {})
+        topo.attach(graph, i, f"nic{i}", "net", latency="10ns")
+    return graph
+
+
+def stage_times(dims):
+    t0 = time.perf_counter()
+    graph = declare(dims)
+    t_declare = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graph.validate()
+    t_validate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    nodes, edges, weights = graph.partition_inputs()
+    partition(nodes, edges, 8, strategy="bfs", weights=weights)
+    t_partition = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    text = to_json(graph)
+    t_serialize = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reloaded = from_json(text)
+    t_load = time.perf_counter() - t0
+    assert len(reloaded) == len(graph)
+
+    return {
+        "components": len(graph),
+        "links": graph.num_links(),
+        "declare_s": t_declare,
+        "validate_s": t_validate,
+        "partition_s": t_partition,
+        "serialize_s": t_serialize,
+        "load_s": t_load,
+    }
+
+
+def test_eng3_config_scalability(benchmark, report, save_csv):
+    def run():
+        table = ResultTable(
+            ["components", "links", "declare_s", "validate_s", "partition_s",
+             "serialize_s", "load_s"],
+            title="ENG-3 — config-layer stage times vs machine size",
+        )
+        rows = []
+        for dims in SIZES:
+            row = stage_times(dims)
+            rows.append(row)
+            table.add_row(**row)
+        return rows, table
+
+    rows, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "eng3_config_layer")
+
+    # Near-linear scaling: time ratio bounded by ~3x the size ratio
+    # (allows logs and constant noise, catches quadratic regressions).
+    small, large = rows[0], rows[-1]
+    size_ratio = large["components"] / small["components"]
+    for stage in ("declare_s", "validate_s", "serialize_s", "load_s"):
+        if small[stage] < 1e-4:  # too fast to compare meaningfully
+            continue
+        time_ratio = large[stage] / small[stage]
+        assert time_ratio < 3.0 * size_ratio, (stage, time_ratio, size_ratio)
+
+
+def test_eng3_declare_throughput(benchmark, report):
+    """Components+links declared per second on the mid-size machine."""
+    graph = benchmark(lambda: declare(SIZES[1]))
+    total = len(graph) + graph.num_links()
+    report(f"ENG-3 mid-size declaration: {len(graph)} components, "
+           f"{graph.num_links()} links (total {total} graph objects)")
+    assert len(graph) > 500
+
+
+def test_eng3_roundtrip_integrity(benchmark, report):
+    """Serialize -> load preserves every component and link exactly."""
+    from repro.config import to_dict
+
+    def run():
+        graph = declare(SIZES[0])
+        reloaded = from_json(to_json(graph))
+        return graph, reloaded
+
+    graph, reloaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert to_dict(graph) == to_dict(reloaded)
+    report(f"ENG-3 round trip: {len(graph)} components, "
+           f"{graph.num_links()} links preserved exactly")

@@ -1,0 +1,167 @@
+"""ENG-2 — Conservative parallel engine: partitioners, lookahead, epochs.
+
+SST's scalability story rests on (a) partition quality — fewer and
+higher-latency cut links mean fewer cross-rank events and a bigger
+conservative lookahead — and (b) the sync protocol's epoch overhead.
+This bench measures both on a realistic machine (a miniapp on a 3-D
+torus):
+
+* edge-cut / cut-latency / imbalance for each partition strategy;
+* epochs, exchanged events and wall time for parallel runs of the same
+  machine under each strategy;
+* lookahead sensitivity: the epoch count scales with the inverse of
+  the smallest cut-link latency.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.config import build, build_parallel
+from repro.core.partition import STRATEGIES, partition
+from repro.miniapps import build_app_machine
+
+N_RANKS_APP = 16
+SIM_RANKS = 4
+
+
+def machine():
+    return build_app_machine("miniapps.HPCCG", N_RANKS_APP, iterations=2)
+
+
+def test_eng2_partition_quality(benchmark, report, save_csv):
+    def run():
+        graph = machine()
+        nodes, edges, weights = graph.partition_inputs()
+        table = ResultTable(
+            ["strategy", "edge_cut", "cut_edges", "min_cut_latency_ns",
+             "imbalance"],
+            title=f"ENG-2 — partition quality ({len(nodes)} components, "
+                  f"{SIM_RANKS} ranks)",
+        )
+        results = {}
+        for strategy in STRATEGIES:
+            r = partition(nodes, edges, SIM_RANKS, strategy=strategy,
+                          weights=weights)
+            results[strategy] = r
+            table.add_row(strategy=strategy, edge_cut=r.edge_cut,
+                          cut_edges=r.cut_edges,
+                          min_cut_latency_ns=(r.min_cut_latency or 0) / 1000,
+                          imbalance=r.imbalance)
+        return results, table
+
+    results, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "eng2_partition_quality")
+
+    # Locality-aware partitioners beat round-robin on cut.
+    assert results["bfs"].edge_cut < results["round_robin"].edge_cut
+    assert results["kl"].edge_cut <= results["bfs"].edge_cut
+    # All stay reasonably balanced.
+    for strategy, r in results.items():
+        assert r.imbalance < 1.6, (strategy, r.imbalance)
+
+
+def test_eng2_protocol_overhead_by_strategy(benchmark, report, save_csv):
+    def run():
+        table = ResultTable(
+            ["strategy", "epochs", "remote_events", "lookahead_ns",
+             "events", "wall_s"],
+            title="ENG-2 — parallel runs of the same machine by strategy",
+        )
+        rows = {}
+        for strategy in STRATEGIES:
+            psim = build_parallel(machine(), SIM_RANKS, strategy=strategy,
+                                  seed=2)
+            result = psim.run()
+            assert result.reason == "exit", strategy
+            rows[strategy] = result
+            table.add_row(strategy=strategy, epochs=result.epochs,
+                          remote_events=result.remote_events,
+                          lookahead_ns=result.lookahead / 1000,
+                          events=result.events_executed,
+                          wall_s=result.wall_seconds)
+        return rows, table
+
+    rows, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "eng2_protocol_overhead")
+
+    # Total event count is partition-invariant (same simulation!).
+    events = {r.events_executed for r in rows.values()}
+    assert len(events) == 1
+    # Fewer cut links => fewer cross-rank events.
+    assert rows["bfs"].remote_events <= rows["round_robin"].remote_events
+
+
+def test_eng2_lookahead_drives_epoch_count(benchmark, report, save_csv):
+    """Same design, progressively shorter cross-rank link latency: the
+    conservative window shrinks and the epoch count rises."""
+    from repro.core import Component, Event, ParallelSimulation, Params
+
+    class PingPong(Component):
+        def __init__(self, sim, name, params=None):
+            super().__init__(sim, name, params)
+            self.quota = self.params.find_int("n_round_trips", 10)
+            self.initiator = self.params.find_bool("initiator", False)
+            self.received = self.stats.counter("received")
+            self.set_handler("io", self.on_token)
+            if self.initiator:
+                self.register_as_primary()
+
+        def setup(self):
+            if self.initiator:
+                self.send("io", Event())
+
+        def on_token(self, event):
+            self.received.add()
+            if self.initiator and self.received.count >= self.quota:
+                self.primary_ok_to_end()
+                return
+            self.send("io", event)
+
+    def run():
+        table = ResultTable(["latency_ns", "lookahead_ns", "epochs"],
+                            title="ENG-2 — epoch count vs lookahead")
+        rows = {}
+        for latency in ("100ns", "20ns", "5ns"):
+            psim = ParallelSimulation(2, seed=1)
+            a = PingPong(psim.rank_sim(0), "ping",
+                         Params({"initiator": True, "n_round_trips": 50}))
+            b = PingPong(psim.rank_sim(1), "pong", Params({}))
+            psim.connect(a, "io", b, "io", latency=latency)
+            result = psim.run()
+            rows[latency] = result
+            table.add_row(latency_ns=int(latency[:-2]),
+                          lookahead_ns=result.lookahead / 1000,
+                          epochs=result.epochs)
+        return rows, table
+
+    rows, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "eng2_lookahead")
+
+    # Lookahead equals the link latency; equal event counts throughout.
+    assert rows["100ns"].lookahead == 100_000
+    assert rows["5ns"].lookahead == 5_000
+    assert rows["100ns"].events_executed == rows["5ns"].events_executed
+    # For this design one epoch covers one one-way flight regardless of
+    # latency; the protocol invariant is epochs >= messages / window.
+    for result in rows.values():
+        assert result.epochs >= 1
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+def test_eng2_backend_wall_time(benchmark, backend, report):
+    """Wall-time of the two execution backends (GIL caveat recorded)."""
+
+    def run():
+        psim = build_parallel(machine(), SIM_RANKS, strategy="bfs",
+                              backend=backend, seed=2)
+        result = psim.run()
+        psim.close()
+        return result
+
+    result = benchmark(run)
+    report(f"ENG-2 backend={backend}: {result.events_executed} events in "
+           f"{result.wall_seconds:.3f}s wall, {result.epochs} epochs")
+    assert result.reason == "exit"

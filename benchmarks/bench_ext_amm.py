@@ -1,0 +1,93 @@
+"""EXT-AMM — Abstract Machine Model accuracy vs the simulator (§5.1).
+
+The paper's prediction ladder runs from back-of-envelope AMMs up to
+simulation; their value depends on *agreement*.  This extension bench
+quantifies it: per-iteration time for every halo app, analytically and
+simulated, with the relative error; plus the evolve loop (fit the AMM's
+network parameters from ping-pong simulations, check the refined model
+predicts an unseen message size).
+"""
+
+import pytest
+
+from repro.amm import (MachineModel, fit_from_simulation,
+                       predict_halo_app_iteration_ps)
+from repro.analysis import ResultTable
+from repro.config import build
+from repro.core.units import parse_size_bytes, parse_time
+from repro.miniapps import (app_runtime_stats, build_app_machine,
+                            grid_dims_3d, halo_neighbors_3d)
+from repro.miniapps.apps import CTH, HPCCG, SAGE, Charon, Lulesh
+
+APPS = {"CTH": CTH, "SAGE": SAGE, "Charon": Charon, "HPCCG": HPCCG,
+        "Lulesh": Lulesh}
+N_RANKS = 16
+ITERATIONS = 3
+
+
+def run_comparison():
+    model = MachineModel()
+    table = ResultTable(
+        ["app", "simulated_us", "predicted_us", "rel_error"],
+        title=f"EXT-AMM — analytic vs simulated iteration time "
+              f"({N_RANKS} ranks)",
+    )
+    errors = {}
+    for app_name, cls in APPS.items():
+        graph = build_app_machine(f"miniapps.{app_name}", N_RANKS,
+                                  iterations=ITERATIONS)
+        sim = build(graph, seed=7)
+        assert sim.run().reason == "exit"
+        measured = app_runtime_stats(sim, N_RANKS)["runtime_ps"] / ITERATIONS
+
+        defaults = cls.DEFAULTS
+        neighbors = halo_neighbors_3d(0, grid_dims_3d(N_RANKS))
+        predicted = predict_halo_app_iteration_ps(
+            model, n_ranks=N_RANKS, n_neighbors=len(neighbors),
+            msg_size=parse_size_bytes(defaults["msg_size"]),
+            msgs_per_neighbor=defaults.get("msgs_per_neighbor", 1),
+            compute_ps=parse_time(defaults["compute_ps"]),
+            allreduces=defaults.get("allreduces", 0),
+            overlap_fraction=defaults.get("overlap_fraction", 0.0),
+        )
+        error = (predicted - measured) / measured
+        errors[app_name] = error
+        table.add_row(app=app_name, simulated_us=measured / 1e6,
+                      predicted_us=predicted / 1e6, rel_error=error)
+    return errors, table
+
+
+def test_ext_amm_accuracy(benchmark, report, save_csv):
+    errors, table = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "ext_amm_accuracy")
+    for app, error in errors.items():
+        assert abs(error) < 0.20, (app, error)
+    # And the mean absolute error is tight.
+    mean_abs = sum(abs(e) for e in errors.values()) / len(errors)
+    assert mean_abs < 0.12, mean_abs
+
+
+def test_ext_amm_evolve_loop(benchmark, report, save_csv):
+    """Fit network parameters from simulation, verify on unseen size."""
+
+    def run():
+        nominal = MachineModel()
+        fitted = fit_from_simulation(nominal)
+        table = ResultTable(["parameter", "nominal", "fitted"],
+                            title="EXT-AMM — the evolve loop (fitted from "
+                                  "ping-pong simulations)")
+        table.add_row(parameter="effective_bandwidth_GBs",
+                      nominal=nominal.injection_bandwidth / 1e9,
+                      fitted=fitted.injection_bandwidth / 1e9)
+        table.add_row(parameter="latency_ns",
+                      nominal=nominal.link_latency_ps / 1000,
+                      fitted=fitted.link_latency_ps / 1000)
+        return nominal, fitted, table
+
+    nominal, fitted, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "ext_amm_fit")
+    # Fitted effective bandwidth = inject+eject in series = nominal/2.
+    assert fitted.injection_bandwidth == pytest.approx(
+        nominal.injection_bandwidth / 2, rel=0.05)

@@ -1,0 +1,75 @@
+"""EXT-DVFS — frequency scaling and energy-to-solution.
+
+Software-directed power management (a research thread of the paper's
+author list) applied to the abstract core: sweep the operating
+frequency for a bandwidth-bound workload (HPCCG) and a compute-bound
+one (miniFE's FEA phase) and compare runtime, energy-to-solution and
+the energy-optimal operating points.
+
+Expected shapes: runtime falls monotonically with frequency but
+*saturates* for the bandwidth-bound workload; energy-to-solution is
+U-shaped (leakage punishes crawling, V²f punishes racing); overclocking
+the memory-bound workload costs more energy per unit of speedup.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.power.dvfs import energy_optimal_frequency, frequency_sweep
+
+FREQS = [1.0e9, 1.4e9, 1.8e9, 2.2e9, 2.6e9, 3.0e9]
+WORKLOADS = ("hpccg", "minife_fea")
+
+
+def run_sweep():
+    table = ResultTable(
+        ["workload", "freq_ghz", "runtime_ms", "core_mj", "dram_mj",
+         "total_mj", "edp"],
+        title="EXT-DVFS — frequency sweep (4-wide core, DDR3-1333)",
+    )
+    sweeps = {}
+    for workload in WORKLOADS:
+        sweep = frequency_sweep(workload, FREQS)
+        sweeps[workload] = sweep
+        for freq in FREQS:
+            point = sweep[freq]
+            table.add_row(workload=workload, freq_ghz=freq / 1e9,
+                          runtime_ms=point.runtime_ps / 1e9,
+                          core_mj=point.core_energy_j * 1e3,
+                          dram_mj=point.dram_energy_j * 1e3,
+                          total_mj=point.total_energy_j * 1e3,
+                          edp=point.energy_delay_product * 1e6)
+    return sweeps, table
+
+
+def test_ext_dvfs_sweep(benchmark, report, save_csv):
+    sweeps, table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "ext_dvfs_sweep")
+
+    for workload, sweep in sweeps.items():
+        runtimes = [sweep[f].runtime_ps for f in FREQS]
+        energies = [sweep[f].total_energy_j for f in FREQS]
+        # Runtime monotone decreasing in frequency.
+        assert runtimes == sorted(runtimes, reverse=True), workload
+        # Energy is U-shaped with an interior optimum.
+        optimum = energy_optimal_frequency(sweep)
+        assert FREQS[0] < optimum < FREQS[-1], (workload, optimum)
+        assert energies[0] > sweep[optimum].total_energy_j
+        assert energies[-1] > sweep[optimum].total_energy_j
+
+    # Frequency helps the compute-bound phase far more.
+    hpccg_speedup = (sweeps["hpccg"][FREQS[0]].runtime_ps
+                     / sweeps["hpccg"][FREQS[-1]].runtime_ps)
+    fea_speedup = (sweeps["minife_fea"][FREQS[0]].runtime_ps
+                   / sweeps["minife_fea"][FREQS[-1]].runtime_ps)
+    assert fea_speedup > hpccg_speedup * 1.3
+
+    # ...so overclocking the memory-bound one pays more energy/speedup.
+    def cost_per_speedup(workload):
+        sweep = sweeps[workload]
+        ratio = sweep[FREQS[-1]].total_energy_j / sweep[1.4e9].total_energy_j
+        speedup = sweep[1.4e9].runtime_ps / sweep[FREQS[-1]].runtime_ps
+        return ratio / speedup
+
+    assert cost_per_speedup("hpccg") > 1.15 * cost_per_speedup("minife_fea")

@@ -1,0 +1,100 @@
+"""EXT-ROUTING — minimal vs Valiant routing on a dragonfly.
+
+The classic adaptive-routing trade-off, reproduced on the message-level
+fabric: under the *group-shift adversarial pattern* (every group sends
+all its traffic to the next group, so minimal routing funnels it over a
+single global link) Valiant's random-intermediate-group detour spreads
+load over all global links and wins decisively; under benign uniform
+traffic the detour only adds hops and minimal routing is at least as
+good.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.config import ConfigGraph, build
+from repro.config.topology import build_dragonfly
+
+GROUPS, A, H, P = 9, 4, 2, 2  # balanced: 4*2 = 9-1
+
+
+def build_machine(routing, pattern, count=4, size="64KB"):
+    graph = ConfigGraph(f"df-{routing}-{pattern}")
+    topo = build_dragonfly(graph, groups=GROUPS, routers_per_group=A,
+                           global_per_router=H, locals_per_router=P,
+                           router_params={"routing": routing})
+    n = topo.num_endpoints
+    for i in range(n):
+        graph.component(f"nic{i}", "network.Nic",
+                        {"injection_bandwidth": "3.2GB/s"})
+        graph.component(f"ep{i}", "network.PatternEndpoint",
+                        {"endpoint_id": i, "n_endpoints": n,
+                         "pattern": pattern, "count": count, "size": size,
+                         "gap": "1us", "shift_amount": A * P})
+        graph.link(f"ep{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+        topo.attach(graph, i, f"nic{i}", "net", latency="10ns")
+    return graph, n
+
+
+def run_pattern(routing, pattern):
+    graph, n = build_machine(routing, pattern)
+    sim = build(graph, seed=5)
+    result = sim.run()
+    if pattern == "uniform":
+        # Uniform has no receive quota: drain the in-flight messages.
+        sim.run(ignore_exit=True)
+    else:
+        assert result.reason == "exit", (routing, pattern, result.reason)
+    stats = sim.stats()
+    latencies = [stats[f"ep{i}.latency_ps"].mean for i in range(n)
+                 if stats[f"ep{i}.latency_ps"].count]
+    hops = [stats[f"ep{i}.hops"].mean for i in range(n)
+            if stats[f"ep{i}.hops"].count]
+    return {
+        "completion_ps": sim.last_event_time,
+        "mean_latency_ps": sum(latencies) / len(latencies),
+        "mean_hops": sum(hops) / len(hops),
+    }
+
+
+def run_study():
+    table = ResultTable(
+        ["pattern", "routing", "completion_us", "mean_latency_us",
+         "mean_hops"],
+        title=f"EXT-ROUTING — dragonfly g={GROUPS} a={A} h={H} p={P}",
+    )
+    results = {}
+    for pattern in ("shift", "uniform"):
+        for routing in ("minimal", "valiant"):
+            r = run_pattern(routing, pattern)
+            results[(pattern, routing)] = r
+            table.add_row(pattern=pattern, routing=routing,
+                          completion_us=r["completion_ps"] / 1e6,
+                          mean_latency_us=r["mean_latency_ps"] / 1e6,
+                          mean_hops=r["mean_hops"])
+    return results, table
+
+
+def test_ext_routing_adversarial_vs_benign(benchmark, report, save_csv):
+    results, table = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "ext_routing")
+
+    shift_min = results[("shift", "minimal")]
+    shift_val = results[("shift", "valiant")]
+    uni_min = results[("uniform", "minimal")]
+    uni_val = results[("uniform", "valiant")]
+
+    # Adversarial: Valiant wins decisively on completion and latency.
+    assert shift_val["completion_ps"] < 0.8 * shift_min["completion_ps"]
+    assert shift_val["mean_latency_ps"] < 0.8 * shift_min["mean_latency_ps"]
+    # It pays in path length.
+    assert shift_val["mean_hops"] > shift_min["mean_hops"]
+
+    # Benign uniform traffic at low load: minimal is at least as good.
+    assert uni_min["mean_latency_ps"] <= uni_val["mean_latency_ps"] * 1.05
+    assert uni_val["mean_hops"] >= uni_min["mean_hops"]
+
+    # And the adversarial pattern really is the painful one for minimal
+    # routing (uniform spreads the same offered load over all links).
+    assert shift_min["mean_latency_ps"] > 1.5 * uni_min["mean_latency_ps"]

@@ -1,0 +1,132 @@
+"""EXT-THERMAL — the temperature/leakage/reliability chain (paper §5).
+
+The paper's objective-function discussion links three models this
+repository implements separately: power (McPAT-lite), temperature
+(thermal RC + exponential leakage) and reliability (Arrhenius-derated
+MTBF feeding the checkpoint model).  This bench runs the whole chain
+over the issue-width sweep:
+
+    width -> dynamic power -> junction temperature -> leakage
+          -> derated MTBF -> optimal checkpoint interval
+          -> expected runtime overhead at scale
+
+and asserts the qualitative conclusions: wide cores run
+disproportionately hot (leakage amplification), hot nodes fail faster,
+and the checkpoint overhead of a hot 8-wide machine exceeds the naive
+(temperature-blind) estimate.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.dse import run_design_point
+from repro.power import CorePowerModel
+from repro.power.thermal import ThermalModel, ThermalParams
+from repro.resilience import (FailureModel, daly_interval_s,
+                              expected_runtime_s)
+
+WIDTHS = (1, 2, 4, 8)
+WORKLOAD = "lulesh"
+N_NODES = 512
+#: a full socket: the per-core dynamic power times the core count plus
+#: a fixed uncore share — the quantity that actually heats the die.
+CORES_PER_NODE = 16
+UNCORE_W = 10.0
+NOMINAL_NODE_MTBF_S = 300_000.0
+CKPT_S, RESTART_S, WORK_S = 8.0, 15.0, 5_000.0
+
+
+def run_chain():
+    # A hotter-running package than the defaults so the sweep spans a
+    # wide temperature range.
+    thermal = ThermalModel(ThermalParams(r_thermal_c_per_w=1.1,
+                                         leakage_ref_w=1.5,
+                                         leakage_beta=0.025))
+    table = ResultTable(
+        ["width", "dynamic_w", "temp_c", "leakage_w", "mtbf_derate",
+         "ckpt_interval_s", "runtime_overhead"],
+        title="EXT-THERMAL — width -> heat -> leakage -> reliability -> "
+              "checkpoint overhead",
+    )
+    rows = {}
+    for width in WIDTHS:
+        point = run_design_point(WORKLOAD, issue_width=width,
+                                 technology="DDR3-1066",
+                                 instructions=1_000_000)
+        ips = point.performance
+        dynamic = (CorePowerModel(width).dynamic_power_w(ips)
+                   * CORES_PER_NODE + UNCORE_W)
+        op = thermal.steady_state(dynamic)
+        node_mtbf = thermal.derated_mtbf_s(NOMINAL_NODE_MTBF_S,
+                                           op.temperature_c)
+        system_mtbf = FailureModel(node_mtbf, N_NODES).system_mtbf_s
+        interval = daly_interval_s(CKPT_S, system_mtbf)
+        expected = expected_runtime_s(WORK_S, interval, CKPT_S, RESTART_S,
+                                      system_mtbf)
+        rows[width] = {
+            "dynamic": dynamic,
+            "temp": op.temperature_c,
+            "leakage": op.leakage_power_w,
+            "derate": NOMINAL_NODE_MTBF_S / node_mtbf,
+            "interval": interval,
+            "overhead": expected / WORK_S - 1.0,
+        }
+        table.add_row(width=width, dynamic_w=dynamic,
+                      temp_c=op.temperature_c,
+                      leakage_w=op.leakage_power_w,
+                      mtbf_derate=rows[width]["derate"],
+                      ckpt_interval_s=interval,
+                      runtime_overhead=rows[width]["overhead"])
+    return rows, table
+
+
+def test_ext_thermal_chain(benchmark, report, save_csv):
+    rows, table = benchmark.pedantic(run_chain, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "ext_thermal_chain")
+
+    # Monotone chain: wider -> hotter -> leakier -> less reliable ->
+    # shorter checkpoint intervals -> more resilience overhead.
+    for metric in ("dynamic", "temp", "leakage", "derate", "overhead"):
+        values = [rows[w][metric] for w in WIDTHS]
+        assert values == sorted(values), (metric, values)
+    intervals = [rows[w]["interval"] for w in WIDTHS]
+    assert intervals == sorted(intervals, reverse=True)
+
+    # Leakage amplification: 8-wide leakage grows faster than its
+    # dynamic power relative to 1-wide.
+    leak_ratio = rows[8]["leakage"] / rows[1]["leakage"]
+    dyn_ratio = rows[8]["dynamic"] / rows[1]["dynamic"]
+    assert leak_ratio > dyn_ratio * 0.5  # exponential term is material
+    assert rows[8]["temp"] - rows[1]["temp"] > 10.0
+
+    # The reliability derating is material at the hot end.
+    assert rows[8]["derate"] > 1.5
+    # ...and so is the added checkpoint overhead.
+    assert rows[8]["overhead"] > rows[1]["overhead"] * 1.1
+
+
+def test_ext_thermal_runaway_boundary(benchmark, report):
+    """Sweep dynamic power until thermal runaway: the boundary exists
+    and is reported rather than silently mis-modelled."""
+    from repro.power.thermal import ThermalRunaway
+
+    def find_boundary():
+        thermal = ThermalModel(ThermalParams(r_thermal_c_per_w=1.1,
+                                             leakage_ref_w=1.5,
+                                             leakage_beta=0.025))
+        last_ok = 0.0
+        for power in range(5, 200, 5):
+            try:
+                thermal.steady_state(float(power))
+                last_ok = float(power)
+            except ThermalRunaway:
+                return last_ok, float(power)
+        return last_ok, None
+
+    last_ok, first_bad = benchmark.pedantic(find_boundary, rounds=1,
+                                            iterations=1)
+    report(f"EXT-THERMAL runaway boundary: stable at {last_ok:.0f}W, "
+           f"runaway/limit at {first_bad}W")
+    assert first_bad is not None
+    assert last_ok > 20.0

@@ -1,0 +1,68 @@
+"""Fig. 10 — Application performance with different memory systems.
+
+Paper result (SST + GeM5/x86 + DRAMSim2): across issue widths 1-8,
+GDDR5 was 26-47% faster than DDR3 on Lulesh and 32-41% faster on HPCCG;
+DDR2 trailed DDR3.  Performance differences grow with core width
+(wider cores demand more bandwidth).
+
+Shape assertions here: the GDDR5 > DDR3 > DDR2 ordering at every
+(app, width) point; a GDDR5-over-DDR3 advantage in the tens of
+percent that *grows* with width; and wider cores always faster.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.dse import PAPER_TECHNOLOGIES, PAPER_WIDTHS, PAPER_WORKLOADS
+
+
+def build_fig10_table(sweep):
+    table = ResultTable(
+        ["app", "width"] + [f"{t}_gips" for t in PAPER_TECHNOLOGIES]
+        + ["gddr5_vs_ddr3", "ddr3_vs_ddr2"],
+        title="Fig. 10 — performance (GIPS) by memory technology and issue width",
+    )
+    for app in PAPER_WORKLOADS:
+        for width in PAPER_WIDTHS:
+            row = {
+                "app": app,
+                "width": width,
+            }
+            for tech in PAPER_TECHNOLOGIES:
+                row[f"{tech}_gips"] = sweep.point(app, width, tech).performance / 1e9
+            row["gddr5_vs_ddr3"] = sweep.speedup(app, width, "GDDR5", "DDR3-1066")
+            row["ddr3_vs_ddr2"] = sweep.speedup(app, width, "DDR3-1066", "DDR2-800")
+            table.add_row(**row)
+    return table
+
+
+def test_fig10_memory_technology(benchmark, paper_sweep, report, save_csv):
+    table = benchmark.pedantic(build_fig10_table, args=(paper_sweep,),
+                               rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig10_memory_tech")
+
+    for app in PAPER_WORKLOADS:
+        gddr5_gains = []
+        for width in PAPER_WIDTHS:
+            ddr2 = paper_sweep.point(app, width, "DDR2-800")
+            ddr3 = paper_sweep.point(app, width, "DDR3-1066")
+            gddr5 = paper_sweep.point(app, width, "GDDR5")
+            # Strict performance ordering at every point.
+            assert gddr5.performance > ddr3.performance > ddr2.performance, \
+                (app, width)
+            gain = paper_sweep.speedup(app, width, "GDDR5", "DDR3-1066")
+            gddr5_gains.append(gain)
+            # Tens-of-percent advantage (paper: 26-47%; our model spans
+            # ~14-82% across the width range — see EXPERIMENTS.md).
+            assert 0.08 < gain < 0.95, (app, width, gain)
+        # The advantage grows with width (more bandwidth demand).
+        assert gddr5_gains[-1] > gddr5_gains[0], (app, gddr5_gains)
+
+    # Wider is always faster on a given memory.
+    for app in PAPER_WORKLOADS:
+        for tech in PAPER_TECHNOLOGIES:
+            perfs = [paper_sweep.point(app, w, tech).performance
+                     for w in PAPER_WIDTHS]
+            assert perfs == sorted(perfs), (app, tech)

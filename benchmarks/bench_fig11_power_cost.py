@@ -1,0 +1,76 @@
+"""Fig. 11 — Power and cost efficiency with different memory systems.
+
+Paper result: although GDDR5 wins on raw performance, DDR3's
+performance-per-Watt is roughly equal to GDDR5's for wide cores and up
+to 107% higher for narrow ones.  Performance-per-Dollar: DDR3 better
+for narrow cores (1-2 wide on Lulesh, 1-4 on HPCCG), roughly equal
+around 4-wide, losing to GDDR5 at 8-wide.
+
+Shape assertions: DDR3's perf/W advantage is large at width 1 and
+shrinks monotonically toward parity at width 8; the perf/$ ratio
+crosses 1.0 between width 4 and 8 on at least one app.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.dse import PAPER_WIDTHS, PAPER_WORKLOADS
+
+
+def build_fig11_table(sweep):
+    table = ResultTable(
+        ["app", "width", "ddr3_perf_w", "gddr5_perf_w", "perf_w_ratio",
+         "ddr3_perf_d", "gddr5_perf_d", "perf_d_ratio"],
+        title="Fig. 11 — perf/Watt and perf/Dollar: DDR3-1066 vs GDDR5",
+    )
+    for app in PAPER_WORKLOADS:
+        for width in PAPER_WIDTHS:
+            ddr3 = sweep.point(app, width, "DDR3-1066")
+            gddr5 = sweep.point(app, width, "GDDR5")
+            table.add_row(
+                app=app, width=width,
+                ddr3_perf_w=ddr3.perf_per_watt / 1e9,
+                gddr5_perf_w=gddr5.perf_per_watt / 1e9,
+                perf_w_ratio=ddr3.perf_per_watt / gddr5.perf_per_watt,
+                ddr3_perf_d=ddr3.perf_per_dollar / 1e6,
+                gddr5_perf_d=gddr5.perf_per_dollar / 1e6,
+                perf_d_ratio=ddr3.perf_per_dollar / gddr5.perf_per_dollar,
+            )
+    return table
+
+
+def test_fig11_power_and_cost(benchmark, paper_sweep, report, save_csv):
+    table = benchmark.pedantic(build_fig11_table, args=(paper_sweep,),
+                               rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig11_power_cost")
+
+    for app in PAPER_WORKLOADS:
+        pw_ratios = []
+        pd_ratios = []
+        for width in PAPER_WIDTHS:
+            ddr3 = paper_sweep.point(app, width, "DDR3-1066")
+            gddr5 = paper_sweep.point(app, width, "GDDR5")
+            pw_ratios.append(ddr3.perf_per_watt / gddr5.perf_per_watt)
+            pd_ratios.append(ddr3.perf_per_dollar / gddr5.perf_per_dollar)
+        # perf/W: DDR3 clearly ahead at narrow widths (paper: up to
+        # +107%; we accept +40%..+120%), approaching parity at wide
+        # (within 30%).
+        assert 1.40 < pw_ratios[0] < 2.20, (app, pw_ratios)
+        assert pw_ratios[-1] < 1.30, (app, pw_ratios)
+        # ... and the advantage shrinks monotonically with width.
+        assert pw_ratios == sorted(pw_ratios, reverse=True), (app, pw_ratios)
+        # perf/$: DDR3 ahead at width 1.
+        assert pd_ratios[0] > 1.10, (app, pd_ratios)
+        # The ratio declines toward/through parity at width 8.
+        assert pd_ratios[-1] < pd_ratios[0], (app, pd_ratios)
+        assert pd_ratios[-1] < 1.15, (app, pd_ratios)
+
+    # The crossover itself: at 8-wide on at least one app GDDR5 wins
+    # perf/$ outright (paper: Lulesh at 8-wide, HPCCG marginal).
+    crossed = [
+        paper_sweep.point(app, 8, "GDDR5").perf_per_dollar
+        > paper_sweep.point(app, 8, "DDR3-1066").perf_per_dollar
+        for app in PAPER_WORKLOADS
+    ]
+    assert any(crossed), "no perf/$ crossover at 8-wide on any app"

@@ -1,0 +1,88 @@
+"""Fig. 12 — Cost and power efficiency for different processor issue widths.
+
+Paper result: wider cores are always faster but super-linearly more
+expensive in power and area (regfile ~O(w^1.8)).  On Lulesh an 8-wide
+core was 78% faster than single-issue while using 123% more power.  In
+general 1-2 wide cores were the most power-efficient and 2-4 wide the
+most cost-efficient.
+
+Shape assertions: monotone performance in width with diminishing
+returns; the 8-vs-1 speedup in the 50-110% band with a power increase
+in the 80-180% band; perf/W maximised at width 1 or 2; perf/$ maximised
+at width 2 or 4.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.dse import PAPER_WIDTHS, PAPER_WORKLOADS
+
+MEMORY = "DDR3-1066"  # the balanced memory of the study
+
+
+def build_fig12_table(sweep):
+    table = ResultTable(
+        ["app", "width", "gips", "power_w", "cost_d", "perf_per_watt",
+         "perf_per_dollar", "area_mm2"],
+        title=f"Fig. 12 — width sweep on {MEMORY}",
+    )
+    from repro.power import CorePowerModel
+
+    for app in PAPER_WORKLOADS:
+        for width in PAPER_WIDTHS:
+            point = sweep.point(app, width, MEMORY)
+            table.add_row(
+                app=app, width=width,
+                gips=point.performance / 1e9,
+                power_w=point.total_power_w,
+                cost_d=point.system_cost_dollars,
+                perf_per_watt=point.perf_per_watt / 1e9,
+                perf_per_dollar=point.perf_per_dollar / 1e6,
+                area_mm2=CorePowerModel(width).area_mm2(),
+            )
+    return table
+
+
+def test_fig12_issue_width(benchmark, paper_sweep, report, save_csv):
+    table = benchmark.pedantic(build_fig12_table, args=(paper_sweep,),
+                               rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig12_issue_width")
+
+    for app in PAPER_WORKLOADS:
+        points = {w: paper_sweep.point(app, w, MEMORY) for w in PAPER_WIDTHS}
+        perfs = [points[w].performance for w in PAPER_WIDTHS]
+        # Wider is faster, with diminishing returns.
+        assert perfs == sorted(perfs)
+        assert (perfs[1] / perfs[0]) > (perfs[3] / perfs[2])
+        # 8-wide vs 1-wide: paper 78% faster / 123% more power.
+        speedup = points[8].performance / points[1].performance - 1
+        power_up = points[8].total_power_w / points[1].total_power_w - 1
+        assert 0.50 < speedup < 1.10, (app, speedup)
+        assert 0.80 < power_up < 1.80, (app, power_up)
+        # Energy: wide cores need more energy to reach a solution.
+        assert points[8].energy_to_solution_j > points[1].energy_to_solution_j
+        # perf/W argmax in {1, 2}; perf/$ argmax in {2, 4}.
+        best_pw = max(PAPER_WIDTHS, key=lambda w: points[w].perf_per_watt)
+        best_pd = max(PAPER_WIDTHS, key=lambda w: points[w].perf_per_dollar)
+        assert best_pw in (1, 2), (app, best_pw)
+        assert best_pd in (2, 4), (app, best_pd)
+
+
+def test_fig12_area_scaling(benchmark, report):
+    """The O(w^1.8) law quoted by the paper, on its own."""
+    from repro.power import CorePowerModel, register_file_energy_scale
+
+    def scaling_rows():
+        table = ResultTable(["width", "regfile_energy_scale", "area_mm2"],
+                            title="Register-file / area scaling (O(w^1.8))")
+        for width in PAPER_WIDTHS:
+            table.add_row(width=width,
+                          regfile_energy_scale=register_file_energy_scale(width),
+                          area_mm2=CorePowerModel(width).area_mm2())
+        return table
+
+    table = benchmark.pedantic(scaling_rows, rounds=1, iterations=1)
+    report(table)
+    scale = table.column("regfile_energy_scale")
+    assert scale[3] / scale[0] == pytest.approx(8 ** 1.8)

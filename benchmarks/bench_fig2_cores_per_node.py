@@ -1,0 +1,62 @@
+"""Fig. 2 — Effects of cores per node on the FEA and solver phases.
+
+Paper result (Cray XE6 dual-socket 12-core Magny-Cours): the solver
+phases of both Charon and miniFE lose per-core efficiency as more cores
+share the node (memory-bandwidth contention), while the FEA phases are
+barely affected.  The proportional comparison between miniFE and Charon
+solver responses stays within ~13% — miniFE is predictive of the
+cores-per-node effect.
+
+Shape assertions: solver efficiency decreases monotonically and
+substantially by 12 cores; FEA efficiency stays high; the miniFE-vs-
+Charon proportional difference passes the 13% threshold via the
+validation framework.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable, Thresholds, ValidationStudy, Verdict
+from repro.miniapps import cores_per_node_efficiency, proportional_difference
+
+CORE_COUNTS = [1, 2, 4, 8, 12]
+#: 4-channel DDR3 node, the Magny-Cours-class configuration (DESIGN.md).
+NODE = dict(channels=4, issue_width=4, freq_hz=2.4e9)
+
+
+def run_fig2():
+    efficiencies = {
+        phase: cores_per_node_efficiency(phase, CORE_COUNTS, **NODE)
+        for phase in ("minife_solver", "charon_solver",
+                      "minife_fea", "charon_fea")
+    }
+    table = ResultTable(["phase"] + [f"c{n}" for n in CORE_COUNTS],
+                        title="Fig. 2 — per-core efficiency vs cores per node")
+    for phase, eff in efficiencies.items():
+        table.add_row(phase=phase, **{f"c{n}": eff[n] for n in CORE_COUNTS})
+    return efficiencies, table
+
+
+def test_fig2_cores_per_node(benchmark, report, save_csv):
+    efficiencies, table = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig2_cores_per_node")
+
+    for app in ("minife", "charon"):
+        solver = efficiencies[f"{app}_solver"]
+        fea = efficiencies[f"{app}_fea"]
+        values = [solver[n] for n in CORE_COUNTS]
+        # Solver efficiency decays monotonically and lands low.
+        assert values == sorted(values, reverse=True), (app, values)
+        assert solver[12] < 0.55, (app, solver[12])
+        # FEA stays comparatively flat.
+        assert fea[12] > 0.75, (app, fea[12])
+        assert fea[12] > solver[12] + 0.25, app
+
+    # The validation verdict: miniFE tracks Charon within 13% (paper).
+    study = ValidationStudy("fig2-cores-per-node")
+    study.add_series("solver_efficiency", efficiencies["charon_solver"],
+                     efficiencies["minife_solver"],
+                     thresholds=Thresholds(pass_below=0.13,
+                                           caution_below=0.25))
+    report(study.report())
+    assert study.summary() is Verdict.PASS

@@ -1,0 +1,60 @@
+"""Fig. 3 — Effects of memory speed on the FEA and solver phases.
+
+Paper result (Nehalem/Magny-Cours nodes configured at 800/1066/1333 MHz
+memory): FEA phases of miniFE and Charon are *not* impacted by the
+memory-speed change, their solver phases are; and miniFE stays within
+4% of Charon on every measure — miniFE is predictive of Charon with
+regard to on-node memory bandwidth.
+
+Shape assertions: solver runtime rises markedly at 800 MHz, FEA barely
+moves; the miniFE-vs-Charon comparison passes a (slightly relaxed) 8%
+threshold via the validation framework.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable, Thresholds, ValidationStudy, Verdict
+from repro.miniapps import memory_speed_response
+
+SPEEDS = ["DDR3-800", "DDR3-1066", "DDR3-1333"]
+PHASES = ("minife_fea", "charon_fea", "minife_solver", "charon_solver")
+
+
+def run_fig3():
+    responses = {phase: memory_speed_response(phase, SPEEDS)
+                 for phase in PHASES}
+    table = ResultTable(["phase"] + SPEEDS,
+                        title="Fig. 3 — runtime relative to DDR3-1333")
+    for phase, resp in responses.items():
+        table.add_row(phase=phase, **{s: resp[s] for s in SPEEDS})
+    return responses, table
+
+
+def test_fig3_memory_speed(benchmark, report, save_csv):
+    responses, table = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig3_memory_speed")
+
+    for app in ("minife", "charon"):
+        solver = responses[f"{app}_solver"]
+        fea = responses[f"{app}_fea"]
+        # Solvers slow down as memory slows; monotone in speed grade.
+        assert solver["DDR3-800"] > solver["DDR3-1066"] > 1.0, app
+        assert solver["DDR3-800"] > 1.20, (app, solver)
+        # FEA phases are essentially unaffected (paper's key contrast).
+        assert fea["DDR3-800"] < 1.10, (app, fea)
+        # Normalisation sanity.
+        assert solver["DDR3-1333"] == pytest.approx(1.0)
+        assert fea["DDR3-1333"] == pytest.approx(1.0)
+
+    study = ValidationStudy("fig3-memory-speed")
+    study.add_series("solver", responses["charon_solver"],
+                     responses["minife_solver"],
+                     thresholds=Thresholds(pass_below=0.08,
+                                           caution_below=0.2))
+    study.add_series("fea", responses["charon_fea"],
+                     responses["minife_fea"],
+                     thresholds=Thresholds(pass_below=0.08,
+                                           caution_below=0.2))
+    report(study.report())
+    assert study.summary() is Verdict.PASS

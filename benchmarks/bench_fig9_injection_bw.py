@@ -1,0 +1,104 @@
+"""Fig. 9 — Application sensitivity to network injection bandwidth.
+
+Paper result (160-node Cray XT5, firmware-throttled NICs at full/half/
+quarter/eighth of 3.2 GB/s): each application responds differently —
+
+* **Charon** (many small messages, latency-bound) is essentially
+  unimpacted: its network power could be cut with no performance cost;
+* **CTH** and **SAGE** (large halo messages that must complete before
+  the next step) degrade strongly: over 2x slowdown for CTH at 1/8;
+* **xNOBEL** overlaps communication with computation, staying flat at
+  small scale but falling off past a core-count threshold (the paper:
+  past 384 cores) where shrinking per-rank compute can no longer hide
+  the messages.
+
+Shape assertions: the slowdown table reproduces those four signatures,
+and the xNOBEL falloff grows with core count.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.config import build
+from repro.miniapps import app_runtime_stats, build_app_machine
+
+BANDWIDTHS = ["3.2GB/s", "1.6GB/s", "0.8GB/s", "0.4GB/s"]
+BW_LABELS = ["full", "half", "quarter", "eighth"]
+APPS = ("CTH", "SAGE", "XNOBEL", "Charon")
+N_RANKS = 32
+ITERATIONS = 3
+
+
+def run_app(app, bandwidth, n_ranks=N_RANKS):
+    graph = build_app_machine(f"miniapps.{app}", n_ranks,
+                              injection_bandwidth=bandwidth,
+                              iterations=ITERATIONS)
+    sim = build(graph, seed=7)
+    result = sim.run()
+    assert result.reason == "exit", (app, bandwidth, result.reason)
+    return app_runtime_stats(sim, n_ranks)["runtime_ps"]
+
+
+def run_fig9():
+    slowdowns = {}
+    for app in APPS:
+        base = run_app(app, BANDWIDTHS[0])
+        slowdowns[app] = [run_app(app, bw) / base for bw in BANDWIDTHS]
+    table = ResultTable(["app"] + BW_LABELS,
+                        title="Fig. 9 — slowdown vs full injection bandwidth "
+                              f"({N_RANKS} ranks, 3-D torus)")
+    for app in APPS:
+        table.add_row(app=app, **dict(zip(BW_LABELS, slowdowns[app])))
+    return slowdowns, table
+
+
+def run_xnobel_falloff():
+    """The 'past 384 cores' effect, scaled to our rank counts."""
+    rows = []
+    for n_ranks in (16, 32, 64, 128):
+        full = run_app("XNOBEL", "3.2GB/s", n_ranks)
+        quarter = run_app("XNOBEL", "0.8GB/s", n_ranks)
+        rows.append((n_ranks, quarter / full))
+    table = ResultTable(["ranks", "slowdown_at_quarter"],
+                        title="Fig. 9 (xNOBEL) — overlap-loss falloff with scale")
+    for n_ranks, slowdown in rows:
+        table.add_row(ranks=n_ranks, slowdown_at_quarter=slowdown)
+    return dict(rows), table
+
+
+def test_fig9_injection_bandwidth(benchmark, report, save_csv):
+    slowdowns, table = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    report(table)
+    save_csv(table, "fig9_injection_bw")
+
+    cth, sage, xnobel, charon = (slowdowns[a] for a in APPS)
+    # Normalisation.
+    for series in (cth, sage, xnobel, charon):
+        assert series[0] == pytest.approx(1.0)
+        # Less bandwidth never helps.
+        assert series == sorted(series)
+
+    # Charon: essentially unimpacted (paper's headline insensitivity).
+    assert charon[-1] < 1.15, charon
+    # CTH: over a factor of two at 1/8 (paper); accept 1.8-3.0.
+    assert 1.8 < cth[-1] < 3.0, cth
+    # SAGE: strongly impacted, comparable to CTH.
+    assert 1.6 < sage[-1] < 3.0, sage
+    # The per-app ordering of sensitivity.
+    assert cth[-1] > charon[-1]
+    assert sage[-1] > charon[-1]
+    # xNOBEL at this (small) scale: overlap still hides half-bandwidth.
+    assert xnobel[1] < 1.05, xnobel
+
+
+def test_fig9_xnobel_falloff_with_scale(benchmark, report, save_csv):
+    falloff, table = benchmark.pedantic(run_xnobel_falloff, rounds=1,
+                                        iterations=1)
+    report(table)
+    save_csv(table, "fig9_xnobel_falloff")
+
+    # Flat at small scale; degradation appears and grows past the
+    # crossover (paper: past 384 cores on the XT5; scaled here).
+    assert falloff[16] < 1.05
+    assert falloff[128] > 1.3
+    assert falloff[128] > falloff[64] >= falloff[32] >= falloff[16] - 1e-9

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's §5.2.1 design-space exploration, end to end.
+
+Sweeps memory technology (DDR2 / DDR3 / GDDR5) x processor issue width
+(1 / 2 / 4 / 8) for the HPCCG and Lulesh miniapps; every point is a
+discrete-event simulation evaluated through the McPAT-lite power model
+and the wafer-economics cost model.  Prints the Figs. 10-12 tables and
+the co-design conclusions the paper draws from them ("the fastest
+memory technology is not always the best").
+
+Run:  python examples/design_space_sweep.py [--instructions N]
+"""
+
+import argparse
+
+from repro.analysis import ResultTable
+from repro.dse import (PAPER_TECHNOLOGIES, PAPER_WIDTHS, PAPER_WORKLOADS,
+                       sweep)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=2_000_000,
+                        help="instructions per design point")
+    args = parser.parse_args()
+
+    print(f"running {len(PAPER_WORKLOADS) * len(PAPER_WIDTHS) * len(PAPER_TECHNOLOGIES)} "
+          "design-point simulations ...")
+    grid = sweep(instructions=args.instructions)
+
+    # -- Fig. 10: raw performance ---------------------------------------
+    perf = ResultTable(["app", "width"] + list(PAPER_TECHNOLOGIES),
+                       title="\nPerformance (GIPS) — Fig. 10")
+    for app in PAPER_WORKLOADS:
+        for width in PAPER_WIDTHS:
+            perf.add_row(app=app, width=width, **{
+                t: grid.point(app, width, t).performance / 1e9
+                for t in PAPER_TECHNOLOGIES
+            })
+    print(perf.render())
+
+    # -- Fig. 11: efficiency --------------------------------------------
+    eff = ResultTable(["app", "width", "ddr3_perf_w", "gddr5_perf_w",
+                       "ddr3_perf_$", "gddr5_perf_$"],
+                      title="\nEfficiency — Fig. 11 (perf/W in GIPS/W, "
+                            "perf/$ in MIPS/$)")
+    for app in PAPER_WORKLOADS:
+        for width in PAPER_WIDTHS:
+            ddr3 = grid.point(app, width, "DDR3-1066")
+            gddr5 = grid.point(app, width, "GDDR5")
+            eff.add_row(app=app, width=width,
+                        ddr3_perf_w=ddr3.perf_per_watt / 1e9,
+                        gddr5_perf_w=gddr5.perf_per_watt / 1e9,
+                        **{"ddr3_perf_$": ddr3.perf_per_dollar / 1e6,
+                           "gddr5_perf_$": gddr5.perf_per_dollar / 1e6})
+    print(eff.render())
+
+    # -- conclusions -----------------------------------------------------
+    print("\nCo-design conclusions (cf. paper §5.2.2):")
+    for app in PAPER_WORKLOADS:
+        fastest = grid.best("performance", app)
+        per_watt = grid.best("perf_per_watt", app)
+        per_dollar = grid.best("perf_per_dollar", app)
+        print(f"  {app}:")
+        print(f"    fastest point:        {fastest.name} "
+              f"({fastest.performance / 1e9:.2f} GIPS)")
+        print(f"    most power-efficient: {per_watt.name} "
+              f"({per_watt.perf_per_watt / 1e9:.3f} GIPS/W)")
+        print(f"    most cost-efficient:  {per_dollar.name} "
+              f"({per_dollar.perf_per_dollar / 1e6:.1f} MIPS/$)")
+    print("\nNote how the winners differ per objective: there is no single "
+          "'best' processor or memory — the paper's central point about "
+          "why co-design needs simulation.")
+
+
+if __name__ == "__main__":
+    main()

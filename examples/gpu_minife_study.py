@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The §3.4 miniFE CUDA study (Fig. 8): register spilling on a GPU.
+
+Walks through the paper's analysis with the analytic SIMT model:
+
+1. the per-thread state budget of the FE-assembly kernel vs the Fermi
+   register file (63 regs = 252 B) and the L1/L2 share per thread;
+2. the resulting spill traffic and why it makes a FLOP-heavy kernel
+   bandwidth-bound;
+3. the tuning steps (operator symmetry, load-late reordering, source
+   vector to shared memory) and what they recover;
+4. the three-phase GPU-vs-CPU speedup table (assembly ~4x, solve ~3x,
+   structure generation a slowdown);
+5. the "future hardware" what-if: a Kepler-like device with 255
+   registers/thread eliminates the spill entirely.
+
+Run:  python examples/gpu_minife_study.py [--n 64]
+"""
+
+import argparse
+
+from repro.analysis import ResultTable
+from repro.miniapps import (FEA_KERNEL_NAIVE, FEA_KERNEL_TUNED,
+                            MiniFEGpuStudy)
+from repro.processor import FERMI_M2090, KEPLER_LIKE, GpuTimingModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=64,
+                        help="problem size: n^3 hexahedral elements")
+    args = parser.parse_args()
+
+    gpu = GpuTimingModel(FERMI_M2090)
+    study = MiniFEGpuStudy(args.n)
+
+    # -- 1/2: the state budget --------------------------------------------
+    print("Per-thread state accounting (FE assembly kernel):")
+    print(f"  live state:         {FEA_KERNEL_NAIVE.state_bytes_per_thread} B "
+          "(node IDs + coords + diffusion matrix + source + Jacobian)")
+    print(f"  register budget:    {FERMI_M2090.register_budget_bytes} B "
+          f"({FERMI_M2090.max_registers_per_thread} x 32-bit registers)")
+    naive = study.fea_estimate(tuned=False)
+    print(f"  spilled (naive):    {naive.spill_bytes_per_thread} B/thread")
+    print(f"  L1+L2 share:        "
+          f"{gpu.cache_share_per_thread(naive.occupancy_threads_per_sm)} B/thread "
+          f"at {naive.occupancy_threads_per_sm} resident threads/SM")
+    print(f"  -> bandwidth-bound: {naive.bandwidth_bound} "
+          f"(spill traffic {naive.spill_traffic_bytes / 1e6:.0f} MB per launch)")
+
+    # -- 3: tuning ----------------------------------------------------------
+    tuned = study.fea_estimate(tuned=True)
+    print("\nAfter the paper's tuning (symmetry, reordering, source vector "
+          "to shared memory):")
+    print(f"  spilled (tuned):    {tuned.spill_bytes_per_thread} B/thread "
+          f"(paper: ~512 B still spilled)")
+    print(f"  runtime recovered:  {naive.runtime_s / tuned.runtime_s:.2f}x")
+
+    # -- 4: the Fig. 8 table -------------------------------------------------
+    table = ResultTable(["phase", "cpu_ms", "gpu_ms", "speedup"],
+                        title=f"\nFig. 8 — phase speedups, N={args.n}^3 "
+                              "elements (M2090 vs hex-core E5-2680)")
+    for name, cmp in study.table().items():
+        table.add_row(phase=name, cpu_ms=cmp.cpu_time_s * 1e3,
+                      gpu_ms=cmp.gpu_time_s * 1e3, speedup=cmp.speedup)
+    print(table.render())
+    print("\nStructure generation is a *slowdown*: it is built on the host "
+          "in CSR, shipped over PCIe, and converted to ELL on the device — "
+          "low priority to fix given its share of total runtime (paper).")
+
+    # -- 5: future hardware ---------------------------------------------------
+    kepler = MiniFEGpuStudy(args.n, gpu=KEPLER_LIKE)
+    k_est = kepler.fea_estimate()
+    print(f"\nKepler-like what-if ({KEPLER_LIKE.max_registers_per_thread} "
+          f"registers/thread, bigger L1/L2):")
+    print(f"  spilled:            {k_est.spill_bytes_per_thread} B/thread")
+    print(f"  FEA speedup:        {kepler.fea().speedup:.1f}x "
+          f"(vs {study.fea().speedup:.1f}x on Fermi)")
+    print("  — 'future generations of NVIDIA systems are expected to "
+          "address some of the findings from this study.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The §2.2 miniapp-validation methodology, executed end to end.
+
+"Under what conditions does a miniapp represent a key performance
+characteristic in a full app?"  This example runs the paper's three
+on-node diagnostics for miniFE vs Charon — cores-per-node contention
+(Fig. 2), memory-speed sensitivity (Fig. 3) and cache behaviour
+(Fig. 4) — and pushes each through the Eq. (4)/(5) validation-metric
+framework, reproducing the paper's verdict pattern:
+
+  * memory bandwidth (Figs. 2-3):  PASS  (miniFE predictive)
+  * FEA cache behaviour (Fig. 4):  FAIL  (L2/L3 diverge 3-6x)
+  * solver cache behaviour:        PASS  (within ~20% thresholds)
+
+Run:  python examples/miniapp_validation.py
+"""
+
+from repro.analysis import Thresholds, ValidationStudy
+from repro.miniapps import (cache_hit_rates, cores_per_node_efficiency,
+                            memory_speed_response)
+
+
+def study_cores_per_node() -> ValidationStudy:
+    cores = [1, 2, 4, 8, 12]
+    node = dict(channels=4, issue_width=4, freq_hz=2.4e9)
+    charon = cores_per_node_efficiency("charon_solver", cores, **node)
+    minife = cores_per_node_efficiency("minife_solver", cores, **node)
+    study = ValidationStudy("Fig.2 cores-per-node (solver efficiency)")
+    study.add_series("efficiency", charon, minife,
+                     thresholds=Thresholds(pass_below=0.13,
+                                           caution_below=0.25))
+    return study
+
+
+def study_memory_speed() -> ValidationStudy:
+    speeds = ["DDR3-800", "DDR3-1066", "DDR3-1333"]
+    study = ValidationStudy("Fig.3 memory-speed response")
+    for phase in ("solver", "fea"):
+        charon = memory_speed_response(f"charon_{phase}", speeds)
+        minife = memory_speed_response(f"minife_{phase}", speeds)
+        study.add_series(phase, charon, minife,
+                         thresholds=Thresholds(pass_below=0.08,
+                                               caution_below=0.2))
+    return study
+
+
+def study_cache(phase: str, thresholds: Thresholds) -> ValidationStudy:
+    charon = cache_hit_rates(f"charon_{phase}")
+    minife = cache_hit_rates(f"minife_{phase}")
+    study = ValidationStudy(f"Fig.4 cache behaviour ({phase.upper()})")
+    study.add_series("hit_rate", charon, minife, thresholds=thresholds)
+    return study
+
+
+def main() -> None:
+    studies = [
+        study_cores_per_node(),
+        study_memory_speed(),
+        study_cache("fea", Thresholds(pass_below=0.05, caution_below=0.25)),
+        study_cache("solver", Thresholds(pass_below=0.20, caution_below=0.30)),
+    ]
+    for study in studies:
+        print()
+        print(study.report())
+
+    print("\n" + "=" * 72)
+    print("Body of evidence (cf. paper §2.2 conclusions):")
+    for study in studies:
+        print(f"  {study.name:<44} {study.summary()}")
+    print("""
+miniFE is predictive of Charon for on-node memory bandwidth (the
+Figs. 2-3 PASSes) and for solver-phase cache behaviour, but NOT for
+FEA-phase L2/L3 cache behaviour — exactly the paper's assessment, and
+the reason validation must be per-characteristic, not per-miniapp.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The §4.1 network-injection-bandwidth degradation study (Fig. 9).
+
+Reproduces Sandia's Cray XT5 experiment: run CTH, SAGE, xNOBEL and
+Charon on a simulated 3-D torus and throttle every NIC to full / half /
+quarter / eighth injection bandwidth, reporting relative slowdowns —
+the data that motivated "network power-performance configurability in
+future systems" (Charon could run on an eighth of the network for free;
+CTH cannot).
+
+Run:  python examples/network_bandwidth_study.py [--ranks N] [--iterations K]
+"""
+
+import argparse
+
+from repro.analysis import ResultTable
+from repro.config import build
+from repro.miniapps import app_runtime_stats, build_app_machine
+
+BANDWIDTHS = ["3.2GB/s", "1.6GB/s", "0.8GB/s", "0.4GB/s"]
+LABELS = ["full", "half", "quarter", "eighth"]
+APPS = ["CTH", "SAGE", "XNOBEL", "Charon"]
+
+
+def run_point(app: str, bandwidth: str, n_ranks: int, iterations: int):
+    graph = build_app_machine(f"miniapps.{app}", n_ranks,
+                              injection_bandwidth=bandwidth,
+                              iterations=iterations)
+    sim = build(graph, seed=7)
+    result = sim.run()
+    if result.reason != "exit":
+        raise RuntimeError(f"{app}@{bandwidth}: {result.reason}")
+    return app_runtime_stats(sim, n_ranks)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=32)
+    parser.add_argument("--iterations", type=int, default=3)
+    args = parser.parse_args()
+
+    table = ResultTable(["app"] + LABELS + ["msgs_per_rank", "comm_frac_full"],
+                        title=f"\nSlowdown vs full injection bandwidth "
+                              f"({args.ranks} ranks, 3-D torus) — Fig. 9")
+    for app in APPS:
+        base = run_point(app, BANDWIDTHS[0], args.ranks, args.iterations)
+        row = {"app": app,
+               "msgs_per_rank": base["messages_per_rank"],
+               "comm_frac_full": base["mean_comm_ps"] / base["runtime_ps"]}
+        for bandwidth, label in zip(BANDWIDTHS, LABELS):
+            stats = run_point(app, bandwidth, args.ranks, args.iterations)
+            row[label] = stats["runtime_ps"] / base["runtime_ps"]
+        table.add_row(**row)
+    print(table.render())
+
+    print("""
+Reading the table like the paper does:
+  * Charon barely moves: its many small messages are latency-bound, so
+    its network could be run at an eighth of the power for free.
+  * CTH/SAGE pay heavily: their large halo messages must complete
+    before the next timestep - full bandwidth is the energy-efficient
+    configuration for them.
+  * xNOBEL hides communication behind computation until the messages no
+    longer fit under the compute time; rerun with --ranks 128 to watch
+    the overlap collapse (the paper's 'falloff past 384 cores').""")
+
+
+if __name__ == "__main__":
+    main()

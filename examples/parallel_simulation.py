@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Conservative parallel simulation of a full machine.
+
+Demonstrates the PDES side of the toolkit: the same miniapp machine is
+simulated sequentially and then partitioned across ranks with each
+partition strategy, verifying that the physics agrees and reporting the
+protocol metrics that determine parallel efficiency — edge cut, the
+conservative lookahead (set by the smallest cut-link latency), epoch
+count and cross-rank event traffic.
+
+Run:  python examples/parallel_simulation.py [--ranks 4] [--app HPCCG]
+"""
+
+import argparse
+
+from repro.analysis import ResultTable
+from repro.config import build, build_parallel
+from repro.core.partition import STRATEGIES, partition
+from repro.miniapps import app_runtime_stats, build_app_machine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="parallel simulation ranks")
+    parser.add_argument("--app", default="HPCCG")
+    parser.add_argument("--app-ranks", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=3)
+    args = parser.parse_args()
+
+    def machine():
+        return build_app_machine(f"miniapps.{args.app}", args.app_ranks,
+                                 iterations=args.iterations)
+
+    # -- sequential reference --------------------------------------------
+    seq = build(machine(), seed=2)
+    seq_result = seq.run()
+    seq_runtime = app_runtime_stats(seq, args.app_ranks)["runtime_ps"]
+    print(f"sequential: {seq_result.events_executed} events, "
+          f"simulated app runtime {seq_runtime / 1e9:.3f} ms, "
+          f"{seq_result.events_per_second:,.0f} events/s")
+
+    # -- partition quality -------------------------------------------------
+    graph = machine()
+    nodes, edges, weights = graph.partition_inputs()
+    quality = ResultTable(["strategy", "edge_cut", "cut_edges",
+                           "min_cut_latency_ns", "imbalance"],
+                          title=f"\nPartition quality ({len(nodes)} "
+                                f"components over {args.ranks} ranks)")
+    for strategy in STRATEGIES:
+        r = partition(nodes, edges, args.ranks, strategy=strategy,
+                      weights=weights)
+        quality.add_row(strategy=strategy, edge_cut=r.edge_cut,
+                        cut_edges=r.cut_edges,
+                        min_cut_latency_ns=(r.min_cut_latency or 0) / 1000,
+                        imbalance=r.imbalance)
+    print(quality.render())
+
+    # -- parallel runs -----------------------------------------------------
+    protocol = ResultTable(["strategy", "epochs", "remote_events",
+                            "lookahead_ns", "app_runtime_ms", "agrees"],
+                           title="\nConservative parallel runs")
+    for strategy in STRATEGIES:
+        psim = build_parallel(machine(), args.ranks, strategy=strategy,
+                              seed=2)
+        result = psim.run()
+        runtime = max(psim.stat_values()[f"rank{i}.runtime_ps"]
+                      for i in range(args.app_ranks))
+        protocol.add_row(strategy=strategy, epochs=result.epochs,
+                         remote_events=result.remote_events,
+                         lookahead_ns=result.lookahead / 1000,
+                         app_runtime_ms=runtime / 1e9,
+                         agrees=abs(runtime - seq_runtime) / seq_runtime < 0.02)
+    print(protocol.render())
+    print("""
+Locality-aware partitions (bfs/kl) cut fewer links than round_robin, so
+fewer events cross ranks each epoch.  The lookahead — how far every
+rank may safely run ahead — equals the smallest latency of any cut
+link, which is why SST insists every component boundary carries real
+latency.""")
+
+
+if __name__ == "__main__":
+    main()

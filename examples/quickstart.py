@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""PySST quickstart: declare a machine, simulate it, read the statistics.
+
+Builds the smallest interesting machine — a traffic-generating core
+behind an L1 cache, a bandwidth-shared bus and a DDR3 memory
+controller — two ways:
+
+1. through the Python configuration layer (a ConfigGraph, SST's
+   python-input style), and
+2. the same design swept across two memory technologies using the
+   abstract MixCore processor model, showing the design-space workflow
+   everything else in this repository builds on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import ResultTable
+from repro.config import ConfigGraph, build, to_json
+
+
+def part1_event_driven_node() -> None:
+    print("=" * 72)
+    print("Part 1 — an event-driven node through the config layer")
+    print("=" * 72)
+
+    g = ConfigGraph("quickstart-node")
+    g.component("cpu", "processor.TrafficGenerator", {
+        "requests": 2000,
+        "pattern": "random",
+        "footprint": "1MB",
+        "outstanding": 8,
+    })
+    g.component("l1", "memory.Cache", {
+        "size": "32KB", "ways": 8, "hit_latency": "1ns", "level": "L1",
+    })
+    g.component("ctrl", "memory.MemController", {
+        "technology": "DDR3-1333", "policy": "frfcfs",
+    })
+    g.link("cpu", "mem", "l1", "cpu", latency="500ps")
+    g.link("l1", "mem", "ctrl", "cpu", latency="2ns")
+
+    warnings = g.validate(resolve_types=True)
+    assert not warnings, warnings
+
+    sim = build(g, seed=42)
+    result = sim.run()
+
+    print(f"\nrun: {result.reason} after {result.end_time / 1e6:.1f} us "
+          f"simulated, {result.events_executed} events "
+          f"({result.events_per_second:,.0f} events/s)\n")
+    print(sim.stat_table())
+
+    values = sim.stat_values()
+    hit_rate = values["l1.hits"] / (values["l1.hits"] + values["l1.misses"])
+    print(f"\nL1 hit rate: {hit_rate:.1%}; "
+          f"mean memory latency: "
+          f"{sim.stats()['cpu.latency_ps'].mean / 1000:.1f} ns")
+
+    print("\nThe same machine serializes to a JSON config "
+          f"({len(to_json(g))} bytes) — see examples of reloading in "
+          "tests/integration/test_full_machine.py.")
+
+
+def part2_design_points() -> None:
+    print()
+    print("=" * 72)
+    print("Part 2 — abstract-core design points (the SST workflow)")
+    print("=" * 72)
+    from repro.dse import run_design_point
+
+    table = ResultTable(["technology", "runtime_us", "gips", "power_w",
+                         "perf_per_watt"],
+                        title="\nHPCCG, 4-wide core, one design point per "
+                              "memory technology")
+    for technology in ("DDR3-1333", "GDDR5"):
+        point = run_design_point("hpccg", issue_width=4,
+                                 technology=technology,
+                                 instructions=2_000_000)
+        table.add_row(technology=technology,
+                      runtime_us=point.runtime_ps / 1e6,
+                      gips=point.performance / 1e9,
+                      power_w=point.total_power_w,
+                      perf_per_watt=point.perf_per_watt / 1e9)
+    print(table.render())
+    print("\nGDDR5 is faster but burns more power — the Fig. 10/11 "
+          "trade-off.  Run examples/design_space_sweep.py for the full "
+          "grid.")
+
+
+if __name__ == "__main__":
+    part1_event_driven_node()
+    part2_design_points()

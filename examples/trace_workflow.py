@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Trace-driven simulation workflow.
+
+Shows the record/replay loop that carries a workload's memory behaviour
+between tools:
+
+1. synthesise a reference stream matching a workload's locality profile
+   and record it to a (gzip) trace file;
+2. replay the trace through an event-driven cache + memory-controller
+   machine and read the hit rates back;
+3. sweep a cache parameter (prefetch depth) over the *same* trace —
+   the reproducibility benefit traces buy.
+
+Run:  python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import ResultTable
+from repro.config import ConfigGraph, build
+from repro.processor import TraceSpec, read_trace, record_trace, workload
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="pysst-trace-"))
+    trace_path = workdir / "minife_fea.trace.gz"
+
+    # -- 1. record ---------------------------------------------------------
+    spec = TraceSpec.for_workload(workload("minife_fea"), seed=11)
+    n_records = record_trace(spec, 20_000, trace_path, size=8)
+    size_kb = trace_path.stat().st_size / 1024
+    print(f"recorded {n_records} references to {trace_path.name} "
+          f"({size_kb:.0f} KiB gzipped)")
+    first = next(iter(read_trace(trace_path)))
+    print(f"first record: addr=0x{first[0]:x} write={first[1]} "
+          f"size={first[2]}")
+
+    # -- 2/3. replay under a prefetch-depth sweep ---------------------------
+    table = ResultTable(["prefetch_depth", "l1_hit_rate", "runtime_us",
+                         "prefetch_hits"],
+                        title="\nreplaying the same trace under a cache sweep")
+    for depth in (0, 2, 4):
+        graph = ConfigGraph(f"replay-d{depth}")
+        graph.component("cpu", "processor.TraceReplayCore",
+                        {"trace": str(trace_path), "outstanding": 4})
+        graph.component("l1", "memory.Cache",
+                        {"size": "32KB", "ways": 8, "prefetch": depth})
+        graph.component("mem", "memory.MemController",
+                        {"technology": "DDR3-1333"})
+        graph.link("cpu", "mem", "l1", "cpu", latency="1ns")
+        graph.link("l1", "mem", "mem", "cpu", latency="2ns")
+        sim = build(graph, seed=1)
+        result = sim.run()
+        assert result.reason == "exit"
+        values = sim.stat_values()
+        hits, misses = values["l1.hits"], values["l1.misses"]
+        table.add_row(prefetch_depth=depth,
+                      l1_hit_rate=hits / (hits + misses),
+                      runtime_us=values["cpu.runtime_ps"] / 1e6,
+                      prefetch_hits=values["l1.prefetch_hits"])
+    print(table.render())
+    print("\nSame input stream, different machines — the point of "
+          "trace-driven simulation.  (This trace is mostly cache-resident "
+          "FEA traffic, so stream prefetching has little left to win; try "
+          "swapping in workload('hpccg') above.)")
+
+
+if __name__ == "__main__":
+    main()

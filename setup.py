@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e .`` falls back to
+``setup.py develop`` via ``--no-use-pep517``.  All real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""PySST — a Python reproduction of the Structural Simulation Toolkit.
+
+Reproduction of A.F. Rodrigues, R.C. Murphy, P. Kogge, K.D. Underwood,
+"The Structural Simulation Toolkit: exploring novel architectures"
+(SC'06).  See DESIGN.md for the system inventory, the paper-text
+mismatch notice, and the experiment index.
+
+Layering (import whichever level you need):
+
+* ``repro.core``      — the discrete-event engine, components, links,
+  clocks, statistics, partitioning and the conservative parallel engine.
+* ``repro.config``    — the Python configuration layer: build, validate,
+  serialize and partition machine descriptions.
+* ``repro.processor`` / ``repro.memory`` / ``repro.network`` /
+  ``repro.power``     — the component model library.
+* ``repro.miniapps``  — Mantevo-style workload motifs that run *on* the
+  simulated machines.
+* ``repro.analysis``  — output tables, relative-performance helpers and
+  the validation-metric framework.
+"""
+
+from . import core
+from .core import (Component, Params, ParallelSimulation, Simulation,
+                   register)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Component",
+    "Params",
+    "ParallelSimulation",
+    "Simulation",
+    "core",
+    "register",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""PySST command-line interface.
+
+``python -m repro <subcommand>``:
+
+* ``run <config.json>``     — load a serialized ConfigGraph and simulate
+  it (sequentially or partitioned across ranks), printing statistics.
+* ``info <config.json>``    — summarize a machine description without
+  running it.
+* ``topo``                  — generate a topology config (torus,
+  fattree, dragonfly, crossbar) and write it as JSON, ready to be
+  decorated with endpoints.
+
+Examples::
+
+    python -m repro topo --kind torus --dims 4x4x2 --locals 2 -o net.json
+    python -m repro info net.json
+    python -m repro run machine.json --max-time 1ms --ranks 4 --strategy bfs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import config as cfg
+from .config import build, build_parallel, load, save
+from .config.graph import ConfigGraph
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = load(args.config)
+    warnings = graph.validate(resolve_types=True)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.ranks > 1:
+        psim = build_parallel(graph, args.ranks, strategy=args.strategy,
+                              seed=args.seed, queue=args.queue,
+                              backend=args.backend)
+        result = psim.run(max_time=args.max_time)
+        print(f"parallel run: {result.reason} at {result.end_time} ps; "
+              f"{result.events_executed} events over {result.epochs} epochs "
+              f"({result.remote_events} crossed ranks, "
+              f"lookahead {result.lookahead} ps)")
+        values = psim.stat_values()
+    else:
+        sim = build(graph, seed=args.seed, queue=args.queue)
+        trace_log = None
+        if args.trace:
+            from .core.tracelog import EventTraceLog
+
+            trace_log = EventTraceLog(sim, args.trace,
+                                      component_filter=args.trace_filter)
+        result = sim.run(max_time=args.max_time)
+        if trace_log is not None:
+            trace_log.detach()
+            print(f"trace: {trace_log.matched_events} events "
+                  f"(of {trace_log.total_events}) -> {args.trace}")
+        print(f"run: {result.reason} at {result.end_time} ps; "
+              f"{result.events_executed} events "
+              f"({result.events_per_second:,.0f} events/s)")
+        values = sim.stat_values()
+        if args.stats:
+            print(sim.stat_table())
+    if args.stats_csv:
+        from .analysis import ResultTable
+
+        table = ResultTable(["statistic", "value"])
+        for key in sorted(values):
+            table.add_row(statistic=key, value=values[key])
+        table.to_csv(args.stats_csv)
+        print(f"statistics written to {args.stats_csv}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = load(args.config)
+    print(graph.summary())
+    latency = graph.min_latency()
+    if latency is not None:
+        print(f"minimum link latency: {latency} ps "
+              "(= conservative lookahead ceiling)")
+    warnings = graph.validate()
+    for warning in warnings:
+        print(f"warning: {warning}")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from .config.topology import (build_crossbar, build_dragonfly,
+                                  build_fat_tree, build_torus)
+
+    graph = ConfigGraph(args.name)
+    if args.kind == "torus":
+        dims = tuple(int(d) for d in args.dims.split("x"))
+        topo = build_torus(graph, dims, locals_per_router=args.locals)
+    elif args.kind == "fattree":
+        topo = build_fat_tree(graph, leaves=args.leaves,
+                              down_ports=args.locals, spines=args.spines)
+    elif args.kind == "dragonfly":
+        topo = build_dragonfly(graph, groups=args.groups,
+                               routers_per_group=args.routers,
+                               global_per_router=args.globals_,
+                               locals_per_router=args.locals)
+    elif args.kind == "crossbar":
+        topo = build_crossbar(graph, args.ports)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.kind)
+    save(graph, args.output)
+    print(f"{topo.kind}: {len(topo.router_names)} routers, "
+          f"{topo.num_endpoints} endpoints, {graph.num_links()} links "
+          f"-> {args.output}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.split("\n\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a serialized ConfigGraph")
+    run.add_argument("config")
+    run.add_argument("--max-time", default=None,
+                     help='simulated-time limit, e.g. "1ms"')
+    run.add_argument("--ranks", type=int, default=1,
+                     help="parallel simulation ranks (1 = sequential)")
+    run.add_argument("--strategy", default="linear",
+                     choices=["linear", "round_robin", "bfs", "kl"])
+    run.add_argument("--backend", default="serial",
+                     choices=["serial", "threads"])
+    run.add_argument("--queue", default="heap", choices=["heap", "binned"])
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--stats", action="store_true",
+                     help="print the full statistics table")
+    run.add_argument("--stats-csv", default=None,
+                     help="write statistic values to a CSV file")
+    run.add_argument("--trace", default=None,
+                     help="write a per-event trace log to this file "
+                          "(sequential runs only)")
+    run.add_argument("--trace-filter", default="*",
+                     help="glob on component/port names for --trace")
+    run.set_defaults(func=_cmd_run)
+
+    info = sub.add_parser("info", help="summarize a machine description")
+    info.add_argument("config")
+    info.set_defaults(func=_cmd_info)
+
+    topo = sub.add_parser("topo", help="generate a topology config")
+    topo.add_argument("--kind", required=True,
+                      choices=["torus", "fattree", "dragonfly", "crossbar"])
+    topo.add_argument("--name", default="machine")
+    topo.add_argument("-o", "--output", default="topology.json")
+    topo.add_argument("--dims", default="4x4", help="torus: e.g. 4x4x4")
+    topo.add_argument("--locals", type=int, default=2,
+                      help="endpoints per router / leaf down-ports")
+    topo.add_argument("--leaves", type=int, default=4)
+    topo.add_argument("--spines", type=int, default=2)
+    topo.add_argument("--groups", type=int, default=5)
+    topo.add_argument("--routers", type=int, default=2)
+    topo.add_argument("--globals", dest="globals_", type=int, default=2)
+    topo.add_argument("--ports", type=int, default=8, help="crossbar ports")
+    topo.set_defaults(func=_cmd_topo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Abstract Machine Models (paper §5.1).
+
+An AMM is "a simplified description of a computer system that allows
+reasoning about that system" — the lightest rung on the prediction
+ladder, below simulation.  The paper lists compiler machine models,
+tool input models, analytical models (PRAM, **LogP**) and detailed ISA
+manuals as examples, and stresses that an AMM must be *evolvable*:
+created rough, then refined as simulators and measurements feed back.
+
+This module provides:
+
+* :class:`MachineModel` — a parameterised node+network description
+  (the "analytical model" flavour: a small number of parameters,
+  simple analysis);
+* :class:`LogPParams` — the classic L/o/g/P network model, derivable
+  *from* a MachineModel or fitted from simulation;
+* analytic predictors for the motifs the miniapp library uses
+  (compute phases, halo exchanges, recursive-doubling all-reduces),
+  mirroring the simulator's structure so predictions and simulations
+  can be cross-validated (``tests/integration/test_amm_validation.py``
+  and ``benchmarks/bench_ext_amm.py`` do exactly that — the
+  "multi-fidelity" workflow of §5);
+* :func:`fit_from_simulation` — refine an AMM's network parameters from
+  measured ping-pong simulations, the evolve-the-model loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .core.units import SimTime, parse_bandwidth, parse_time
+from .processor.core import CoreConfig, CoreTimingModel
+from .processor.mix import WorkloadSpec, workload as lookup_workload
+from .memory.dram import DRAMModel
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """The LogP network model: Latency, overhead, gap, Processors.
+
+    All times in picoseconds; ``G`` (gap per byte) extends LogP to
+    LogGP for large messages.
+    """
+
+    L: SimTime  #: end-to-end wire/switch latency
+    o: SimTime  #: per-message send/receive software overhead
+    g: SimTime  #: minimum gap between consecutive messages
+    G: float  #: gap per byte (1 / effective bandwidth, ps/byte)
+    P: int  #: processor count
+
+    def message_time(self, nbytes: int) -> SimTime:
+        """One point-to-point message: o + L + G*n + o."""
+        return int(2 * self.o + self.L + self.G * nbytes)
+
+    def __post_init__(self):
+        if min(self.L, self.o, self.g) < 0 or self.G < 0 or self.P < 1:
+            raise ValueError("invalid LogP parameters")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A small-parameter abstract machine: node + memory + network.
+
+    This is deliberately *not* a ConfigGraph: it has no components, no
+    events — just the numbers needed for back-of-envelope reasoning.
+    ``to_logp`` projects the network side onto LogP.
+    """
+
+    name: str = "amm"
+    #: node
+    cores_per_node: int = 8
+    issue_width: int = 2
+    core_freq_hz: float = 2.0e9
+    #: memory
+    memory_technology: str = "DDR3-1333"
+    memory_channels: int = 1
+    #: network
+    injection_bandwidth: float = 3.2e9  #: bytes/s
+    link_latency_ps: SimTime = 20_000
+    send_overhead_ps: SimTime = 500_000
+    recv_overhead_ps: SimTime = 300_000
+    hops_estimate: float = 3.0  #: mean router hops for "typical" traffic
+    hop_latency_ps: SimTime = 10_000
+    n_nodes: int = 64
+
+    @classmethod
+    def from_strings(cls, *, injection_bandwidth: str = "3.2GB/s",
+                     link_latency: str = "20ns", **kwargs) -> "MachineModel":
+        return cls(injection_bandwidth=parse_bandwidth(injection_bandwidth),
+                   link_latency_ps=parse_time(link_latency), **kwargs)
+
+    def to_logp(self) -> LogPParams:
+        """Project onto LogP: L from hops+wire, o from software overheads."""
+        latency = int(self.link_latency_ps
+                      + self.hops_estimate * self.hop_latency_ps)
+        overhead = (self.send_overhead_ps + self.recv_overhead_ps) // 2
+        gap_per_byte = 1e12 / self.injection_bandwidth
+        return LogPParams(L=latency, o=overhead, g=overhead,
+                          G=gap_per_byte,
+                          P=self.n_nodes * self.cores_per_node)
+
+    def evolve(self, **changes) -> "MachineModel":
+        """A refined copy — the §5.1 point that AMMs are living objects."""
+        return replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# analytic predictors (the "back of the envelope" rung)
+# ----------------------------------------------------------------------
+
+def predict_compute_ps(model: MachineModel, workload_name: str,
+                       instructions: int, n_sharers: int = 1) -> SimTime:
+    """Compute-phase prediction via the same roofline the simulator uses.
+
+    (Sharing the functional core model between the AMM and the DES is
+    deliberate: the AMM abstracts the *machine*, not the math.)
+    """
+    spec = lookup_workload(workload_name)
+    core = CoreTimingModel(
+        CoreConfig(issue_width=model.issue_width,
+                   freq_hz=model.core_freq_hz), spec)
+    dram = DRAMModel(model.memory_technology, channels=model.memory_channels)
+    return core.standalone_runtime_ps(instructions, dram, n_sharers=n_sharers)
+
+
+def predict_exchange_ps(model: MachineModel, n_neighbors: int,
+                        msg_size: int, msgs_per_neighbor: int = 1) -> SimTime:
+    """Halo-exchange prediction under LogGP.
+
+    Sends serialise through the NIC (injection gap dominates for large
+    messages); the phase ends when the last inbound message lands:
+    serialisation of our own sends + one flight time.
+    """
+    logp = model.to_logp()
+    n_messages = n_neighbors * msgs_per_neighbor
+    if n_messages == 0:
+        return 0
+    per_message_gap = int(model.send_overhead_ps + logp.G * msg_size)
+    serialisation = n_messages * per_message_gap
+    flight = logp.L + int(logp.G * msg_size) + model.recv_overhead_ps
+    return serialisation + flight
+
+
+def predict_allreduce_ps(model: MachineModel, n_ranks: int,
+                         nbytes: int = 8) -> SimTime:
+    """Recursive-doubling all-reduce: ceil(log2 P) rounds of small
+    sendrecvs, each costing one LogP message time."""
+    if n_ranks <= 1:
+        return 0
+    rounds = math.ceil(math.log2(n_ranks))
+    logp = model.to_logp()
+    return rounds * logp.message_time(nbytes)
+
+
+def predict_halo_app_iteration_ps(model: MachineModel, *, n_ranks: int,
+                                  n_neighbors: int, msg_size: int,
+                                  msgs_per_neighbor: int,
+                                  compute_ps: SimTime,
+                                  allreduces: int = 0,
+                                  overlap_fraction: float = 0.0) -> SimTime:
+    """One iteration of a :class:`repro.miniapps.apps.HaloApp`, analytically.
+
+    Mirrors the skeleton-app engine's phase structure: an exchange
+    (optionally overlapped with a slice of compute), the remaining
+    compute, then the collectives.
+    """
+    exchange = predict_exchange_ps(model, n_neighbors, msg_size,
+                                   msgs_per_neighbor)
+    overlap = int(overlap_fraction * compute_ps)
+    first = max(exchange, overlap)
+    rest = compute_ps - overlap
+    collectives = allreduces * predict_allreduce_ps(model, n_ranks)
+    return first + rest + collectives
+
+
+# ----------------------------------------------------------------------
+# model refinement from simulation (the evolve loop)
+# ----------------------------------------------------------------------
+
+def fit_from_simulation(model: MachineModel, *, seed: int = 3,
+                        probe_sizes=(64, 65536, 1 << 20)) -> MachineModel:
+    """Refine the AMM's network parameters against ping-pong simulations.
+
+    Runs two-endpoint message-latency probes on the *simulated* NIC pair
+    at several message sizes, then solves for effective per-message
+    overhead+latency (intercept) and per-byte gap (slope).  Returns an
+    evolved copy of the model.  This is the feedback arrow in the
+    paper's multi-fidelity methodology: simulators calibrate AMMs, AMMs
+    steer where to point the simulator next.
+    """
+    import numpy as np
+
+    from .core import Params, Simulation
+    from .network import Nic, PatternEndpoint
+
+    def probe(nbytes: int) -> float:
+        sim = Simulation(seed=seed)
+        # Space sends far beyond the largest transfer time so measured
+        # latency is uncontaminated by NIC queueing behind earlier sends.
+        gap_ps = max(parse_time("50us"),
+                     int(4 * nbytes / model.injection_bandwidth * 1e12))
+        src = PatternEndpoint(sim, "src", Params({
+            "endpoint_id": 0, "n_endpoints": 2, "pattern": "neighbor",
+            "count": 2, "size": nbytes, "gap": gap_ps, "expected": 0}))
+        dst = PatternEndpoint(sim, "dst", Params({
+            "endpoint_id": 1, "n_endpoints": 2, "count": 0, "expected": 2}))
+        nic_kwargs = {
+            "injection_bandwidth": model.injection_bandwidth,
+            "send_overhead": model.send_overhead_ps,
+            "recv_overhead": model.recv_overhead_ps,
+        }
+        nic_s = Nic(sim, "nic_s", Params(nic_kwargs))
+        nic_d = Nic(sim, "nic_d", Params(nic_kwargs))
+        sim.connect(src, "nic", nic_s, "cpu", latency="1ns")
+        sim.connect(dst, "nic", nic_d, "cpu", latency="1ns")
+        sim.connect(nic_s, "net", nic_d, "net",
+                    latency=model.link_latency_ps)
+        result = sim.run()
+        assert result.reason == "exit"
+        return sim.stats()["dst.latency_ps"].mean
+
+    sizes = np.array(probe_sizes, dtype=float)
+    times = np.array([probe(int(s)) for s in probe_sizes])
+    slope, intercept = np.polyfit(sizes, times, 1)
+    # slope ps/byte -> effective bandwidth; intercept -> overhead+latency.
+    fitted_bw = 1e12 / max(slope, 1e-12)
+    fitted_latency = max(0, int(intercept
+                                - model.send_overhead_ps
+                                - model.recv_overhead_ps))
+    return model.evolve(injection_bandwidth=fitted_bw,
+                        link_latency_ps=max(fitted_latency, 1),
+                        hops_estimate=0.0)

@@ -1,0 +1,20 @@
+"""PySST analysis utilities.
+
+The validation-metric framework of the paper's §2.2
+(:mod:`~repro.analysis.validation`) and the result-table output layer
+used by the benchmark harness (:mod:`~repro.analysis.tables`).
+"""
+
+from .tables import ResultTable, relative_to
+from .timeseries import StatSampler
+from .validation import (Diagnostic, Thresholds, ValidationStudy, Verdict)
+
+__all__ = [
+    "Diagnostic",
+    "ResultTable",
+    "StatSampler",
+    "Thresholds",
+    "ValidationStudy",
+    "Verdict",
+    "relative_to",
+]

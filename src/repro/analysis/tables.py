@@ -1,0 +1,88 @@
+"""Result-table assembly and output.
+
+The benchmark harness prints paper-style rows (one table/series per
+figure) and optionally persists them as CSV.  Kept deliberately plain:
+a :class:`ResultTable` is a list of dict rows with a column order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+
+class ResultTable:
+    """An ordered-column table of result rows."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("need at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append({c: values.get(c) for c in self.columns})
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- rendering --------------------------------------------------------
+    @staticmethod
+    def _format(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width text rendering (what the benches print)."""
+        formatted = [[self._format(row[c]) for c in self.columns]
+                     for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in formatted)) if formatted else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """CSV text; also written to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns,
+                                lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+
+def relative_to(values: Iterable[float], reference: float) -> List[float]:
+    """Each value divided by ``reference`` (paper-style normalised series)."""
+    if reference == 0:
+        raise ZeroDivisionError("reference must be non-zero")
+    return [v / reference for v in values]

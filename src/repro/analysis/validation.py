@@ -1,0 +1,152 @@
+"""The miniapp validation-metric framework (paper §2.2, Eqs. (1)-(5)).
+
+Formalises "under what conditions does a miniapp represent a key
+performance characteristic in a full app?":
+
+* a *performance domain* ``{D}`` of diagnostics (Eq. 1);
+* baseline full-application referents ``{B}`` (Eq. 2) and miniapp
+  measurements ``{A}`` (Eq. 3);
+* a validation metric ``X_i = B_i - A_i`` (Eq. 4), here normalised to
+  the proportional difference ``|B_i - A_i| / |B_i|`` so thresholds are
+  scale-free;
+* a threshold assessment (Eq. 5) assigning **pass / caution / fail**
+  per diagnostic.
+
+The framework deliberately exposes its inputs (the paper: "the input
+information D, B, and A are open to challenge and refinement ... the
+role of interpretive judgment is transparent").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class Verdict(enum.Enum):
+    """Eq. (5) outcome for one diagnostic."""
+
+    PASS = "pass"
+    CAUTION = "caution"
+    FAIL = "fail"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Proportional-difference thresholds for Eq. (5).
+
+    ``X <= pass_below``  -> pass;
+    ``X <= caution_below`` -> caution;
+    otherwise -> fail.
+    """
+
+    pass_below: float = 0.10
+    caution_below: float = 0.25
+
+    def __post_init__(self):
+        if not 0 <= self.pass_below <= self.caution_below:
+            raise ValueError("need 0 <= pass_below <= caution_below")
+
+    def assess(self, proportional_difference: float) -> Verdict:
+        x = abs(proportional_difference)
+        if x <= self.pass_below:
+            return Verdict.PASS
+        if x <= self.caution_below:
+            return Verdict.CAUTION
+        return Verdict.FAIL
+
+
+@dataclass
+class Diagnostic:
+    """One dimension of the performance domain, with its comparison."""
+
+    name: str
+    baseline: float  #: B_i — the full application's measurement
+    miniapp: float  #: A_i — the miniapp's measurement
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    note: str = ""
+
+    @property
+    def difference(self) -> float:
+        """Eq. (4): X_i = B_i - A_i."""
+        return self.baseline - self.miniapp
+
+    @property
+    def proportional_difference(self) -> float:
+        """|B - A| / |B| (scale-free form used for thresholding)."""
+        if self.baseline == 0:
+            return 0.0 if self.miniapp == 0 else float("inf")
+        return abs(self.difference) / abs(self.baseline)
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.thresholds.assess(self.proportional_difference)
+
+
+@dataclass
+class ValidationStudy:
+    """A body of evidence: many diagnostics, one summary appraisal.
+
+    The paper stops short of prescribing how per-diagnostic verdicts
+    combine ("leaves open the issue of how all of this information is
+    combined into a single appraisal"); :meth:`summary` implements the
+    conservative reading — worst verdict wins — while keeping every
+    individual verdict inspectable.
+    """
+
+    name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, name: str, baseline: float, miniapp: float,
+            thresholds: Optional[Thresholds] = None, note: str = "") -> Diagnostic:
+        diag = Diagnostic(name=name, baseline=baseline, miniapp=miniapp,
+                          thresholds=thresholds or Thresholds(), note=note)
+        self.diagnostics.append(diag)
+        return diag
+
+    def add_series(self, name: str, baseline: Mapping, miniapp: Mapping,
+                   thresholds: Optional[Thresholds] = None) -> List[Diagnostic]:
+        """Add one diagnostic per shared key of two measurement series."""
+        added = []
+        for key in baseline:
+            if key in miniapp:
+                added.append(self.add(f"{name}[{key}]", float(baseline[key]),
+                                      float(miniapp[key]), thresholds))
+        return added
+
+    def verdicts(self) -> Dict[str, Verdict]:
+        return {d.name: d.verdict for d in self.diagnostics}
+
+    def count(self, verdict: Verdict) -> int:
+        return sum(1 for d in self.diagnostics if d.verdict is verdict)
+
+    def summary(self) -> Verdict:
+        """Worst-case combination across the domain."""
+        if not self.diagnostics:
+            raise ValueError(f"study {self.name!r} has no diagnostics")
+        if self.count(Verdict.FAIL):
+            return Verdict.FAIL
+        if self.count(Verdict.CAUTION):
+            return Verdict.CAUTION
+        return Verdict.PASS
+
+    def report(self) -> str:
+        """Human-readable assessment table."""
+        lines = [f"Validation study: {self.name}",
+                 f"{'diagnostic':<36} {'B':>10} {'A':>10} {'X/B':>8}  verdict"]
+        for d in self.diagnostics:
+            prop = d.proportional_difference
+            prop_text = f"{prop:8.1%}" if prop != float("inf") else "     inf"
+            lines.append(
+                f"{d.name:<36} {d.baseline:>10.4g} {d.miniapp:>10.4g} "
+                f"{prop_text}  {d.verdict}"
+            )
+        lines.append(f"summary: {self.summary()} "
+                     f"({self.count(Verdict.PASS)} pass / "
+                     f"{self.count(Verdict.CAUTION)} caution / "
+                     f"{self.count(Verdict.FAIL)} fail)")
+        return "\n".join(lines)

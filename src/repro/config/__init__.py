@@ -1,0 +1,35 @@
+"""PySST configuration layer.
+
+The declarative machine-description DSL: build a :class:`ConfigGraph`
+of components and latency-bearing links, validate it, serialize it,
+then instantiate it sequentially (:func:`build`) or partitioned across
+ranks (:func:`build_parallel`).  Topology generators produce router
+fabrics (torus, fat tree, crossbar) with endpoint attach points.
+"""
+
+from .builder import build, build_parallel
+from .graph import ConfigComponent, ConfigError, ConfigGraph, ConfigLink
+from .serialize import from_dict, from_json, load, save, to_dict, to_json
+from .topology import (Topology, build_crossbar, build_dragonfly,
+                       build_fat_tree, build_ring, build_torus)
+
+__all__ = [
+    "ConfigComponent",
+    "ConfigError",
+    "ConfigGraph",
+    "ConfigLink",
+    "Topology",
+    "build",
+    "build_crossbar",
+    "build_dragonfly",
+    "build_fat_tree",
+    "build_parallel",
+    "build_ring",
+    "build_torus",
+    "from_dict",
+    "from_json",
+    "load",
+    "save",
+    "to_dict",
+    "to_json",
+]

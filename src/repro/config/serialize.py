@@ -1,0 +1,85 @@
+"""ConfigGraph <-> JSON round-trip.
+
+A serialized machine description lets a design-space sweep record the
+exact configuration of every run next to its results, and lets a large
+config be generated once and replayed (SST ships the same facility for
+its Python configs).  The format is a stable, versioned, plain-JSON
+document; everything is strings/numbers so files are diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .graph import ConfigError, ConfigGraph
+
+FORMAT_VERSION = 1
+
+
+def to_dict(graph: ConfigGraph) -> Dict[str, Any]:
+    """Serializable dict form of a graph."""
+    return {
+        "format": "pysst-config",
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "components": [
+            {
+                "name": c.name,
+                "type": c.type_name,
+                "params": dict(c.params),
+                "rank": c.rank,
+                "weight": c.weight,
+            }
+            for c in graph.components()
+        ],
+        "links": [
+            {
+                "name": l.name,
+                "a": [l.comp_a, l.port_a],
+                "b": [l.comp_b, l.port_b],
+                "latency_ps": l.latency,
+                "weight": l.weight,
+            }
+            for l in graph.links()
+        ],
+    }
+
+
+def from_dict(data: Dict[str, Any]) -> ConfigGraph:
+    """Rebuild a graph from its dict form; validates structure."""
+    if data.get("format") != "pysst-config":
+        raise ConfigError("not a pysst-config document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported config version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    graph = ConfigGraph(data.get("name", "machine"))
+    for comp in data.get("components", []):
+        graph.component(comp["name"], comp["type"], comp.get("params", {}),
+                        rank=comp.get("rank"), weight=comp.get("weight", 1.0))
+    for link in data.get("links", []):
+        (name_a, port_a) = link["a"]
+        (name_b, port_b) = link["b"]
+        graph.link(name_a, port_a, name_b, port_b,
+                   latency=int(link["latency_ps"]), name=link.get("name"),
+                   weight=link.get("weight", 1.0))
+    return graph
+
+
+def to_json(graph: ConfigGraph, *, indent: int = 2) -> str:
+    return json.dumps(to_dict(graph), indent=indent, sort_keys=False)
+
+
+def from_json(text: str) -> ConfigGraph:
+    return from_dict(json.loads(text))
+
+
+def save(graph: ConfigGraph, path: Union[str, Path]) -> None:
+    Path(path).write_text(to_json(graph), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> ConfigGraph:
+    return from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,295 @@
+"""Interconnect topology generators.
+
+These functions add router meshes to a :class:`ConfigGraph` and return a
+:class:`Topology` describing the *attach points* where endpoint
+components (NICs, node models, miniapp ranks) can be linked.  The
+builders encode the same conventions the ``repro.network`` router models
+expect:
+
+* torus/mesh routers are named ``<prefix>.r<x>_<y>[_<z>]`` with ports
+  ``dim0_pos / dim0_neg / dim1_pos / ...`` between routers and
+  ``local<i>`` toward endpoints;
+* endpoint *i* attaches to router ``i // locals_per_router``, local port
+  ``i % locals_per_router`` (row-major), which lets routers compute
+  destination coordinates arithmetically from an endpoint id;
+* fat trees are two-level: leaf switches with ``down`` local ports and
+  one up port per spine switch.
+
+The generated router components carry the topology parameters
+(``kind``, ``dims``, ``locals``...) so the routing logic in
+:mod:`repro.network.router` is self-configuring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .graph import ConfigComponent, ConfigGraph
+
+
+@dataclass
+class Topology:
+    """Description of a generated interconnect."""
+
+    kind: str  #: "torus" | "mesh" | "ring" | "fattree" | "crossbar"
+    router_names: List[str]
+    #: endpoint index -> (router name, local port name)
+    endpoints: List[Tuple[str, str]]
+    dims: Tuple[int, ...] = ()
+    locals_per_router: int = 1
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoints)
+
+    def attach(self, graph: ConfigGraph, index: int,
+               comp: Union[str, ConfigComponent], port: str, *,
+               latency: Union[str, int] = "10ns") -> None:
+        """Link endpoint slot ``index`` of the topology to ``comp.port``."""
+        router, local_port = self.endpoints[index]
+        graph.link(comp, port, router, local_port, latency=latency)
+
+
+def _coords_iter(dims: Sequence[int]):
+    """Row-major iteration over an n-D coordinate space (last dim fastest)."""
+    if not dims:
+        yield ()
+        return
+    for head in range(dims[0]):
+        for rest in _coords_iter(dims[1:]):
+            yield (head,) + rest
+
+
+def _coord_name(prefix: str, coords: Sequence[int]) -> str:
+    return f"{prefix}.r" + "_".join(str(c) for c in coords)
+
+
+def build_torus(graph: ConfigGraph, dims: Sequence[int], *,
+                prefix: str = "net", router_type: str = "network.Router",
+                locals_per_router: int = 1,
+                link_latency: Union[str, int] = "20ns",
+                link_bandwidth: str = "4.8GB/s",
+                wrap: bool = True,
+                router_params: Optional[Dict[str, object]] = None) -> Topology:
+    """Add an n-dimensional torus (or mesh when ``wrap=False``).
+
+    Cray's SeaStar/Gemini-style 3-D torus — the network of the Red Storm
+    / Cielo machines referenced throughout the paper — is
+    ``build_torus(g, (x, y, z))``.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"invalid torus dims {dims!r}")
+    if locals_per_router < 1:
+        raise ValueError("locals_per_router must be >= 1")
+    dims_str = "x".join(str(d) for d in dims)
+    base_params: Dict[str, object] = {
+        "kind": "torus" if wrap else "mesh",
+        "dims": dims_str,
+        "locals": locals_per_router,
+        "link_bandwidth": link_bandwidth,
+    }
+    base_params.update(router_params or {})
+
+    router_names: List[str] = []
+    coords_of: Dict[Tuple[int, ...], str] = {}
+    for coords in _coords_iter(dims):
+        name = _coord_name(prefix, coords)
+        params = dict(base_params)
+        params["coords"] = ",".join(str(c) for c in coords)
+        graph.component(name, router_type, params)
+        router_names.append(name)
+        coords_of[coords] = name
+
+    # Inter-router links: one per (node, dimension) toward the positive
+    # neighbour; wraparound closes the torus.
+    for coords in _coords_iter(dims):
+        for d, size in enumerate(dims):
+            if size == 1:
+                continue
+            here = coords_of[coords]
+            neighbour_coords = list(coords)
+            neighbour_coords[d] = coords[d] + 1
+            if neighbour_coords[d] >= size:
+                if not wrap:
+                    continue
+                neighbour_coords[d] = 0
+            # Skip duplicate wrap link in a 2-wide dimension (pos and neg
+            # neighbours coincide).
+            if size == 2 and coords[d] == 1:
+                continue
+            there = coords_of[tuple(neighbour_coords)]
+            graph.link(here, f"dim{d}_pos", there, f"dim{d}_neg",
+                       latency=link_latency)
+
+    endpoints: List[Tuple[str, str]] = []
+    for coords in _coords_iter(dims):
+        for local in range(locals_per_router):
+            endpoints.append((coords_of[coords], f"local{local}"))
+    return Topology(kind="torus" if wrap else "mesh",
+                    router_names=router_names, endpoints=endpoints,
+                    dims=dims, locals_per_router=locals_per_router)
+
+
+def build_ring(graph: ConfigGraph, n: int, **kwargs) -> Topology:
+    """A 1-D torus of ``n`` routers."""
+    topo = build_torus(graph, (n,), **kwargs)
+    topo.kind = "ring"
+    return topo
+
+
+def build_fat_tree(graph: ConfigGraph, *, leaves: int, down_ports: int,
+                   spines: int, prefix: str = "net",
+                   router_type: str = "network.Router",
+                   link_latency: Union[str, int] = "20ns",
+                   link_bandwidth: str = "4.0GB/s",
+                   router_params: Optional[Dict[str, object]] = None) -> Topology:
+    """A two-level fat tree: ``leaves`` leaf switches, ``spines`` spine switches.
+
+    Each leaf has ``down_ports`` endpoint ports and one uplink per
+    spine.  This matches the QLogic/Mellanox InfiniBand fat-tree
+    configurations of the Teller/Arthur/Chama testbeds described in the
+    paper.
+    """
+    if leaves < 1 or spines < 1 or down_ports < 1:
+        raise ValueError("leaves, spines, down_ports must all be >= 1")
+    base: Dict[str, object] = {
+        "locals": down_ports,
+        "leaves": leaves,
+        "spines": spines,
+        "link_bandwidth": link_bandwidth,
+    }
+    base.update(router_params or {})
+
+    leaf_names: List[str] = []
+    for i in range(leaves):
+        name = f"{prefix}.leaf{i}"
+        params = dict(base)
+        params.update({"kind": "fattree_leaf", "index": i})
+        graph.component(name, router_type, params)
+        leaf_names.append(name)
+    spine_names: List[str] = []
+    for j in range(spines):
+        name = f"{prefix}.spine{j}"
+        params = dict(base)
+        params.update({"kind": "fattree_spine", "index": j, "locals": 0,
+                       "down_locals": down_ports})
+        graph.component(name, router_type, params)
+        spine_names.append(name)
+
+    for i, leaf in enumerate(leaf_names):
+        for j, spine in enumerate(spine_names):
+            graph.link(leaf, f"up{j}", spine, f"down{i}", latency=link_latency)
+
+    endpoints = [
+        (leaf_names[i], f"local{k}")
+        for i in range(leaves)
+        for k in range(down_ports)
+    ]
+    return Topology(kind="fattree", router_names=leaf_names + spine_names,
+                    endpoints=endpoints, dims=(leaves, spines),
+                    locals_per_router=down_ports,
+                    extra={"leaves": leaves, "spines": spines,
+                           "down_ports": down_ports})
+
+
+def build_dragonfly(graph: ConfigGraph, *, groups: int, routers_per_group: int,
+                    global_per_router: int, locals_per_router: int = 2,
+                    prefix: str = "net", router_type: str = "network.Router",
+                    local_link_latency: Union[str, int] = "15ns",
+                    global_link_latency: Union[str, int] = "300ns",
+                    link_bandwidth: str = "4.0GB/s",
+                    router_params: Optional[Dict[str, object]] = None) -> Topology:
+    """A balanced canonical dragonfly: ``g`` groups of ``a`` routers.
+
+    Within a group, routers are fully connected (local ports ``l<peer>``).
+    Each router carries ``h = global_per_router`` global links (ports
+    ``g<k>``); balance requires ``a*h == g-1`` so that every pair of
+    groups is joined by exactly one global link.  The link between
+    groups ``i`` and ``j`` (offset ``d = (j-i) mod g``) hangs off router
+    ``(d-1) // h`` of group ``i``, port ``(d-1) % h`` — and
+    symmetrically for the way back.  Endpoint numbering is row-major:
+    ``((group*a)+router)*p + terminal``.
+    """
+    g, a, h, p = groups, routers_per_group, global_per_router, locals_per_router
+    if min(g, a, h, p) < 1:
+        raise ValueError("all dragonfly parameters must be >= 1")
+    if a * h != g - 1:
+        raise ValueError(
+            f"balanced dragonfly needs routers_per_group*global_per_router"
+            f" == groups-1 (got {a}*{h} != {g}-1)"
+        )
+    base: Dict[str, object] = {
+        "kind": "dragonfly",
+        "groups": g,
+        "routers_per_group": a,
+        "global_per_router": h,
+        "locals": p,
+        "link_bandwidth": link_bandwidth,
+    }
+    base.update(router_params or {})
+
+    names: Dict[Tuple[int, int], str] = {}
+    router_names: List[str] = []
+    for group in range(g):
+        for index in range(a):
+            name = f"{prefix}.g{group}r{index}"
+            params = dict(base)
+            params.update({"group": group, "index": index})
+            graph.component(name, router_type, params)
+            names[(group, index)] = name
+            router_names.append(name)
+
+    # Intra-group all-to-all: port l<peer> on each side.
+    for group in range(g):
+        for i in range(a):
+            for j in range(i + 1, a):
+                graph.link(names[(group, i)], f"l{j}",
+                           names[(group, j)], f"l{i}",
+                           latency=local_link_latency)
+
+    # Inter-group global links: one per unordered group pair.
+    for gi in range(g):
+        for gj in range(gi + 1, g):
+            d_fwd = (gj - gi) % g
+            d_back = (gi - gj) % g
+            ri, pi = (d_fwd - 1) // h, (d_fwd - 1) % h
+            rj, pj = (d_back - 1) // h, (d_back - 1) % h
+            graph.link(names[(gi, ri)], f"g{pi}",
+                       names[(gj, rj)], f"g{pj}",
+                       latency=global_link_latency)
+
+    endpoints = [
+        (names[(group, index)], f"local{terminal}")
+        for group in range(g)
+        for index in range(a)
+        for terminal in range(p)
+    ]
+    return Topology(kind="dragonfly", router_names=router_names,
+                    endpoints=endpoints, dims=(g, a, h),
+                    locals_per_router=p,
+                    extra={"groups": g, "routers_per_group": a,
+                           "global_per_router": h})
+
+
+def build_crossbar(graph: ConfigGraph, n: int, *, prefix: str = "net",
+                   router_type: str = "network.Router",
+                   link_latency: Union[str, int] = "20ns",
+                   link_bandwidth: str = "4.0GB/s",
+                   router_params: Optional[Dict[str, object]] = None) -> Topology:
+    """A single switch with ``n`` endpoint ports (ideal, contention-at-port)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    params: Dict[str, object] = {
+        "kind": "crossbar",
+        "locals": n,
+        "link_bandwidth": link_bandwidth,
+    }
+    params.update(router_params or {})
+    name = f"{prefix}.xbar"
+    graph.component(name, router_type, params)
+    endpoints = [(name, f"local{i}") for i in range(n)]
+    return Topology(kind="crossbar", router_names=[name], endpoints=endpoints,
+                    dims=(n,), locals_per_router=n)

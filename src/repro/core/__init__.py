@@ -1,0 +1,76 @@
+"""PySST core: the discrete-event engine and component framework.
+
+This package is the reproduction of SST's central contribution — a
+modular, component-based, (conservatively) parallel discrete-event
+simulation core in which components interact only through
+latency-bearing links.  Everything in :mod:`repro.processor`,
+:mod:`repro.memory`, :mod:`repro.network`, :mod:`repro.power` and
+:mod:`repro.miniapps` is built on these primitives.
+"""
+
+from .clock import Clock
+from .component import Component, stable_seed
+from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, PRIORITY_FINAL,
+                    PRIORITY_STOP, PRIORITY_SYNC, CallbackEvent, Event,
+                    NullEvent)
+from .eventqueue import (BinnedEventQueue, HeapEventQueue, make_queue)
+from .link import Link, LinkError, Port
+from .params import ParamError, Params
+from .parallel import ParallelRunResult, ParallelSimulation
+from .partition import PartitionEdge, PartitionResult, partition
+from .registry import register, registered_types, resolve
+from .simulation import RunResult, Simulation, SimulationError
+from .statistics import Accumulator, Counter, Histogram, Statistic, StatisticGroup
+from .tracelog import EventTraceLog, describe_handler
+from .units import (SimTime, UnitError, bytes_time, format_bytes, format_time,
+                    freq_to_period, parse_bandwidth, parse_freq_hz,
+                    parse_size_bytes, parse_time)
+
+__all__ = [
+    "Accumulator",
+    "BinnedEventQueue",
+    "CallbackEvent",
+    "Clock",
+    "Component",
+    "Counter",
+    "Event",
+    "EventTraceLog",
+    "HeapEventQueue",
+    "Histogram",
+    "Link",
+    "LinkError",
+    "NullEvent",
+    "ParamError",
+    "Params",
+    "ParallelRunResult",
+    "ParallelSimulation",
+    "PartitionEdge",
+    "PartitionResult",
+    "PRIORITY_CLOCK",
+    "PRIORITY_EVENT",
+    "PRIORITY_FINAL",
+    "PRIORITY_STOP",
+    "PRIORITY_SYNC",
+    "RunResult",
+    "SimTime",
+    "Simulation",
+    "SimulationError",
+    "Statistic",
+    "StatisticGroup",
+    "UnitError",
+    "bytes_time",
+    "describe_handler",
+    "format_bytes",
+    "format_time",
+    "freq_to_period",
+    "make_queue",
+    "parse_bandwidth",
+    "parse_freq_hz",
+    "parse_size_bytes",
+    "parse_time",
+    "partition",
+    "register",
+    "registered_types",
+    "resolve",
+    "stable_seed",
+]

@@ -1,0 +1,108 @@
+"""Clocks: periodic handlers.
+
+A clocked component registers a handler at a frequency; the engine calls
+``handler(cycle)`` every period.  Handlers return ``True`` to unregister
+(SST's convention), which lets idle components drop off the clock and
+stop generating events — essential for letting the simulation terminate
+and for keeping the pure-Python event loop affordable.
+
+A cancelled/paused clock can be reactivated with
+:meth:`Clock.reactivate`, which resumes on the *next* aligned cycle
+boundary so a clock that slept keeps its phase.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .event import PRIORITY_CLOCK, Event
+from .units import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulation import Simulation
+
+#: Clock handlers take the cycle index, return True to unregister.
+ClockHandler = Callable[[int], Optional[bool]]
+
+
+class _ClockTickEvent(Event):
+    """Tick token carrying a generation stamp.
+
+    Cancel/reactivate bumps the clock's generation so a stale tick left
+    in the queue from before the cancel is ignored instead of causing a
+    double tick.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: int):
+        self.generation = generation
+
+
+class Clock:
+    """A recurring tick source bound to one handler.
+
+    Created via :meth:`Simulation.register_clock`.  ``cycle`` counts
+    handler invocations since registration (including while inactive the
+    count does *not* advance — it is a tick count, not wall time).
+    """
+
+    __slots__ = ("sim", "name", "period", "handler", "priority", "cycle",
+                 "active", "_next_tick", "_generation")
+
+    def __init__(self, sim: "Simulation", name: str, period: SimTime,
+                 handler: ClockHandler, priority: int = PRIORITY_CLOCK,
+                 phase: SimTime = 0):
+        if period <= 0:
+            raise ValueError(f"clock {name!r}: period must be positive")
+        if phase < 0:
+            raise ValueError(f"clock {name!r}: phase must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.period = period
+        self.handler = handler
+        self.priority = priority
+        self.cycle = 0
+        self.active = True
+        self._generation = 0
+        first = sim.now + phase + period
+        self._next_tick = first
+        sim._push(first, priority, self._tick, _ClockTickEvent(0))
+
+    def _tick(self, event: _ClockTickEvent) -> None:
+        if not self.active or event.generation != self._generation:
+            return  # cancelled (or cancelled+reactivated) while in flight
+        self.cycle += 1
+        done = self.handler(self.cycle)
+        if done is True:
+            self.active = False
+            return
+        self._next_tick += self.period
+        self.sim._push(self._next_tick, self.priority, self._tick, event)
+
+    def cancel(self) -> None:
+        """Deactivate; the in-flight tick (if any) becomes a no-op."""
+        self.active = False
+        self._generation += 1
+
+    def reactivate(self) -> None:
+        """Resume ticking on the next aligned period boundary after `now`."""
+        if self.active:
+            return
+        self.active = True
+        now = self.sim.now
+        if self._next_tick <= now:
+            # Advance to the first aligned boundary strictly after now.
+            behind = now - self._next_tick
+            steps = behind // self.period + 1
+            self._next_tick += steps * self.period
+        self.sim._push(self._next_tick, self.priority, self._tick,
+                       _ClockTickEvent(self._generation))
+
+    @property
+    def next_tick_time(self) -> SimTime:
+        return self._next_tick
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "stopped"
+        return f"Clock({self.name!r}, period={self.period}ps, cycle={self.cycle}, {state})"

@@ -1,0 +1,186 @@
+"""Component base class.
+
+A PySST component mirrors an SST component:
+
+* constructed with ``(sim, name, params)``;
+* owns named :class:`~repro.core.link.Port` objects, wired to peers by
+  the simulation/config layer;
+* registers clock handlers and statistics;
+* participates in the termination protocol: *primary* components keep
+  the simulation alive until every one of them has declared itself OK
+  to end (SST's ``primaryComponentOKToEndSim``).
+
+Lifecycle::
+
+    __init__(sim, name, params)   # parse params, declare stats
+    setup()                       # graph fully wired; register handlers,
+                                  # kick off first events
+    ... event processing ...
+    finish()                      # run over; finalize statistics
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+import numpy as np
+
+from .clock import Clock, ClockHandler
+from .event import PRIORITY_CLOCK, Event
+from .link import LinkError, Port
+from .params import Params
+from .statistics import StatisticGroup
+from .units import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulation import Simulation
+
+
+def stable_seed(name: str, base_seed: int) -> int:
+    """A process-independent seed derived from a component name.
+
+    Python's builtin ``hash`` is salted per process, which would make
+    runs irreproducible, so we use CRC32 of the name mixed with the
+    simulation seed.  Component-keyed seeding is also what makes the
+    parallel engine produce the same per-component random streams as
+    the sequential engine regardless of partitioning.
+    """
+    import zlib
+
+    return (zlib.crc32(name.encode("utf-8")) ^ (base_seed * 0x9E3779B1)) & 0xFFFFFFFF
+
+
+class Component:
+    """Base class for every simulated hardware/software model.
+
+    Subclasses document their ports in a ``PORTS`` class attribute
+    (name -> description) — purely informational, used by the config
+    layer for validation and by docs.
+    """
+
+    #: port name -> human description; subclasses override.
+    PORTS: Dict[str, str] = {}
+
+    def __init__(self, sim: "Simulation", name: str, params: Optional[Params] = None):
+        self.sim = sim
+        self.name = name
+        self.params = params if params is not None else Params({})
+        self.stats = StatisticGroup()
+        self._ports: Dict[str, Port] = {}
+        self._is_primary = False
+        self._ok_to_end = True
+        self._rng: Optional[np.random.Generator] = None
+        sim._register_component(self)
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def port(self, name: str) -> Port:
+        """Fetch (creating on first use) the named port."""
+        try:
+            return self._ports[name]
+        except KeyError:
+            port = Port(self, name)
+            self._ports[name] = port
+            return port
+
+    def set_handler(self, port_name: str, handler: Callable[[Event], None]) -> Port:
+        """Register the receive handler for a port."""
+        port = self.port(port_name)
+        port.handler = handler
+        return port
+
+    def send(self, port_name: str, event: Event, extra_delay: SimTime = 0) -> SimTime:
+        """Send ``event`` out of ``port_name``; returns the delivery time."""
+        port = self._ports.get(port_name)
+        if port is None or port.endpoint is None:
+            raise LinkError(
+                f"component {self.name!r}: send on unconnected port {port_name!r}"
+            )
+        return port.endpoint.send(event, extra_delay)
+
+    def port_connected(self, port_name: str) -> bool:
+        port = self._ports.get(port_name)
+        return port is not None and port.connected
+
+    def link_latency(self, port_name: str) -> SimTime:
+        """Latency of the link attached to ``port_name``."""
+        port = self._ports.get(port_name)
+        if port is None or port.endpoint is None:
+            raise LinkError(
+                f"component {self.name!r}: port {port_name!r} is not connected"
+            )
+        return port.endpoint.latency
+
+    # ------------------------------------------------------------------
+    # clocks / timers
+    # ------------------------------------------------------------------
+    def register_clock(self, freq: Any, handler: ClockHandler,
+                       priority: int = PRIORITY_CLOCK, phase: SimTime = 0) -> Clock:
+        """Register ``handler`` to be called at ``freq`` (e.g. ``"2GHz"``)."""
+        return self.sim.register_clock(freq, handler, name=f"{self.name}.clock",
+                                       priority=priority, phase=phase)
+
+    def schedule(self, delay: SimTime, callback: Callable[[Any], None],
+                 payload: Any = None) -> None:
+        """One-shot timer: call ``callback(payload)`` after ``delay`` ps."""
+        self.sim.schedule_callback(delay, callback, payload)
+
+    # ------------------------------------------------------------------
+    # termination protocol
+    # ------------------------------------------------------------------
+    def register_as_primary(self, ok_to_end: bool = False) -> None:
+        """Declare this component as controlling simulation termination."""
+        if not self._is_primary:
+            self._is_primary = True
+            self._ok_to_end = True
+            self.sim._exit_register(self)
+        if not ok_to_end:
+            self.primary_not_ok_to_end()
+
+    def primary_ok_to_end(self) -> None:
+        """This primary component no longer needs the simulation to run."""
+        if self._is_primary and not self._ok_to_end:
+            self._ok_to_end = True
+            self.sim._exit_ok(self)
+
+    def primary_not_ok_to_end(self) -> None:
+        """This primary component has (more) work; keep simulating."""
+        if self._is_primary and self._ok_to_end:
+            self._ok_to_end = False
+            self.sim._exit_not_ok(self)
+
+    @property
+    def is_primary(self) -> bool:
+        return self._is_primary
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        """Deterministic per-component random stream (seeded by name+sim seed)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(stable_seed(self.name, self.sim.seed))
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (subclasses override as needed)
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Called once after the full graph is wired, before the run."""
+
+    def finish(self) -> None:
+        """Called once when the run ends."""
+
+    @property
+    def now(self) -> SimTime:
+        return self.sim.now
+
+    def debug(self, message: str) -> None:
+        """Engine-level debug trace, gated on the simulation's verbosity."""
+        if self.sim.verbose:
+            print(f"[{self.sim.now:>12}ps] {self.name}: {message}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,122 @@
+"""Event base classes and delivery priorities.
+
+Everything that happens in a PySST simulation is an :class:`Event`
+delivered to a handler at a specific simulated time.  Like SST, ties at
+the same timestamp are broken by an integer *priority* (lower runs
+first) and then by insertion order, which makes every run of a given
+configuration bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .units import SimTime
+
+# Priority bands, mirroring SST's eventqueue priorities.  Lower value =
+# delivered earlier among events with an equal timestamp.
+PRIORITY_SYNC = 25  #: parallel-rank synchronisation actions
+PRIORITY_STOP = 30  #: simulation stop actions
+PRIORITY_CLOCK = 40  #: clock tick handlers
+PRIORITY_EVENT = 50  #: ordinary link-delivered events
+PRIORITY_FINAL = 90  #: end-of-simulation bookkeeping
+
+
+class Event:
+    """Base class for everything delivered over a :class:`~repro.core.link.Link`.
+
+    Subclasses add payload fields; the engine itself only needs the
+    object identity.  ``__slots__`` keeps per-event overhead low — a
+    pure-Python PDES core lives or dies by allocation cost (see the
+    repro scoping notes in DESIGN.md).
+    """
+
+    __slots__ = ()
+
+    def clone(self) -> "Event":
+        """Return a shallow copy of this event.
+
+        Used when one logical event must be delivered to several
+        receivers (e.g. a snooping bus).  Subclasses with mutable
+        payloads should override.
+        """
+        cls = type(self)
+        new = cls.__new__(cls)
+        for slot_holder in cls.__mro__:
+            for name in getattr(slot_holder, "__slots__", ()):
+                if hasattr(self, name):
+                    setattr(new, name, getattr(self, name))
+        return new
+
+
+class NullEvent(Event):
+    """An event with no payload; useful as a pure wake-up token."""
+
+    __slots__ = ()
+
+
+class CallbackEvent(Event):
+    """Wraps an arbitrary callback for one-shot scheduling.
+
+    ``Simulation.schedule_callback`` uses this to let components request
+    "call me back at time T" without declaring a self-link.
+    """
+
+    __slots__ = ("callback", "payload")
+
+    def __init__(self, callback: Callable[[Any], None], payload: Any = None):
+        self.callback = callback
+        self.payload = payload
+
+    def invoke(self) -> None:
+        self.callback(self.payload)
+
+
+#: Type of a component-side event handler.
+Handler = Callable[[Event], None]
+
+
+class EventRecord:
+    """A queued delivery: ``(time, priority, seq)`` ordering key plus target.
+
+    Kept as a tiny class (not a namedtuple) with ``__slots__`` and rich
+    comparison on the ordering key only, so heap operations never
+    compare handler objects.
+    """
+
+    __slots__ = ("time", "priority", "seq", "handler", "event")
+
+    def __init__(
+        self,
+        time: SimTime,
+        priority: int,
+        seq: int,
+        handler: Optional[Handler],
+        event: Optional[Event],
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.handler = handler
+        self.event = event
+
+    def key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "EventRecord") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventRecord):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventRecord(t={self.time}, prio={self.priority}, seq={self.seq})"

@@ -1,0 +1,217 @@
+"""Pending-event set implementations.
+
+The simulator's hot loop is ``pop smallest-timestamp record / execute /
+push successors``, so the queue dominates engine throughput.  Two
+interchangeable implementations are provided:
+
+* :class:`HeapEventQueue` — a binary heap (``heapq``).  O(log n), low
+  constant factor, the default.
+* :class:`BinnedEventQueue` — a calendar-style queue with fixed-width
+  time bins and an overflow heap.  O(1) amortised for workloads whose
+  event horizon is short relative to the bin width (clocked component
+  graphs), but degrades when timestamps are spread widely.
+
+``benchmarks/bench_engine_throughput.py`` carries the ablation between
+the two (experiment ENG-1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .event import Event, EventRecord, Handler
+from .units import SimTime
+
+
+class EventQueueBase:
+    """Interface shared by all pending-event set implementations."""
+
+    def push(
+        self,
+        time: SimTime,
+        priority: int,
+        handler: Optional[Handler],
+        event: Optional[Event],
+    ) -> EventRecord:
+        raise NotImplementedError
+
+    def push_record(self, record: EventRecord) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> EventRecord:
+        raise NotImplementedError
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Timestamp of the earliest record, or None when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class HeapEventQueue(EventQueueBase):
+    """Binary-heap pending-event set (the default engine queue)."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[EventRecord] = []
+        self._seq = 0
+
+    def push(
+        self,
+        time: SimTime,
+        priority: int,
+        handler: Optional[Handler],
+        event: Optional[Event],
+    ) -> EventRecord:
+        record = EventRecord(time, priority, self._seq, handler, event)
+        self._seq += 1
+        heapq.heappush(self._heap, record)
+        return record
+
+    def push_record(self, record: EventRecord) -> None:
+        # Records arriving from another rank already carry a sequence
+        # number; keep the local counter ahead of it so later local
+        # pushes sort after.
+        if record.seq >= self._seq:
+            self._seq = record.seq + 1
+        heapq.heappush(self._heap, record)
+
+    def pop(self) -> EventRecord:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[SimTime]:
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class BinnedEventQueue(EventQueueBase):
+    """Calendar-queue variant: fixed-width bins plus an overflow heap.
+
+    Records within ``horizon = bin_width * n_bins`` of the current front
+    go into per-bin FIFO deques (sorted lazily on first pop from the
+    bin); records beyond the horizon land in an overflow heap that is
+    drained as the calendar advances.
+
+    Parameters
+    ----------
+    bin_width:
+        Bin granularity in picoseconds.  A good choice is the GCD of
+        the clock periods in the design (e.g. 1000 for a 1 GHz system).
+    n_bins:
+        Number of bins in the rotating calendar window.
+    """
+
+    __slots__ = ("_bin_width", "_n_bins", "_bins", "_base", "_overflow", "_seq", "_count")
+
+    def __init__(self, bin_width: SimTime = 1000, n_bins: int = 256) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if n_bins <= 0:
+            raise ValueError("n_bins must be positive")
+        self._bin_width = bin_width
+        self._n_bins = n_bins
+        self._bins: Dict[int, List[EventRecord]] = {}
+        self._base = 0  # index of the first bin in the active window
+        self._overflow: List[EventRecord] = []
+        self._seq = 0
+        self._count = 0
+
+    def _bin_index(self, time: SimTime) -> int:
+        return time // self._bin_width
+
+    def push(
+        self,
+        time: SimTime,
+        priority: int,
+        handler: Optional[Handler],
+        event: Optional[Event],
+    ) -> EventRecord:
+        record = EventRecord(time, priority, self._seq, handler, event)
+        self._seq += 1
+        self.push_record(record)
+        return record
+
+    def push_record(self, record: EventRecord) -> None:
+        if record.seq >= self._seq:
+            self._seq = record.seq + 1
+        index = self._bin_index(record.time)
+        if index >= self._base + self._n_bins:
+            heapq.heappush(self._overflow, record)
+        else:
+            self._bins.setdefault(index, []).append(record)
+        self._count += 1
+
+    def _advance(self) -> None:
+        """Move the window forward until the front bin is non-empty."""
+        while True:
+            if self._bins:
+                lowest = min(self._bins)
+                if lowest >= self._base:
+                    self._base = lowest
+            if self._overflow:
+                over_index = self._bin_index(self._overflow[0].time)
+                if not self._bins or over_index <= min(self._bins):
+                    self._base = over_index
+            # Drain overflow records that now fall inside the window.
+            horizon = self._base + self._n_bins
+            moved = False
+            while self._overflow and self._bin_index(self._overflow[0].time) < horizon:
+                record = heapq.heappop(self._overflow)
+                self._bins.setdefault(self._bin_index(record.time), []).append(record)
+                moved = True
+            if not moved:
+                return
+
+    def pop(self) -> EventRecord:
+        if self._count == 0:
+            raise IndexError("pop from empty BinnedEventQueue")
+        self._advance()
+        lowest = min(self._bins)
+        bucket = self._bins[lowest]
+        # Lazy sort: a bin is sorted only when the window front reaches it.
+        if len(bucket) > 1:
+            bucket.sort(reverse=True)  # pop() from the end = smallest first
+            record = bucket.pop()
+        else:
+            record = bucket.pop()
+        if not bucket:
+            del self._bins[lowest]
+        self._count -= 1
+        return record
+
+    def peek_time(self) -> Optional[SimTime]:
+        if self._count == 0:
+            return None
+        self._advance()
+        lowest = min(self._bins)
+        return min(r.time for r in self._bins[lowest])
+
+    def __len__(self) -> int:
+        return self._count
+
+
+#: Registry used by Simulation(queue="...") and the ENG-1 ablation bench.
+QUEUE_TYPES = {
+    "heap": HeapEventQueue,
+    "binned": BinnedEventQueue,
+}
+
+
+def make_queue(kind: str = "heap", **kwargs) -> EventQueueBase:
+    """Instantiate a pending-event set by name (``"heap"`` or ``"binned"``)."""
+    try:
+        factory = QUEUE_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event queue type {kind!r}; options: {sorted(QUEUE_TYPES)}")
+    return factory(**kwargs)

@@ -1,0 +1,170 @@
+"""Links: the only way components communicate.
+
+SST's central architectural invariant — preserved here — is that
+components interact *exclusively* by sending events over links, and
+every link has a non-zero minimum latency.  Because a component cannot
+affect another in less than the link latency, a partition of the
+component graph can be simulated conservatively in parallel with a
+lookahead equal to the smallest latency of any partition-crossing link
+(see :mod:`repro.core.parallel`).
+
+A :class:`Link` joins two :class:`Port` objects.  Components call
+``self.send(port_name, event)``; delivery happens at
+``now + link.latency + extra_delay`` by invoking the handler the
+receiving component registered for its port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .event import PRIORITY_EVENT, Event
+from .units import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import Component
+    from .simulation import Simulation
+
+
+class LinkError(RuntimeError):
+    """Misuse of the link/port API (unconnected port, double connect...)."""
+
+
+class Port:
+    """A named attachment point on a component.
+
+    Created lazily by :meth:`Component.port`; joined to a peer by
+    :meth:`Simulation.connect`.  The handler is looked up at delivery
+    time, so components may register handlers in ``setup()`` after the
+    graph is wired.
+    """
+
+    __slots__ = ("component", "name", "endpoint", "handler")
+
+    def __init__(self, component: "Component", name: str):
+        self.component = component
+        self.name = name
+        self.endpoint: Optional[LinkEndpoint] = None
+        self.handler: Optional[Callable[[Event], None]] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.endpoint is not None
+
+    def full_name(self) -> str:
+        return f"{self.component.name}.{self.name}"
+
+    def deliver(self, event: Event) -> None:
+        """Invoked by the engine when an event arrives at this port."""
+        if self.handler is None:
+            raise LinkError(
+                f"event arrived at port {self.full_name()!r} but no handler is registered"
+            )
+        self.handler(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "connected" if self.connected else "unconnected"
+        return f"Port({self.full_name()}, {state})"
+
+
+class LinkEndpoint:
+    """One side of a link: knows how to deliver to the *other* side.
+
+    ``send`` normally pushes straight onto the owning simulation's event
+    queue.  When the peer lives on another parallel rank, the endpoint
+    is re-targeted by the parallel engine (``set_remote``) and sends go
+    to the rank outbox instead.
+    """
+
+    __slots__ = ("link", "local_port", "peer_port", "_sim", "_remote_send")
+
+    def __init__(self, link: "Link", local_port: Port, sim: "Simulation"):
+        self.link = link
+        self.local_port = local_port
+        self.peer_port: Optional[Port] = None
+        self._sim = sim
+        # Callable(time, priority, event) used instead of the local queue
+        # when the peer is on a different rank.
+        self._remote_send: Optional[Callable[[SimTime, int, Event], None]] = None
+
+    def send(self, event: Event, extra_delay: SimTime = 0,
+             priority: int = PRIORITY_EVENT) -> SimTime:
+        """Schedule ``event`` for the peer at ``now + latency + extra_delay``.
+
+        Returns the delivery time.
+        """
+        if extra_delay < 0:
+            raise LinkError("extra_delay must be non-negative")
+        when = self._sim.now + self.link.latency + extra_delay
+        if self._remote_send is not None:
+            self._remote_send(when, priority, event)
+        else:
+            if self.peer_port is None:
+                raise LinkError(
+                    f"send on half-connected link {self.link.name!r} "
+                    f"from port {self.local_port.full_name()!r}"
+                )
+            self._sim._push(when, priority, self.peer_port.deliver, event)
+        return when
+
+    def set_remote(self, sender: Callable[[SimTime, int, Event], None]) -> None:
+        self._remote_send = sender
+
+    @property
+    def latency(self) -> SimTime:
+        return self.link.latency
+
+
+class Link:
+    """A bidirectional, latency-bearing connection between two ports."""
+
+    __slots__ = ("name", "latency", "endpoints")
+
+    def __init__(self, name: str, latency: SimTime):
+        if latency <= 0:
+            raise LinkError(
+                f"link {name!r}: latency must be >= 1 ps — zero-latency links break "
+                "conservative parallel simulation (DESIGN.md, key invariants)"
+            )
+        self.name = name
+        self.latency = latency
+        self.endpoints: list[LinkEndpoint] = []
+
+    @staticmethod
+    def connect(name: str, latency: SimTime, port_a: Port, port_b: Port,
+                sim_a: "Simulation", sim_b: Optional["Simulation"] = None) -> "Link":
+        """Wire two ports together (possibly on different rank simulations)."""
+        if port_a.connected:
+            raise LinkError(f"port {port_a.full_name()!r} is already connected")
+        if port_b.connected:
+            raise LinkError(f"port {port_b.full_name()!r} is already connected")
+        if port_a is port_b:
+            raise LinkError(f"cannot connect port {port_a.full_name()!r} to itself")
+        link = Link(name, latency)
+        end_a = LinkEndpoint(link, port_a, sim_a)
+        end_b = LinkEndpoint(link, port_b, sim_b if sim_b is not None else sim_a)
+        end_a.peer_port = port_b
+        end_b.peer_port = port_a
+        port_a.endpoint = end_a
+        port_b.endpoint = end_b
+        link.endpoints = [end_a, end_b]
+        return link
+
+    @staticmethod
+    def self_loop(name: str, latency: SimTime, port: Port, sim: "Simulation") -> "Link":
+        """A self-link: events a component sends to itself after a delay.
+
+        SST components use self-links as programmable timers; PySST also
+        offers :meth:`Simulation.schedule_callback` for the same job.
+        """
+        if port.connected:
+            raise LinkError(f"port {port.full_name()!r} is already connected")
+        link = Link(name, latency)
+        end = LinkEndpoint(link, port, sim)
+        end.peer_port = port
+        port.endpoint = end
+        link.endpoints = [end]
+        return link
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name!r}, latency={self.latency}ps)"

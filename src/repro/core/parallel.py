@@ -1,0 +1,343 @@
+"""Conservative parallel discrete-event engine.
+
+SST runs one MPI rank per partition of the component graph and uses a
+conservative, barrier-synchronised protocol: because components interact
+only over links with latency >= L_min (the smallest latency of any link
+that crosses a rank boundary), every rank may safely simulate
+``lookahead = L_min`` past the globally earliest pending event before
+exchanging cross-rank events and re-synchronising.
+
+PySST reproduces that protocol faithfully.  Two execution backends are
+provided:
+
+* ``serial``  — ranks execute their epoch windows one after another in
+  the calling thread.  Zero concurrency, 100% determinism; this is the
+  reference backend used by the equivalence tests.
+* ``threads`` — ranks execute each epoch concurrently in a thread pool.
+  Determinism is preserved (event exchange is sorted), but the CPython
+  GIL means this demonstrates *protocol* scaling, not wall-clock
+  scaling — exactly the "PDES core far too slow in Python" caveat in
+  DESIGN.md.  Epoch counts, exchanged-event counts and lookahead
+  sensitivity (the quantities benchmarked by ENG-2) are backend
+  independent.
+
+The per-rank sub-simulations are ordinary :class:`Simulation` objects;
+cross-rank links are ordinary :class:`Link` objects whose endpoints are
+re-targeted at rank outboxes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from . import units
+from .component import Component
+from .event import Event, EventRecord
+from .link import Link, LinkError, Port
+from .simulation import Simulation, SimulationError
+from .units import SimTime
+
+_INF = float("inf")
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of a :meth:`ParallelSimulation.run` call."""
+
+    reason: str  #: "exhausted" | "exit" | "max_time"
+    end_time: SimTime
+    events_executed: int
+    epochs: int
+    remote_events: int  #: events exchanged across rank boundaries
+    lookahead: SimTime
+    wall_seconds: float
+    per_rank_events: List[int] = field(default_factory=list)
+
+
+class _CrossRankLink:
+    """Bookkeeping for one link whose endpoints live on different ranks."""
+
+    __slots__ = ("link_id", "name", "latency", "port_a", "port_b",
+                 "rank_a", "rank_b")
+
+    def __init__(self, link_id: int, name: str, latency: SimTime,
+                 port_a: Port, rank_a: int, port_b: Port, rank_b: int):
+        self.link_id = link_id
+        self.name = name
+        self.latency = latency
+        self.port_a = port_a
+        self.port_b = port_b
+        self.rank_a = rank_a
+        self.rank_b = rank_b
+
+
+class ParallelSimulation:
+    """A multi-rank conservative PDES composed of per-rank Simulations.
+
+    Usage mirrors :class:`Simulation` but components are created against
+    a specific rank::
+
+        psim = ParallelSimulation(num_ranks=4, seed=3)
+        a = Producer(psim.rank_sim(0), "a", params)
+        b = Consumer(psim.rank_sim(3), "b", params)
+        psim.connect(a, "out", b, "in", latency="50ns")
+        result = psim.run(max_time="1ms")
+    """
+
+    def __init__(self, num_ranks: int, *, seed: int = 1, queue: str = "heap",
+                 backend: str = "serial", verbose: bool = False):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if backend not in ("serial", "threads"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.num_ranks = num_ranks
+        self.backend = backend
+        self.seed = seed
+        self._sims = [
+            Simulation(queue=queue, seed=seed, rank=r, num_ranks=num_ranks,
+                       verbose=verbose)
+            for r in range(num_ranks)
+        ]
+        # outboxes[src_rank] = list of (time, priority, link_id, dest_rank,
+        #                               send_seq, event)
+        self._outboxes: List[List[Tuple[SimTime, int, int, int, int, Event]]] = [
+            [] for _ in range(num_ranks)
+        ]
+        self._send_seq = [0] * num_ranks
+        self._cross_links: Dict[int, _CrossRankLink] = {}
+        self._next_link_id = 0
+        self._lookahead: Optional[SimTime] = None
+        self._setup_done = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # counters for ENG-2
+        self.total_epochs = 0
+        self.total_remote_events = 0
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    def rank_sim(self, rank: int) -> Simulation:
+        """The per-rank :class:`Simulation` components are created against."""
+        return self._sims[rank]
+
+    def rank_of(self, component: Component) -> int:
+        return component.sim.rank
+
+    def connect(self, comp_a: Component, port_a: str, comp_b: Component,
+                port_b: str, *, latency: Union[str, int] = "1ps",
+                name: Optional[str] = None) -> None:
+        """Wire two components; cross-rank links are proxied automatically."""
+        rank_a = self.rank_of(comp_a)
+        rank_b = self.rank_of(comp_b)
+        lat = units.parse_time(latency, default_unit="ps")
+        if rank_a == rank_b:
+            self._sims[rank_a].connect(comp_a, port_a, comp_b, port_b,
+                                       latency=lat, name=name)
+            return
+        pa = comp_a.port(port_a)
+        pb = comp_b.port(port_b)
+        if pa.connected or pb.connected:
+            raise LinkError(
+                f"port already connected: {pa.full_name()} / {pb.full_name()}"
+            )
+        link_name = name or f"{pa.full_name()}--{pb.full_name()}"
+        link = Link.connect(link_name, lat, pa, pb,
+                            self._sims[rank_a], self._sims[rank_b])
+        link_id = self._next_link_id
+        self._next_link_id += 1
+        cross = _CrossRankLink(link_id, link_name, lat, pa, rank_a, pb, rank_b)
+        self._cross_links[link_id] = cross
+        # Retarget each endpoint at its rank's outbox.
+        end_a, end_b = link.endpoints
+        end_a.set_remote(self._make_remote_sender(rank_a, rank_b, link_id))
+        end_b.set_remote(self._make_remote_sender(rank_b, rank_a, link_id))
+        if self._lookahead is None or lat < self._lookahead:
+            self._lookahead = lat
+
+    def _make_remote_sender(self, src_rank: int, dest_rank: int, link_id: int):
+        outbox = self._outboxes[src_rank]
+
+        def sender(when: SimTime, priority: int, event: Event) -> None:
+            seq = self._send_seq[src_rank]
+            self._send_seq[src_rank] = seq + 1
+            outbox.append((when, priority, link_id, dest_rank, seq, event))
+
+        return sender
+
+    @property
+    def lookahead(self) -> SimTime:
+        """Conservative sync window: min latency among cross-rank links.
+
+        With no cross-rank links the ranks are independent and the
+        window is unbounded (represented as a large constant).
+        """
+        return self._lookahead if self._lookahead is not None else units.PS_PER_SEC
+
+    @property
+    def cross_link_count(self) -> int:
+        return len(self._cross_links)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        if self._setup_done:
+            return
+        self._setup_done = True
+        for sim in self._sims:
+            sim.setup()
+
+    def finish(self) -> None:
+        for sim in self._sims:
+            sim.finish()
+
+    # ------------------------------------------------------------------
+    # epoch machinery
+    # ------------------------------------------------------------------
+    def _global_next_time(self) -> float:
+        """Earliest pending work anywhere: queued events or undelivered sends."""
+        lowest: float = _INF
+        for sim in self._sims:
+            t = sim.next_event_time()
+            if t is not None and t < lowest:
+                lowest = t
+        for outbox in self._outboxes:
+            for entry in outbox:
+                if entry[0] < lowest:
+                    lowest = entry[0]
+        return lowest
+
+    def _exchange(self) -> int:
+        """Deliver all outbox events to their destination rank queues.
+
+        Deliveries are sorted on a global deterministic key so that the
+        receiving queue's tie-breaking is independent of rank execution
+        order (and therefore of the backend).
+        """
+        pending: List[Tuple[SimTime, int, int, int, int, Event]] = []
+        for outbox in self._outboxes:
+            pending.extend(outbox)
+            outbox.clear()
+        if not pending:
+            return 0
+        pending.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
+        for when, priority, link_id, dest_rank, _seq, event in pending:
+            cross = self._cross_links[link_id]
+            dest_port = cross.port_b if dest_rank == cross.rank_b else cross.port_a
+            dest_sim = self._sims[dest_rank]
+            dest_sim._queue.push(when, priority, dest_port.deliver, event)
+        self.total_remote_events += len(pending)
+        return len(pending)
+
+    def _primaries_exist(self) -> bool:
+        return any(sim._primary_components for sim in self._sims)
+
+    def _primaries_pending(self) -> int:
+        return sum(sim.primaries_pending for sim in self._sims)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self, max_time: Optional[Union[str, int]] = None,
+            max_epochs: Optional[int] = None) -> ParallelRunResult:
+        """Run the conservative epoch loop to completion or a limit."""
+        import time as _wall
+
+        if not self._setup_done:
+            self.setup()
+        limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
+        lookahead = self.lookahead
+        start_wall = _wall.perf_counter()
+        start_events = [sim.events_executed for sim in self._sims]
+        epochs = 0
+        reason = "exhausted"
+        if self.backend == "threads" and self._pool is None and self.num_ranks > 1:
+            self._pool = ThreadPoolExecutor(max_workers=self.num_ranks)
+        try:
+            while True:
+                if max_epochs is not None and epochs >= max_epochs:
+                    reason = "max_epochs"
+                    break
+                # Deliver any cross-rank events first (including sends made
+                # during setup()) so the safe window sees a complete queue.
+                self._exchange()
+                global_min = self._global_next_time()
+                if global_min == _INF:
+                    reason = "exhausted"
+                    break
+                if limit is not None and global_min > limit:
+                    reason = "max_time"
+                    break
+                # Safe window: any send made while executing t >= global_min
+                # arrives at >= global_min + lookahead, i.e. after epoch_end.
+                epoch_end = int(global_min) + lookahead - 1
+                if limit is not None:
+                    epoch_end = min(epoch_end, limit)
+                self._run_epoch(epoch_end)
+                epochs += 1
+                if self._primaries_exist() and self._primaries_pending() == 0:
+                    reason = "exit"
+                    break
+        finally:
+            self.total_epochs += epochs
+        # Report the time of the last real event; align rank clocks to it.
+        end_time = max(sim.last_event_time for sim in self._sims)
+        for sim in self._sims:
+            if sim.now < end_time:
+                sim.now = end_time
+        self.finish()
+        wall = _wall.perf_counter() - start_wall
+        per_rank = [
+            sim.events_executed - s0 for sim, s0 in zip(self._sims, start_events)
+        ]
+        return ParallelRunResult(
+            reason=reason,
+            end_time=end_time,
+            events_executed=sum(per_rank),
+            epochs=epochs,
+            remote_events=self.total_remote_events,
+            lookahead=lookahead,
+            wall_seconds=wall,
+            per_rank_events=per_rank,
+        )
+
+    def _run_epoch(self, epoch_end: SimTime) -> None:
+        if self.backend == "threads" and self._pool is not None:
+            futures = [
+                self._pool.submit(sim.run_step, epoch_end) for sim in self._sims
+            ]
+            for f in futures:
+                f.result()  # re-raise worker exceptions
+        else:
+            for sim in self._sims:
+                sim.run_step(epoch_end)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Merged statistics from every rank (component names are unique)."""
+        merged: Dict[str, Any] = {}
+        for sim in self._sims:
+            for key, stat in sim.stats().items():
+                if key in merged:
+                    merged[key].merge(stat)
+                else:
+                    merged[key] = stat
+        return merged
+
+    def stat_values(self) -> Dict[str, float]:
+        return {key: stat.value() for key, stat in self.stats().items()}
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSimulation":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,168 @@
+"""Typed, unit-aware component parameters.
+
+SST components receive their configuration as a flat string->string
+dictionary and pull values out with typed ``find`` calls.  PySST keeps
+the same shape: a :class:`Params` wraps a plain dict and offers typed
+accessors (including the unit-parsing ones from :mod:`repro.core.units`),
+tracks which keys were consumed, and can report unused keys — the most
+common way a silent misconfiguration is caught.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Set
+
+from . import units
+from .units import SimTime
+
+_MISSING = object()
+
+
+class ParamError(KeyError):
+    """A required parameter is missing or malformed."""
+
+
+class Params(Mapping[str, Any]):
+    """Flat parameter dictionary with typed, unit-aware accessors.
+
+    >>> p = Params({"clock": "2GHz", "cache_size": "64KB", "verbose": "true"})
+    >>> p.find_period("clock")
+    500
+    >>> p.find_size_bytes("cache_size")
+    65536
+    >>> p.find_bool("verbose")
+    True
+    """
+
+    def __init__(self, data: Optional[Mapping[str, Any]] = None, *, scope: str = ""):
+        self._data: Dict[str, Any] = dict(data or {})
+        self._scope = scope
+        self._consumed: Set[str] = set()
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Params({self._data!r})"
+
+    # -- core find --------------------------------------------------------
+    def _fetch(self, key: str, default: Any, required: bool) -> Any:
+        if key in self._data:
+            self._consumed.add(key)
+            return self._data[key]
+        if required and default is _MISSING:
+            where = f" in scope {self._scope!r}" if self._scope else ""
+            raise ParamError(f"required parameter {key!r} not found{where}")
+        return default
+
+    def find(self, key: str, default: Any = _MISSING) -> Any:
+        """Fetch a raw value; raises :class:`ParamError` if absent and no default."""
+        value = self._fetch(key, default, required=True)
+        return None if value is _MISSING else value
+
+    def find_str(self, key: str, default: Any = _MISSING) -> str:
+        value = self._fetch(key, default, required=True)
+        return str(value)
+
+    def find_int(self, key: str, default: Any = _MISSING) -> int:
+        value = self._fetch(key, default, required=True)
+        try:
+            return int(str(value), 0) if isinstance(value, str) else int(value)
+        except (TypeError, ValueError):
+            raise ParamError(f"parameter {key!r}={value!r} is not an integer") from None
+
+    def find_float(self, key: str, default: Any = _MISSING) -> float:
+        value = self._fetch(key, default, required=True)
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ParamError(f"parameter {key!r}={value!r} is not a float") from None
+
+    _TRUE = {"1", "true", "yes", "on", "t", "y"}
+    _FALSE = {"0", "false", "no", "off", "f", "n"}
+
+    def find_bool(self, key: str, default: Any = _MISSING) -> bool:
+        value = self._fetch(key, default, required=True)
+        if isinstance(value, bool):
+            return value
+        text = str(value).strip().lower()
+        if text in self._TRUE:
+            return True
+        if text in self._FALSE:
+            return False
+        raise ParamError(f"parameter {key!r}={value!r} is not a boolean")
+
+    # -- unit-aware finds ---------------------------------------------------
+    def find_time(self, key: str, default: Any = _MISSING, default_unit: str = "ps") -> SimTime:
+        """Fetch a latency/delay as integer picoseconds (e.g. ``"10ns"``)."""
+        value = self._fetch(key, default, required=True)
+        try:
+            return units.parse_time(value, default_unit=default_unit)
+        except units.UnitError as exc:
+            raise ParamError(f"parameter {key!r}: {exc}") from None
+
+    def find_period(self, key: str, default: Any = _MISSING) -> SimTime:
+        """Fetch a clock frequency and return its period in picoseconds."""
+        value = self._fetch(key, default, required=True)
+        try:
+            return units.freq_to_period(value)
+        except units.UnitError as exc:
+            raise ParamError(f"parameter {key!r}: {exc}") from None
+
+    def find_freq_hz(self, key: str, default: Any = _MISSING) -> float:
+        value = self._fetch(key, default, required=True)
+        try:
+            return units.parse_freq_hz(value)
+        except units.UnitError as exc:
+            raise ParamError(f"parameter {key!r}: {exc}") from None
+
+    def find_size_bytes(self, key: str, default: Any = _MISSING) -> int:
+        value = self._fetch(key, default, required=True)
+        try:
+            return units.parse_size_bytes(value)
+        except units.UnitError as exc:
+            raise ParamError(f"parameter {key!r}: {exc}") from None
+
+    def find_bandwidth(self, key: str, default: Any = _MISSING) -> float:
+        """Fetch a bandwidth in bytes/second (e.g. ``"3.2GB/s"``)."""
+        value = self._fetch(key, default, required=True)
+        try:
+            return units.parse_bandwidth(value)
+        except units.UnitError as exc:
+            raise ParamError(f"parameter {key!r}: {exc}") from None
+
+    # -- structure ----------------------------------------------------------
+    def scoped(self, prefix: str) -> "Params":
+        """Sub-dictionary of keys starting with ``prefix + '.'``, prefix stripped.
+
+        >>> Params({"l1.size": "32KB", "l2.size": "256KB"}).scoped("l1")["size"]
+        '32KB'
+        """
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        sub = {k[len(dotted):]: v for k, v in self._data.items() if k.startswith(dotted)}
+        # Scoping counts as consumption of the parent keys.
+        for k in self._data:
+            if k.startswith(dotted):
+                self._consumed.add(k)
+        scope = f"{self._scope}.{prefix}" if self._scope else prefix
+        return Params(sub, scope=scope)
+
+    def merged(self, overrides: Optional[Mapping[str, Any]]) -> "Params":
+        """New Params with ``overrides`` laid on top of this one."""
+        data = dict(self._data)
+        data.update(overrides or {})
+        return Params(data, scope=self._scope)
+
+    def unused_keys(self) -> Set[str]:
+        """Keys never fetched through any ``find*`` accessor."""
+        return set(self._data) - self._consumed
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._data)

@@ -1,0 +1,78 @@
+"""Component library registry (SST's "element library" / ELI).
+
+The config layer names component types as strings (``"memory.Cache"``);
+the registry maps those names to Python classes so a serialized
+:class:`~repro.config.graph.ConfigGraph` can be instantiated without the
+config author importing model modules directly.
+
+Models self-register at import time via the :func:`register` decorator::
+
+    @register("memory.Cache")
+    class Cache(Component):
+        ...
+
+:func:`resolve` performs lazy importing: a name like
+``"memory.Cache"`` triggers ``import repro.memory`` on first lookup, so
+simply naming a component in a config file is enough to load its
+library — the same ergonomics as SST's element loading.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterable, Type
+
+from .component import Component
+
+_REGISTRY: Dict[str, Type[Component]] = {}
+
+#: repro subpackages that will be imported on demand when a type name's
+#: first path element matches.
+_KNOWN_LIBRARIES = ("processor", "memory", "network", "miniapps", "power",
+                    "resilience", "analysis")
+
+
+class RegistryError(KeyError):
+    """Unknown or conflicting component type name."""
+
+
+def register(type_name: str):
+    """Class decorator: make ``cls`` instantiable by name from configs."""
+
+    def decorator(cls: Type[Component]) -> Type[Component]:
+        if not (isinstance(cls, type) and issubclass(cls, Component)):
+            raise TypeError(f"{cls!r} is not a Component subclass")
+        existing = _REGISTRY.get(type_name)
+        if existing is not None and existing is not cls:
+            raise RegistryError(
+                f"component type {type_name!r} already registered to {existing!r}"
+            )
+        _REGISTRY[type_name] = cls
+        cls.TYPE_NAME = type_name  # type: ignore[attr-defined]
+        return cls
+
+    return decorator
+
+
+def resolve(type_name: str) -> Type[Component]:
+    """Look up a component class, lazily importing its library."""
+    cls = _REGISTRY.get(type_name)
+    if cls is not None:
+        return cls
+    library = type_name.split(".", 1)[0]
+    if library in _KNOWN_LIBRARIES:
+        importlib.import_module(f"repro.{library}")
+        cls = _REGISTRY.get(type_name)
+        if cls is not None:
+            return cls
+    raise RegistryError(
+        f"unknown component type {type_name!r}; registered: {sorted(_REGISTRY)}"
+    )
+
+
+def registered_types() -> Iterable[str]:
+    return sorted(_REGISTRY)
+
+
+def is_registered(type_name: str) -> bool:
+    return type_name in _REGISTRY

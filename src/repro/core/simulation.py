@@ -1,0 +1,372 @@
+"""The sequential discrete-event engine.
+
+One :class:`Simulation` owns the component set, the pending-event queue
+and the simulated clock for a single *rank*.  The parallel engine
+(:mod:`repro.core.parallel`) composes several of these, one per rank.
+
+Typical direct use (the config layer in :mod:`repro.config` builds all
+of this from a :class:`~repro.config.graph.ConfigGraph` instead)::
+
+    sim = Simulation(seed=7)
+    ping = Pinger(sim, "ping", Params({...}))
+    pong = Ponger(sim, "pong", Params({...}))
+    sim.connect(ping, "out", pong, "in", latency="10ns")
+    result = sim.run(max_time="1ms")
+    print(sim.stat_table())
+"""
+
+from __future__ import annotations
+
+import time as _wall_time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from . import units
+from .clock import Clock, ClockHandler
+from .component import Component
+from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, CallbackEvent, Event,
+                    EventRecord, Handler)
+from .eventqueue import EventQueueBase, make_queue
+from .link import Link, LinkError, Port
+from .units import SimTime
+
+
+class SimulationError(RuntimeError):
+    """Engine misuse (running twice, connecting after setup, ...)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Simulation.run` call."""
+
+    reason: str  #: "exhausted" | "max_time" | "max_events" | "exit" | "stopped"
+    end_time: SimTime
+    events_executed: int
+    wall_seconds: float
+    #: events executed per wall-clock second (engine throughput)
+    events_per_second: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.events_per_second = (
+            self.events_executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+
+class Simulation:
+    """A single-rank discrete-event simulation.
+
+    Parameters
+    ----------
+    queue:
+        Pending-event set implementation: ``"heap"`` (default) or
+        ``"binned"`` (see :mod:`repro.core.eventqueue`).
+    seed:
+        Base seed for all per-component random streams.
+    rank, num_ranks:
+        Identity within a parallel run; ``(0, 1)`` for sequential.
+    verbose:
+        Enables :meth:`Component.debug` tracing.
+    """
+
+    def __init__(self, *, queue: str = "heap", seed: int = 1, rank: int = 0,
+                 num_ranks: int = 1, verbose: bool = False,
+                 queue_kwargs: Optional[Dict[str, Any]] = None):
+        self.now: SimTime = 0
+        self.seed = seed
+        self.rank = rank
+        self.num_ranks = num_ranks
+        self.verbose = verbose
+        self._queue: EventQueueBase = make_queue(queue, **(queue_kwargs or {}))
+        self._components: Dict[str, Component] = {}
+        self._links: List[Link] = []
+        self._clocks: List[Clock] = []
+        self._setup_done = False
+        self._finished = False
+        self._running = False
+        self._stop_requested = False
+        self._events_executed = 0
+        #: time of the most recently executed event (excludes idle advance)
+        self.last_event_time: SimTime = 0
+        #: optional per-event observer: fn(time, handler, event); set via
+        #: set_trace() — None costs nothing in the hot loop.
+        self._trace_fn = None
+        # exit protocol state
+        self._primary_components: set = set()
+        self._primaries_pending = 0
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    def _register_component(self, component: Component) -> None:
+        if self._setup_done:
+            raise SimulationError(
+                f"cannot add component {component.name!r} after setup()"
+            )
+        if component.name in self._components:
+            raise SimulationError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SimulationError(f"no component named {name!r}") from None
+
+    @property
+    def components(self) -> Dict[str, Component]:
+        return dict(self._components)
+
+    def connect(self, comp_a: Union[Component, Port], port_a: Optional[str] = None,
+                comp_b: Optional[Union[Component, Port]] = None,
+                port_b: Optional[str] = None, *,
+                latency: Union[str, int] = "1ps",
+                name: Optional[str] = None) -> Link:
+        """Wire ``comp_a.port_a`` to ``comp_b.port_b`` with the given latency.
+
+        Accepts either ``connect(compA, "out", compB, "in", latency=...)``
+        or pre-fetched ports ``connect(portA, portB=...)`` — the config
+        layer uses the former exclusively.
+        """
+        if isinstance(comp_a, Port):
+            pa = comp_a
+            pb = port_a if isinstance(port_a, Port) else comp_b
+            if not isinstance(pb, Port):
+                raise SimulationError("connect(Port, Port) form requires two ports")
+        else:
+            if comp_b is None or port_a is None or port_b is None:
+                raise SimulationError("connect requires component/port pairs")
+            assert isinstance(comp_b, Component)
+            pa = comp_a.port(port_a)
+            pb = comp_b.port(port_b)
+        lat = units.parse_time(latency, default_unit="ps")
+        link_name = name or f"{pa.full_name()}--{pb.full_name()}"
+        link = Link.connect(link_name, lat, pa, pb, self, self)
+        self._links.append(link)
+        return link
+
+    def self_link(self, component: Component, port_name: str,
+                  latency: Union[str, int] = "1ps") -> Link:
+        """Create a self-link (delay line back to the same component)."""
+        lat = units.parse_time(latency, default_unit="ps")
+        port = component.port(port_name)
+        link = Link.self_loop(f"{port.full_name()}--self", lat, port, self)
+        self._links.append(link)
+        return link
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def _push(self, when: SimTime, priority: int, handler: Handler,
+              event: Optional[Event]) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"event scheduled in the past ({when} < now {self.now})"
+            )
+        self._queue.push(when, priority, handler, event)
+
+    def schedule_callback(self, delay: SimTime, callback: Callable[[Any], None],
+                          payload: Any = None,
+                          priority: int = PRIORITY_EVENT) -> None:
+        """Run ``callback(payload)`` ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        event = CallbackEvent(callback, payload)
+        self._push(self.now + delay, priority, _invoke_callback, event)
+
+    def register_clock(self, freq: Any, handler: ClockHandler, *,
+                       name: str = "clock", priority: int = PRIORITY_CLOCK,
+                       phase: SimTime = 0) -> Clock:
+        """Register a periodic handler at ``freq`` (string like ``"2GHz"``)."""
+        period = units.freq_to_period(freq) if not isinstance(freq, int) else freq
+        clock = Clock(self, name, period, handler, priority=priority, phase=phase)
+        self._clocks.append(clock)
+        return clock
+
+    # ------------------------------------------------------------------
+    # exit protocol (SST's Exit object)
+    # ------------------------------------------------------------------
+    def _exit_register(self, component: Component) -> None:
+        self._primary_components.add(component.name)
+
+    def _exit_not_ok(self, component: Component) -> None:
+        self._primaries_pending += 1
+
+    def _exit_ok(self, component: Component) -> None:
+        self._primaries_pending -= 1
+        assert self._primaries_pending >= 0
+
+    @property
+    def primaries_pending(self) -> int:
+        return self._primaries_pending
+
+    def end_simulation(self) -> None:
+        """Request an immediate stop (after the current event)."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Finalize the graph and call every component's ``setup()``."""
+        if self._setup_done:
+            return
+        self._setup_done = True
+        for comp in self._components.values():
+            comp.setup()
+
+    def finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        for comp in self._components.values():
+            comp.finish()
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: Optional[Union[str, int]] = None,
+            max_events: Optional[int] = None, *,
+            finalize: bool = True, ignore_exit: bool = False) -> RunResult:
+        """Execute events until exhaustion, exit, or a limit.
+
+        ``max_time`` is inclusive: events *at* the limit still execute.
+        Returns a :class:`RunResult`; the stop reason is one of
+        ``exhausted`` (no events left), ``exit`` (all primary components
+        done), ``max_time``, ``max_events`` or ``stopped``
+        (:meth:`end_simulation`).
+
+        ``ignore_exit`` disables the primary-component exit protocol —
+        useful to *drain* in-flight events after an exit-terminated run
+        (e.g. messages still travelling when the last sender finished).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered")
+        if not self._setup_done:
+            self.setup()
+        limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
+        self._running = True
+        self._stop_requested = False
+        reason = "exhausted"
+        start_wall = _wall_time.perf_counter()
+        start_events = self._events_executed
+        queue = self._queue
+        try:
+            while queue:
+                next_time = queue.peek_time()
+                if limit is not None and next_time is not None and next_time > limit:
+                    reason = "max_time"
+                    self.now = limit
+                    break
+                record = queue.pop()
+                self.now = record.time
+                self.last_event_time = record.time
+                handler = record.handler
+                if self._trace_fn is not None:
+                    self._trace_fn(record.time, handler, record.event)
+                if handler is not None:
+                    handler(record.event)
+                self._events_executed += 1
+                if self._stop_requested:
+                    reason = "stopped"
+                    break
+                if (not ignore_exit and self._primary_components
+                        and self._primaries_pending == 0):
+                    reason = "exit"
+                    break
+                if max_events is not None and \
+                        self._events_executed - start_events >= max_events:
+                    reason = "max_events"
+                    break
+        finally:
+            self._running = False
+        wall = _wall_time.perf_counter() - start_wall
+        if finalize and reason in ("exhausted", "exit", "stopped", "max_time"):
+            self.finish()
+        return RunResult(
+            reason=reason,
+            end_time=self.now,
+            events_executed=self._events_executed - start_events,
+            wall_seconds=wall,
+        )
+
+    def run_step(self, until: SimTime) -> int:
+        """Execute all events with ``time <= until`` (parallel-engine epoch).
+
+        Does not honour max_time/exit protocol — the parallel engine
+        coordinates those globally.  Returns the number of events run.
+        """
+        queue = self._queue
+        executed = 0
+        while queue:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            record = queue.pop()
+            self.now = record.time
+            self.last_event_time = record.time
+            if self._trace_fn is not None:
+                self._trace_fn(record.time, record.handler, record.event)
+            if record.handler is not None:
+                record.handler(record.event)
+            executed += 1
+        if self.now < until:
+            self.now = until
+        self._events_executed += executed
+        return executed
+
+    def set_trace(self, fn) -> None:
+        """Install a per-event observer ``fn(time, handler, event)``.
+
+        Pass ``None`` to remove (the hot loop then pays nothing).  See
+        :class:`repro.core.tracelog.EventTraceLog` for a ready-made
+        filtering writer.
+        """
+        self._trace_fn = fn
+
+    def next_event_time(self) -> Optional[SimTime]:
+        return self._queue.peek_time()
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # statistics harvest
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """All statistics, flat-keyed ``<component>.<stat>`` -> Statistic."""
+        out: Dict[str, Any] = {}
+        for comp in self._components.values():
+            for stat_name, stat in comp.stats.all().items():
+                out[f"{comp.name}.{stat_name}"] = stat
+        return out
+
+    def stat_values(self) -> Dict[str, float]:
+        """Headline value of every statistic (for quick assertions)."""
+        return {key: stat.value() for key, stat in self.stats().items()}
+
+    def stat_table(self) -> str:
+        """Human-readable statistics dump."""
+        rows = []
+        for key, stat in sorted(self.stats().items()):
+            data = stat.as_dict()
+            detail = ", ".join(
+                f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in data.items()
+                if k not in ("type", "name", "bins") and v is not None
+            )
+            rows.append(f"{key:<48} {data['type']:<12} {detail}")
+        return "\n".join(rows)
+
+
+def _invoke_callback(event: Event) -> None:
+    assert isinstance(event, CallbackEvent)
+    event.invoke()

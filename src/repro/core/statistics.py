@@ -1,0 +1,276 @@
+"""Registered statistics.
+
+Components never print results; they register named statistics which the
+:class:`~repro.core.simulation.Simulation` harvests at the end of a run
+(SST's StatisticOutput architecture).  Three collector shapes cover the
+models in this repository:
+
+* :class:`Counter`      — a monotonically increasing count.
+* :class:`Accumulator`  — count / sum / min / max / sum-of-squares, from
+  which mean and variance derive.
+* :class:`Histogram`    — fixed-width binned distribution with under/
+  overflow bins.
+
+All collectors share a tiny interface (``name``, ``value()``,
+``as_dict()``, ``merge()``) so the parallel engine can combine per-rank
+statistics, and so output writers can serialise any of them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+
+class Statistic:
+    """Base class: a named, mergeable result collector."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def value(self) -> float:
+        """The single headline number for this statistic."""
+        raise NotImplementedError
+
+    def as_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def merge(self, other: "Statistic") -> None:
+        """Fold another collector of the same type/name into this one."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def _check_merge(self, other: "Statistic") -> None:
+        if type(other) is not type(self):
+            raise TypeError(f"cannot merge {type(other).__name__} into {type(self).__name__}")
+        if other.name != self.name:
+            raise ValueError(f"cannot merge statistic {other.name!r} into {self.name!r}")
+
+
+class Counter(Statistic):
+    """A monotonically increasing event count."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def value(self) -> float:
+        return float(self.count)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name, "count": self.count}
+
+    def merge(self, other: Statistic) -> None:
+        self._check_merge(other)
+        assert isinstance(other, Counter)
+        self.count += other.count
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class Accumulator(Statistic):
+    """Streaming count/sum/min/max/sum-of-squares accumulator."""
+
+    __slots__ = ("count", "total", "total_sq", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (clamped at 0 against rounding)."""
+        if self.count == 0:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def value(self) -> float:
+        return self.total
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "accumulator",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "stddev": self.stddev,
+        }
+
+    def merge(self, other: Statistic) -> None:
+        self._check_merge(other)
+        assert isinstance(other, Accumulator)
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class Histogram(Statistic):
+    """Fixed-width binned distribution with underflow/overflow bins."""
+
+    __slots__ = ("low", "bin_width", "n_bins", "bins", "underflow", "overflow", "count", "total")
+
+    def __init__(self, name: str, low: float = 0.0, bin_width: float = 1.0, n_bins: int = 32):
+        super().__init__(name)
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if n_bins <= 0:
+            raise ValueError("n_bins must be positive")
+        self.low = low
+        self.bin_width = bin_width
+        self.n_bins = n_bins
+        self.bins: List[int] = [0] * n_bins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.count += weight
+        self.total += value * weight
+        if value < self.low:
+            self.underflow += weight
+            return
+        index = int((value - self.low) / self.bin_width)
+        if index >= self.n_bins:
+            self.overflow += weight
+        else:
+            self.bins[index] += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self.bin_width for i in range(self.n_bins + 1)]
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile using bin midpoints (under/overflow clamp)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        running = self.underflow
+        if running >= target and self.underflow:
+            return self.low
+        for i, n in enumerate(self.bins):
+            running += n
+            if running >= target:
+                return self.low + (i + 0.5) * self.bin_width
+        return self.low + self.n_bins * self.bin_width
+
+    def value(self) -> float:
+        return self.mean
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "low": self.low,
+            "bin_width": self.bin_width,
+            "bins": list(self.bins),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    def merge(self, other: Statistic) -> None:
+        self._check_merge(other)
+        assert isinstance(other, Histogram)
+        if (other.low, other.bin_width, other.n_bins) != (self.low, self.bin_width, self.n_bins):
+            raise ValueError(f"histogram {self.name!r}: incompatible binning for merge")
+        for i, n in enumerate(other.bins):
+            self.bins[i] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+
+    def reset(self) -> None:
+        self.bins = [0] * self.n_bins
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+
+class StatisticGroup:
+    """Per-component registry of statistics, flattened by the Simulation.
+
+    Names are scoped as ``<component name>.<stat name>`` when harvested.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, Statistic] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter(name))
+
+    def accumulator(self, name: str) -> Accumulator:
+        return self._register(name, Accumulator(name))
+
+    def histogram(self, name: str, low: float = 0.0, bin_width: float = 1.0,
+                  n_bins: int = 32) -> Histogram:
+        return self._register(name, Histogram(name, low, bin_width, n_bins))
+
+    def _register(self, name: str, stat: Statistic) -> Any:
+        if name in self._stats:
+            existing = self._stats[name]
+            if type(existing) is not type(stat):
+                raise ValueError(f"statistic {name!r} re-registered with a different type")
+            return existing
+        self._stats[name] = stat
+        return stat
+
+    def get(self, name: str) -> Optional[Statistic]:
+        return self._stats.get(name)
+
+    def all(self) -> Dict[str, Statistic]:
+        return dict(self._stats)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)

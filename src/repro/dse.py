@@ -1,0 +1,133 @@
+"""Design-space exploration driver (the paper's §5.2.1 use case).
+
+The headline demonstration of SST is sweeping architectural parameters
+— memory technology x processor issue width — against miniapp
+workloads, and folding performance, power and cost into one comparison
+(Figs. 10-12).  This module packages that flow as a library API:
+
+    point = run_design_point("hpccg", issue_width=4, technology="GDDR5")
+    grid  = sweep(["hpccg", "lulesh"], widths=[1, 2, 4, 8],
+                  technologies=["DDR2-800", "DDR3-1066", "GDDR5"])
+
+Every point is an actual discrete-event simulation (MixCore blocks
+against a NodeMemory channel model), evaluated through the McPAT-lite
+and wafer-cost models into a :class:`~repro.power.energy.DesignPoint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import ConfigGraph, build
+from .core.units import SimTime
+from .power import CorePowerParams, DesignPoint, WaferParams, evaluate_design_point
+
+#: The sweep axes of the paper's study.
+PAPER_TECHNOLOGIES = ("DDR2-800", "DDR3-1066", "GDDR5")
+PAPER_WIDTHS = (1, 2, 4, 8)
+PAPER_WORKLOADS = ("hpccg", "lulesh")
+
+
+def design_point_graph(workload: str, *, issue_width: int, technology: str,
+                       instructions: int, n_cores: int = 1,
+                       clock: str = "2GHz", channels: int = 1) -> ConfigGraph:
+    """Declare the design-point machine: ``n_cores`` MixCores sharing one
+    NodeMemory of the given technology."""
+    graph = ConfigGraph(f"dse-{workload}-w{issue_width}-{technology}")
+    graph.component("mem", "memory.NodeMemory",
+                    {"technology": technology, "channels": channels,
+                     "n_ports": n_cores})
+    for i in range(n_cores):
+        graph.component(f"core{i}", "processor.MixCore",
+                        {"workload": workload, "instructions": instructions,
+                         "issue_width": issue_width, "clock": clock})
+        graph.link(f"core{i}", "mem", "mem", f"core{i}", latency="1ns")
+    return graph
+
+
+def run_design_point(workload: str, *, issue_width: int = 2,
+                     technology: str = "DDR3-1333",
+                     instructions: int = 2_000_000, n_cores: int = 1,
+                     clock: str = "2GHz", channels: int = 1,
+                     memory_gb: float = 4.0, seed: int = 1,
+                     core_params: CorePowerParams = CorePowerParams(),
+                     wafer: WaferParams = WaferParams()) -> DesignPoint:
+    """Simulate one (workload x width x memory) configuration.
+
+    Returns a :class:`DesignPoint` carrying runtime, power and cost.
+    """
+    graph = design_point_graph(workload, issue_width=issue_width,
+                               technology=technology,
+                               instructions=instructions, n_cores=n_cores,
+                               clock=clock, channels=channels)
+    sim = build(graph, seed=seed)
+    result = sim.run()
+    if result.reason != "exit":
+        raise RuntimeError(
+            f"design point did not complete: {result.reason} "
+            f"({workload}, w{issue_width}, {technology})"
+        )
+    values = sim.stat_values()
+    runtime_ps = int(max(values[f"core{i}.runtime_ps"]
+                         for i in range(n_cores)))
+    total_instructions = int(sum(values[f"core{i}.instructions"]
+                                 for i in range(n_cores)))
+    mem = sim.component("mem")
+    freq_hz = sim.component("core0").config.freq_hz
+    return evaluate_design_point(
+        f"{workload}/w{issue_width}/{technology}",
+        issue_width=issue_width,
+        freq_hz=freq_hz,
+        memory_technology=technology,
+        runtime_ps=runtime_ps,
+        instructions=total_instructions,
+        dram=mem.dram,
+        memory_gb=memory_gb,
+        core_params=core_params,
+        wafer=wafer,
+        n_cores=n_cores,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome grid of a full design-space sweep."""
+
+    points: Dict[Tuple[str, int, str], DesignPoint] = field(default_factory=dict)
+
+    def point(self, workload: str, width: int, technology: str) -> DesignPoint:
+        return self.points[(workload, width, technology)]
+
+    def best(self, metric: str, workload: Optional[str] = None) -> DesignPoint:
+        """Highest-scoring point by DesignPoint attribute name."""
+        candidates = [
+            p for (wl, _w, _t), p in self.points.items()
+            if workload is None or wl == workload
+        ]
+        if not candidates:
+            raise ValueError("no points match")
+        return max(candidates, key=lambda p: getattr(p, metric))
+
+    def speedup(self, workload: str, width: int, technology: str,
+                baseline_technology: str) -> float:
+        """runtime(baseline) / runtime(tech) - 1, the Fig. 10 quantity."""
+        here = self.point(workload, width, technology)
+        base = self.point(workload, width, baseline_technology)
+        return base.runtime_ps / here.runtime_ps - 1.0
+
+
+def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
+          widths: Sequence[int] = PAPER_WIDTHS,
+          technologies: Sequence[str] = PAPER_TECHNOLOGIES,
+          **point_kwargs) -> SweepResult:
+    """Run the full cartesian design-space sweep."""
+    result = SweepResult()
+    for workload in workloads:
+        for width in widths:
+            for technology in technologies:
+                result.points[(workload, width, technology)] = run_design_point(
+                    workload, issue_width=width, technology=technology,
+                    **point_kwargs,
+                )
+    return result

@@ -1,0 +1,49 @@
+"""PySST memory-system model library.
+
+Functional and event-driven models of the on-node memory system:
+set-associative caches (:mod:`~repro.memory.cache`), DRAM technologies
+with bank/row-buffer timing (:mod:`~repro.memory.dram`), controller
+scheduling policies (:mod:`~repro.memory.controller`) and shared-
+bandwidth buses (:mod:`~repro.memory.bus`).
+
+Component types registered: ``memory.Cache``, ``memory.MainMemory``,
+``memory.SimpleMemory``, ``memory.MemController``, ``memory.SharedBus``.
+"""
+
+from .bus import BandwidthShare, SharedBus
+from .cache import (Cache, CacheArray, CacheHierarchy, CacheStats, LevelSpec)
+from .coherence import (CoherenceStats, CoherentBusComponent, CoherentCache,
+                        SnoopBus, State)
+from .controller import POLICIES, MemController, SchedulingDRAM
+from .dram import (TECHNOLOGIES, DRAMModel, DRAMStats, DRAMTech, MainMemory,
+                   SimpleMemory, tech)
+from .events import MemRequest, MemResponse
+from .node import NodeMemory
+
+__all__ = [
+    "BandwidthShare",
+    "Cache",
+    "CacheArray",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoherenceStats",
+    "CoherentBusComponent",
+    "CoherentCache",
+    "DRAMModel",
+    "DRAMStats",
+    "DRAMTech",
+    "LevelSpec",
+    "MainMemory",
+    "MemController",
+    "MemRequest",
+    "MemResponse",
+    "NodeMemory",
+    "POLICIES",
+    "SchedulingDRAM",
+    "SharedBus",
+    "SimpleMemory",
+    "SnoopBus",
+    "State",
+    "TECHNOLOGIES",
+    "tech",
+]

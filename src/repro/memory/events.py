@@ -1,0 +1,53 @@
+"""Memory transaction events shared by caches, buses, controllers and DRAM."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core.event import Event
+
+_req_ids = itertools.count(1)
+
+
+class MemRequest(Event):
+    """A read or write of ``size`` bytes at ``addr``.
+
+    ``req_id`` is globally unique; responses echo it so requesters can
+    match outstanding transactions.  ``src_port`` is a free-form routing
+    tag appended by intermediaries (e.g. a bus remembers which upstream
+    port a request entered by so the response can be steered back).
+    """
+
+    __slots__ = ("addr", "size", "is_write", "req_id", "src_port", "phase")
+
+    def __init__(self, addr: int, size: int = 8, is_write: bool = False,
+                 req_id: Optional[int] = None, src_port: Optional[int] = None,
+                 phase: str = ""):
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+        self.req_id = req_id if req_id is not None else next(_req_ids)
+        self.src_port = src_port
+        self.phase = phase
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "W" if self.is_write else "R"
+        return f"MemRequest({kind} 0x{self.addr:x} x{self.size} id={self.req_id})"
+
+
+class MemResponse(Event):
+    """Completion of a :class:`MemRequest`."""
+
+    __slots__ = ("req_id", "addr", "is_write", "src_port", "level")
+
+    def __init__(self, request: MemRequest, level: str = ""):
+        self.req_id = request.req_id
+        self.addr = request.addr
+        self.is_write = request.is_write
+        self.src_port = request.src_port
+        #: which level of the hierarchy satisfied the request ("L1", "dram"...)
+        self.level = level
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MemResponse(id={self.req_id} from {self.level or '?'})"

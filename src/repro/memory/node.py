@@ -1,0 +1,102 @@
+"""Node-level bulk memory endpoint.
+
+:class:`NodeMemory` is the memory side of the block-stepped abstract
+processor model (``processor.MixCore``): cores hand it the *aggregate*
+DRAM traffic of an instruction block as a
+:class:`~repro.processor.core.BulkMemRequest`, and the transfer is
+serialised through the DRAM channel state.  When several cores stream
+simultaneously they therefore split the technology's peak bandwidth —
+the mechanism behind the memory-technology study (Fig. 10) and the
+cores-per-node study (Fig. 2).
+
+Lives in :mod:`repro.memory` (not the processor package) so the
+component registry's lazy library loading finds ``memory.NodeMemory``.
+The event classes are duck-typed (``nbytes``/``accesses`` attributes)
+to avoid a circular import with the processor package.
+"""
+
+from __future__ import annotations
+
+from ..core.component import Component
+from ..core.registry import register
+from ..core.units import SimTime
+from .dram import DRAMModel
+
+
+@register("memory.NodeMemory")
+class NodeMemory(Component):
+    """Bulk-traffic memory endpoint shared by the cores of one node.
+
+    Ports ``core0`` .. ``core{n_ports-1}`` receive bulk requests (events
+    with ``nbytes``, ``accesses`` and ``req_id`` attributes) and return
+    bulk responses when the transfer completes.
+
+    Parameters: ``technology`` (key in
+    :data:`repro.memory.dram.TECHNOLOGIES`), ``channels``, ``n_ports``,
+    ``row_locality`` (fraction of a bulk transfer that row-hits, for
+    energy accounting).
+    """
+
+    PORTS = {"core<i>": "bulk requests in / responses out"}
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        p = self.params
+        self.dram = DRAMModel(p.find_str("technology", "DDR3-1333"),
+                              channels=p.find_int("channels", 1))
+        self.n_ports = p.find_int("n_ports", 1)
+        self.row_locality = p.find_float("row_locality", 0.6)
+        self.s_bytes = self.stats.counter("bytes")
+        self.s_requests = self.stats.counter("requests")
+        self._channel_free: SimTime = 0
+        for i in range(self.n_ports):
+            self.set_handler(f"core{i}", self._make_handler(i))
+
+    def setup(self) -> None:
+        # Advertise the DRAM technology to every attached core that wants
+        # it (MixCore uses this to match its DRAM-latency model to the
+        # memory it talks to).  Duck-typed to avoid importing processor.
+        for i in range(self.n_ports):
+            port = self._ports.get(f"core{i}")
+            if port is None or port.endpoint is None or port.endpoint.peer_port is None:
+                continue
+            peer = port.endpoint.peer_port.component
+            advertise = getattr(peer, "advertise_tech", None)
+            if callable(advertise):
+                advertise(self.dram.tech)
+
+    def _make_handler(self, port_index: int):
+        from ..processor.core import BulkMemRequest, BulkMemResponse
+
+        def handler(event):
+            assert isinstance(event, BulkMemRequest)
+            done = self.bulk_completion(self.now, event.nbytes, event.accesses)
+            self.s_bytes.add(event.nbytes)
+            self.s_requests.add()
+            self.send(f"core{port_index}", BulkMemResponse(event.req_id),
+                      extra_delay=max(0, done - self.now))
+
+        return handler
+
+    def bulk_completion(self, now_ps: SimTime, nbytes: int,
+                        accesses: int) -> SimTime:
+        """Serialise a bulk transfer through the channel; returns done time."""
+        tech = self.dram.tech
+        bw = self.dram.peak_bandwidth
+        transfer_ps = int(round(nbytes / bw * 1e12)) if nbytes else 0
+        start = max(now_ps, self._channel_free)
+        done = start + transfer_ps
+        self._channel_free = done
+        # Account energy/stats through the underlying model's bookkeeping.
+        stats = self.dram.stats
+        stats.requests += max(1, accesses)
+        row_misses = int(round(max(1, accesses) * (1.0 - self.row_locality)))
+        stats.row_misses += row_misses
+        stats.row_hits += max(1, accesses) - row_misses
+        stats.bytes_moved += nbytes
+        stats.busy_time_ps += done - start
+        stats.dynamic_energy_pj += (
+            row_misses * tech.activate_energy_pj
+            + nbytes * 8 * tech.access_energy_pj_per_bit
+        )
+        return done

@@ -1,0 +1,74 @@
+"""PySST miniapp library: skeleton applications and phase models.
+
+The Mantevo-substitute workload suite (DESIGN.md, substitution
+catalogue): BSP skeleton apps that run on the simulated interconnect
+(:mod:`~repro.miniapps.apps` over :mod:`~repro.miniapps.base`), machine
+builders (:mod:`~repro.miniapps.machine`) and single-node phase models
+for the validation studies (:mod:`~repro.miniapps.phases`).
+
+Component types registered: ``miniapps.CTH``, ``miniapps.SAGE``,
+``miniapps.XNOBEL``, ``miniapps.Charon``, ``miniapps.HPCCG``,
+``miniapps.Lulesh``, ``miniapps.MiniFE``, ``miniapps.CGSolver``,
+``miniapps.BiCGStabILU``, ``miniapps.MLSolver``.
+"""
+
+from .apps import (CTH, HPCCG, SAGE, XNOBEL, BiCGStabILU, CGSolver, Charon,
+                   HaloApp, Lulesh, MiniDSMC, MiniFE, MiniGhost, MiniMD,
+                   MiniXyce, MLSolver, PhdMesh, SolverApp)
+from .base import (AllReduce, AllToAll, AppRank, Barrier, Broadcast,
+                   Compute, Exchange, Reduce, compute_time_ps,
+                   grid_dims_3d, halo_neighbors_3d)
+from .gpustudy import (FEA_KERNEL_NAIVE, FEA_KERNEL_TUNED, SOLVE_KERNEL,
+                       MiniFEGpuStudy, PhaseComparison)
+from .machine import app_runtime_stats, build_app_machine, torus_dims_for
+from .phases import (STANDARD_HIERARCHY, VALIDATION_PAIRS, PhaseResult,
+                     cache_hit_rates, cores_per_node_efficiency,
+                     memory_speed_response, phase_runtime,
+                     proportional_difference)
+
+__all__ = [
+    "AllReduce",
+    "AllToAll",
+    "AppRank",
+    "Barrier",
+    "Broadcast",
+    "BiCGStabILU",
+    "CGSolver",
+    "CTH",
+    "Charon",
+    "Compute",
+    "Exchange",
+    "FEA_KERNEL_NAIVE",
+    "FEA_KERNEL_TUNED",
+    "HPCCG",
+    "MiniFEGpuStudy",
+    "PhaseComparison",
+    "SOLVE_KERNEL",
+    "HaloApp",
+    "Lulesh",
+    "MLSolver",
+    "MiniDSMC",
+    "MiniFE",
+    "MiniGhost",
+    "MiniMD",
+    "MiniXyce",
+    "PhdMesh",
+    "PhaseResult",
+    "Reduce",
+    "SAGE",
+    "STANDARD_HIERARCHY",
+    "SolverApp",
+    "VALIDATION_PAIRS",
+    "XNOBEL",
+    "app_runtime_stats",
+    "build_app_machine",
+    "cache_hit_rates",
+    "compute_time_ps",
+    "cores_per_node_efficiency",
+    "grid_dims_3d",
+    "halo_neighbors_3d",
+    "memory_speed_response",
+    "phase_runtime",
+    "proportional_difference",
+    "torus_dims_for",
+]

@@ -1,0 +1,104 @@
+"""Machine builders: miniapp ranks on a simulated interconnect.
+
+``build_app_machine`` assembles the standard experiment platform — a
+3-D torus (Cray XT5-like) of routers, one NIC per rank with a
+configurable injection bandwidth, and one miniapp rank component behind
+each NIC — as a :class:`~repro.config.graph.ConfigGraph`, ready for
+:func:`repro.config.build` or :func:`repro.config.build_parallel`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..config.graph import ConfigGraph
+from ..config.topology import Topology, build_fat_tree, build_torus
+from .base import grid_dims_3d
+
+
+def torus_dims_for(n_routers: int) -> Tuple[int, int, int]:
+    """Near-cubic 3-D router-grid dimensions covering ``n_routers``."""
+    dims = grid_dims_3d(n_routers)
+    if dims[0] * dims[1] * dims[2] != n_routers:
+        raise ValueError(f"{n_routers} routers do not factor into a 3-D grid")
+    return dims
+
+
+def build_app_machine(
+    app_type: str,
+    n_ranks: int,
+    app_params: Optional[Dict[str, Any]] = None,
+    *,
+    topology: str = "torus",
+    locals_per_router: int = 2,
+    injection_bandwidth: str = "3.2GB/s",
+    link_bandwidth: str = "4.8GB/s",
+    link_latency: str = "20ns",
+    nic_params: Optional[Dict[str, Any]] = None,
+    iterations: int = 5,
+    name: str = "app-machine",
+) -> ConfigGraph:
+    """Declare a full (app ranks + NICs + fabric) machine.
+
+    ``app_type`` is a registered miniapp component type
+    (e.g. ``"miniapps.CTH"``).  Rank *i* becomes component ``rank{i}``
+    behind ``nic{i}`` on fabric endpoint *i*.
+
+    The torus is sized to ``ceil(n_ranks / locals_per_router)`` routers
+    in a near-cubic 3-D grid (padded endpoints stay unused).
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    graph = ConfigGraph(name)
+    n_routers = math.ceil(n_ranks / locals_per_router)
+    if topology == "torus":
+        # Pad the router count until it factors into a reasonable 3-D grid.
+        dims = grid_dims_3d(n_routers)
+        topo = build_torus(graph, dims, locals_per_router=locals_per_router,
+                           link_latency=link_latency,
+                           link_bandwidth=link_bandwidth)
+    elif topology == "fattree":
+        spines = max(2, int(math.ceil(math.sqrt(n_routers))))
+        topo = build_fat_tree(graph, leaves=n_routers,
+                              down_ports=locals_per_router, spines=spines,
+                              link_latency=link_latency,
+                              link_bandwidth=link_bandwidth)
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    if topo.num_endpoints < n_ranks:
+        raise AssertionError("topology too small for rank count")
+
+    nic_defaults: Dict[str, Any] = {
+        "injection_bandwidth": injection_bandwidth,
+    }
+    nic_defaults.update(nic_params or {})
+    base_app: Dict[str, Any] = {
+        "n_ranks": n_ranks,
+        "iterations": iterations,
+    }
+    base_app.update(app_params or {})
+    for i in range(n_ranks):
+        graph.component(f"nic{i}", "network.Nic", dict(nic_defaults))
+        rank_params = dict(base_app)
+        rank_params["rank"] = i
+        graph.component(f"rank{i}", app_type, rank_params)
+        graph.link(f"rank{i}", "nic", f"nic{i}", "cpu", latency="5ns")
+        topo.attach(graph, i, f"nic{i}", "net", latency="10ns")
+    return graph
+
+
+def app_runtime_stats(sim, n_ranks: int) -> Dict[str, float]:
+    """Aggregate the per-rank statistics of a finished app run."""
+    values = sim.stat_values()
+    runtimes = [values[f"rank{i}.runtime_ps"] for i in range(n_ranks)]
+    comm = [values[f"rank{i}.comm_ps"] for i in range(n_ranks)]
+    compute = [values[f"rank{i}.compute_ps"] for i in range(n_ranks)]
+    messages = sum(values[f"rank{i}.messages_sent"] for i in range(n_ranks))
+    return {
+        "runtime_ps": max(runtimes),
+        "mean_comm_ps": sum(comm) / n_ranks,
+        "mean_compute_ps": sum(compute) / n_ranks,
+        "messages": messages,
+        "messages_per_rank": messages / n_ranks,
+    }

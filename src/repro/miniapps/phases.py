@@ -1,0 +1,155 @@
+"""Single-node phase models for the miniapp-validation studies.
+
+Figs. 2-4 of the paper are *on-node* experiments: they vary cores per
+node, memory speed and cache configuration and compare how Charon and
+miniFE respond, phase by phase (FE assembly vs Krylov solve).  These
+functions reproduce those experiments on the model library without the
+DES — each phase's runtime comes from the abstract core model plus the
+shared-bandwidth contention model, and cache behaviour comes from
+running synthetic traces through the functional hierarchy.
+
+The central contrast being validated: the *solver* phases are
+bandwidth-bound (strongly affected by cores-per-node contention and
+memory speed), the *FEA* phases are compute-bound (barely affected) —
+and miniFE's phases respond like Charon's, except for L2/L3 cache
+behaviour in FEA where they diverge (the paper's "fail" diagnostic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.units import SimTime
+from ..memory.bus import BandwidthShare
+from ..memory.cache import CacheHierarchy, LevelSpec
+from ..memory.dram import DRAMModel, tech as lookup_tech
+from ..processor.core import CoreConfig, CoreTimingModel
+from ..processor.mix import WorkloadSpec, workload as lookup_workload
+from ..processor.trace import TraceSpec, measure_hit_rates
+
+#: The phase pairs of the validation study: app -> (FEA phase, solver phase)
+VALIDATION_PAIRS: Dict[str, Tuple[str, str]] = {
+    "minife": ("minife_fea", "minife_solver"),
+    "charon": ("charon_fea", "charon_solver"),
+}
+
+
+@dataclass
+class PhaseResult:
+    """Runtime of one phase at one node operating point."""
+
+    workload: str
+    n_cores: int
+    memory_technology: str
+    runtime_ps: SimTime
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_ps / 1e12
+
+
+def phase_runtime(workload_name: str, *, n_cores: int = 1,
+                  memory_technology: str = "DDR3-1333",
+                  channels: int = 1,
+                  instructions: int = 2_000_000,
+                  issue_width: int = 4, freq_hz: float = 2.4e9,
+                  overlap_penalty: float = 0.3) -> PhaseResult:
+    """Per-core runtime of one phase with ``n_cores`` sharing the node.
+
+    All cores run the same phase (the SPMD reality of an MPI-per-core
+    application); each gets ``1/n_cores`` of the node's memory
+    bandwidth (``channels`` DRAM channels of ``memory_technology``) —
+    the cores-per-node experiment uses a 4-channel Magny-Cours-class
+    node so contention develops gradually across 1..12 cores.
+    """
+    if n_cores < 1:
+        raise ValueError("n_cores must be >= 1")
+    spec = lookup_workload(workload_name)
+    model = CoreTimingModel(CoreConfig(issue_width=issue_width,
+                                       freq_hz=freq_hz), spec)
+    dram = DRAMModel(memory_technology, channels=channels)
+    runtime = model.standalone_runtime_ps(instructions, dram,
+                                          n_sharers=n_cores,
+                                          overlap_penalty=overlap_penalty)
+    return PhaseResult(workload=workload_name, n_cores=n_cores,
+                       memory_technology=memory_technology,
+                       runtime_ps=runtime)
+
+
+def cores_per_node_efficiency(workload_name: str, core_counts: List[int],
+                              **kwargs) -> Dict[int, float]:
+    """Fig. 2 quantity: per-core efficiency vs cores used on the node.
+
+    Efficiency at n cores = t(1 core) / t(n cores): 1.0 when adding
+    cores costs nothing, falling as bandwidth contention bites.
+    """
+    base = phase_runtime(workload_name, n_cores=1, **kwargs).runtime_ps
+    return {
+        n: base / phase_runtime(workload_name, n_cores=n, **kwargs).runtime_ps
+        for n in core_counts
+    }
+
+
+def memory_speed_response(workload_name: str, technologies: List[str],
+                          reference: Optional[str] = None,
+                          **kwargs) -> Dict[str, float]:
+    """Fig. 3 quantity: runtime relative to the fastest memory.
+
+    Returns runtime(tech) / runtime(reference); 1.0 = unaffected by the
+    slower memory (the FEA signature), >1 = slowed (the solver
+    signature).
+    """
+    if not technologies:
+        raise ValueError("need at least one technology")
+    reference = reference or technologies[-1]
+    ref_time = phase_runtime(workload_name, memory_technology=reference,
+                             **kwargs).runtime_ps
+    return {
+        t: phase_runtime(workload_name, memory_technology=t,
+                         **kwargs).runtime_ps / ref_time
+        for t in technologies
+    }
+
+
+def proportional_difference(a: Dict, b: Dict) -> Dict:
+    """Paper Eq. (4): elementwise |a-b|/b over matching keys."""
+    out = {}
+    for key in a:
+        if key in b and b[key]:
+            out[key] = abs(a[key] - b[key]) / abs(b[key])
+    return out
+
+
+STANDARD_HIERARCHY = [
+    LevelSpec("L1", 32 * 1024, ways=8, latency_ps=1_500),
+    LevelSpec("L2", 256 * 1024, ways=8, latency_ps=6_000),
+    LevelSpec("L3", 8 * 1024 * 1024, ways=16, latency_ps=18_000),
+]
+
+#: The Fig. 4 measurement hierarchy: the Nehalem-class hierarchy above
+#: scaled down 64x (the standard scaled-cache technique — see
+#: TraceSpec.for_workload) so the rarely-touched L3-resident working set
+#: warms up within an affordable trace length.
+CACHE_SCALE = 64
+SCALED_HIERARCHY = [
+    LevelSpec("L1", 32 * 1024 // CACHE_SCALE, ways=8, latency_ps=1_500),
+    LevelSpec("L2", 256 * 1024 // CACHE_SCALE, ways=8, latency_ps=6_000),
+    LevelSpec("L3", 8 * 1024 * 1024 // CACHE_SCALE, ways=16, latency_ps=18_000),
+]
+
+
+def cache_hit_rates(workload_name: str, *, n_refs: int = 120_000,
+                    warmup: int = 120_000,
+                    levels: Optional[List[LevelSpec]] = None,
+                    seed: int = 2024) -> Dict[str, float]:
+    """Fig. 4 quantity: per-level hit rates of a phase's reference stream.
+
+    Synthesises an address trace matching the workload's locality
+    profile and measures it against a (64x scaled) Nehalem-class
+    three-level hierarchy.
+    """
+    spec = lookup_workload(workload_name)
+    hierarchy = CacheHierarchy(list(levels or SCALED_HIERARCHY))
+    trace = TraceSpec.for_workload(spec, seed=seed, scale=CACHE_SCALE)
+    return measure_hit_rates(trace, hierarchy, n=n_refs, warmup=warmup)

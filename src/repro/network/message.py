@@ -1,0 +1,48 @@
+"""Network message events.
+
+PySST models the interconnect at *message* granularity with
+store-and-forward bandwidth serialisation per hop — appropriate for the
+paper's studies, which concern injection bandwidth and message-count
+scaling rather than flit-level router microarchitecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core.event import Event
+from ..core.units import SimTime
+
+_msg_ids = itertools.count(1)
+
+
+class NetMessage(Event):
+    """A point-to-point message between two network endpoints.
+
+    ``src``/``dest`` are global endpoint indices (the attach-point
+    numbering of :class:`repro.config.topology.Topology`).  ``tag`` is
+    free-form application routing (e.g. "halo", "allreduce").
+    """
+
+    __slots__ = ("src", "dest", "size", "msg_id", "tag", "send_time", "hops",
+                 "via_group", "via_done")
+
+    def __init__(self, src: int, dest: int, size: int, tag: str = "",
+                 send_time: SimTime = 0):
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.msg_id = next(_msg_ids)
+        self.tag = tag
+        self.send_time = send_time
+        self.hops = 0
+        #: Valiant routing state (dragonfly): the randomly chosen
+        #: intermediate group, set by the ingress router; ``via_done``
+        #: flips once the message has visited it.
+        self.via_group = None
+        self.via_done = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"NetMessage(#{self.msg_id} {self.src}->{self.dest} "
+                f"{self.size}B tag={self.tag!r} hops={self.hops})")

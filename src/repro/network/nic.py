@@ -1,0 +1,79 @@
+"""Network interface with a configurable injection-bandwidth throttle.
+
+The NIC is where the paper's bandwidth-degradation experiment (§4.1,
+Fig. 9) lives: Sandia modified Cray XT5 boot firmware to clamp each
+compute node's link to full / half / quarter / eighth injection
+bandwidth while leaving everything else untouched.  Here the same knob
+is the ``injection_bandwidth`` parameter: outgoing messages serialise
+through the NIC at that rate before entering the router fabric.
+
+Ports: ``cpu`` (endpoint side) and ``net`` (router local port).
+Messages also pay a fixed per-message ``send_overhead`` (software +
+DMA setup), which is what makes small-message apps (Charon) latency-
+rather than bandwidth-sensitive.
+"""
+
+from __future__ import annotations
+
+from ..core.component import Component
+from ..core.registry import register
+from ..core.units import SimTime, bytes_time
+from .message import NetMessage
+
+
+@register("network.Nic")
+class Nic(Component):
+    """Injection-throttled network interface.
+
+    Parameters: ``injection_bandwidth`` (e.g. "3.2GB/s"),
+    ``ejection_bandwidth`` (default = injection), ``send_overhead``
+    (per message, default "500ns"), ``recv_overhead`` (default "300ns").
+
+    Statistics: ``sent``, ``received``, ``bytes_sent``,
+    ``injection_wait_ps`` (time spent queued behind the throttle).
+    """
+
+    PORTS = {
+        "cpu": "endpoint side: messages to send in / delivered messages out",
+        "net": "fabric side: router local port",
+    }
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        p = self.params
+        self.injection_bw = p.find_bandwidth("injection_bandwidth", "3.2GB/s")
+        self.ejection_bw = p.find_bandwidth(
+            "ejection_bandwidth", self.injection_bw
+        )
+        self.send_overhead = p.find_time("send_overhead", "500ns")
+        self.recv_overhead = p.find_time("recv_overhead", "300ns")
+        self._tx_free: SimTime = 0
+        self._rx_free: SimTime = 0
+        self.s_sent = self.stats.counter("sent")
+        self.s_received = self.stats.counter("received")
+        self.s_bytes_sent = self.stats.counter("bytes_sent")
+        self.s_inj_wait = self.stats.accumulator("injection_wait_ps")
+        self.set_handler("cpu", self.on_send)
+        self.set_handler("net", self.on_deliver)
+
+    def on_send(self, event) -> None:
+        """Endpoint handed us a message: throttle, then inject."""
+        assert isinstance(event, NetMessage)
+        event.send_time = self.now
+        start = max(self.now + self.send_overhead, self._tx_free)
+        self.s_inj_wait.add(start - self.now)
+        transfer = bytes_time(event.size, self.injection_bw)
+        self._tx_free = start + transfer
+        self.s_sent.add()
+        self.s_bytes_sent.add(event.size)
+        self.send("net", event, extra_delay=self._tx_free - self.now)
+
+    def on_deliver(self, event) -> None:
+        """Fabric delivered a message: eject and hand to the endpoint."""
+        assert isinstance(event, NetMessage)
+        start = max(self.now, self._rx_free)
+        transfer = bytes_time(event.size, self.ejection_bw)
+        self._rx_free = start + transfer
+        self.s_received.add()
+        done = self._rx_free + self.recv_overhead
+        self.send("cpu", event, extra_delay=done - self.now)

@@ -1,0 +1,42 @@
+"""PySST power, area and cost model library.
+
+McPAT-lite core power/area scaling (:mod:`~repro.power.mcpat_lite`),
+wafer-economics die cost and $/GB memory cost
+(:mod:`~repro.power.cost`), and the design-point aggregation that turns
+runs into performance / perf-per-Watt / perf-per-Dollar rows
+(:mod:`~repro.power.energy`).
+"""
+
+from .cost import (WaferParams, die_cost_dollars, dies_per_wafer,
+                   memory_cost_dollars, poisson_yield, system_cost_dollars)
+from .energy import DesignPoint, evaluate_design_point
+from .mcpat_lite import (WIDTH_EXPONENT, CorePowerModel, CorePowerParams,
+                         register_file_energy_scale)
+from .dvfs import (DvfsParams, DvfsPoint, energy_optimal_frequency,
+                   evaluate_frequency, frequency_sweep)
+from .thermal import (OperatingPoint, ThermalModel, ThermalParams,
+                      ThermalRunaway)
+
+__all__ = [
+    "CorePowerModel",
+    "CorePowerParams",
+    "DesignPoint",
+    "DvfsParams",
+    "DvfsPoint",
+    "OperatingPoint",
+    "ThermalModel",
+    "ThermalParams",
+    "ThermalRunaway",
+    "WIDTH_EXPONENT",
+    "WaferParams",
+    "die_cost_dollars",
+    "dies_per_wafer",
+    "energy_optimal_frequency",
+    "evaluate_design_point",
+    "evaluate_frequency",
+    "frequency_sweep",
+    "memory_cost_dollars",
+    "poisson_yield",
+    "register_file_energy_scale",
+    "system_cost_dollars",
+]

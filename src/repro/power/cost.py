@@ -1,0 +1,77 @@
+"""Chip and memory cost models (the IC Knowledge / DRAMeXchange substitute).
+
+Die cost follows the standard wafer-economics chain the paper alludes
+to ("as chip area increases the number of chips that can fit on a wafer
+decreases... larger chips tend to have much lower manufacturing
+yields"):
+
+* dies per wafer from area and wafer diameter (with edge loss);
+* yield from a Poisson defect model ``Y = exp(-D0 * A)``;
+* die cost = wafer cost / (dies per wafer * yield) + packaging/test.
+
+Memory cost is $/GB by technology, standing in for the DRAM Spot Price
+Index (www.dramexchange.com) feed the paper used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..memory.dram import DRAMTech, tech as lookup_tech
+
+
+@dataclass(frozen=True)
+class WaferParams:
+    """Fabrication economics parameters."""
+
+    wafer_diameter_mm: float = 300.0
+    wafer_cost_dollars: float = 5000.0
+    #: defects per mm^2 (Poisson model)
+    defect_density_per_mm2: float = 0.0025
+    packaging_test_dollars: float = 20.0
+    #: fraction of wafer area unusable at the edge
+    edge_loss_fraction: float = 0.05
+
+
+def dies_per_wafer(area_mm2: float, wafer: WaferParams = WaferParams()) -> int:
+    """Gross dies per wafer (area-based with edge loss)."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    radius = wafer.wafer_diameter_mm / 2.0
+    usable = math.pi * radius * radius * (1.0 - wafer.edge_loss_fraction)
+    # Subtract the classic perimeter correction for rectangular dies.
+    per_wafer = usable / area_mm2 - math.pi * wafer.wafer_diameter_mm / math.sqrt(
+        2.0 * area_mm2
+    )
+    return max(1, int(per_wafer))
+
+
+def poisson_yield(area_mm2: float, wafer: WaferParams = WaferParams()) -> float:
+    """Fraction of dies that work: ``exp(-D0 * A)``."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    return math.exp(-wafer.defect_density_per_mm2 * area_mm2)
+
+
+def die_cost_dollars(area_mm2: float, wafer: WaferParams = WaferParams()) -> float:
+    """Cost of one good, packaged die."""
+    good_dies = dies_per_wafer(area_mm2, wafer) * poisson_yield(area_mm2, wafer)
+    return wafer.wafer_cost_dollars / good_dies + wafer.packaging_test_dollars
+
+
+def memory_cost_dollars(technology: str, capacity_gb: float) -> float:
+    """Capacity cost at the technology's $/GB spot price."""
+    if capacity_gb < 0:
+        raise ValueError("capacity must be non-negative")
+    t: DRAMTech = lookup_tech(technology) if isinstance(technology, str) else technology
+    return t.cost_per_gb * capacity_gb
+
+
+def system_cost_dollars(core_area_mm2: float, memory_technology: str,
+                        memory_gb: float,
+                        wafer: WaferParams = WaferParams()) -> float:
+    """Processor die + memory cost for one node (the Fig. 11 denominator)."""
+    return die_cost_dollars(core_area_mm2, wafer) + memory_cost_dollars(
+        memory_technology, memory_gb
+    )

@@ -1,0 +1,133 @@
+"""Dynamic voltage/frequency scaling (DVFS).
+
+Software-directed power management is one of the knobs the paper's
+author list works on (Pedretti: "software-directed power management
+strategies") and the energy argument of §5.2 ("wider cores ... require
+much more energy to reach a solution") extends naturally to frequency:
+for *bandwidth-bound* workloads, raising the clock burns V²·f dynamic
+power without buying proportional speed, so the energy-optimal
+frequency sits well below f_max — while compute-bound workloads prefer
+race-to-halt.  ``benchmarks/bench_ext_dvfs.py`` quantifies exactly that
+contrast on the abstract core model.
+
+The model: voltage tracks frequency linearly between (f_min, v_min) and
+(f_max, v_max); dynamic energy scales with V², dynamic power with V²·f,
+leakage roughly with V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.units import SimTime
+from ..memory.dram import DRAMModel
+from ..processor.core import CoreConfig, CoreTimingModel
+from ..processor.mix import workload as lookup_workload
+from .mcpat_lite import CorePowerModel, CorePowerParams
+
+
+@dataclass(frozen=True)
+class DvfsParams:
+    """The voltage/frequency operating range of a core."""
+
+    f_min_hz: float = 1.0e9
+    f_max_hz: float = 3.2e9
+    v_min: float = 0.75
+    v_max: float = 1.20
+    #: reference point the CorePowerParams coefficients were fit at
+    f_ref_hz: float = 2.0e9
+
+    def __post_init__(self):
+        if not 0 < self.f_min_hz < self.f_max_hz:
+            raise ValueError("need 0 < f_min < f_max")
+        if not 0 < self.v_min <= self.v_max:
+            raise ValueError("need 0 < v_min <= v_max")
+        if not self.f_min_hz <= self.f_ref_hz <= self.f_max_hz:
+            raise ValueError("f_ref must lie in [f_min, f_max]")
+
+    def voltage(self, freq_hz: float) -> float:
+        """Linear V(f) interpolation; clamps outside the range."""
+        if freq_hz <= self.f_min_hz:
+            return self.v_min
+        if freq_hz >= self.f_max_hz:
+            return self.v_max
+        alpha = (freq_hz - self.f_min_hz) / (self.f_max_hz - self.f_min_hz)
+        return self.v_min + alpha * (self.v_max - self.v_min)
+
+    def dynamic_energy_scale(self, freq_hz: float) -> float:
+        """Per-instruction dynamic energy ~ V^2 relative to the reference."""
+        return (self.voltage(freq_hz) / self.voltage(self.f_ref_hz)) ** 2
+
+    def static_power_scale(self, freq_hz: float) -> float:
+        """Leakage ~ V relative to the reference."""
+        return self.voltage(freq_hz) / self.voltage(self.f_ref_hz)
+
+
+@dataclass
+class DvfsPoint:
+    """One frequency's outcome for a (workload, width, memory) design."""
+
+    freq_hz: float
+    runtime_ps: SimTime
+    core_energy_j: float
+    dram_energy_j: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_ps / 1e12
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.core_energy_j + self.dram_energy_j
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.total_energy_j * self.runtime_s
+
+
+def evaluate_frequency(workload_name: str, freq_hz: float, *,
+                       issue_width: int = 4,
+                       memory_technology: str = "DDR3-1333",
+                       instructions: int = 2_000_000,
+                       dvfs: DvfsParams = DvfsParams(),
+                       core_params: CorePowerParams = CorePowerParams()) -> DvfsPoint:
+    """Runtime and energy of one operating frequency (analytic path)."""
+    spec = lookup_workload(workload_name)
+    model = CoreTimingModel(CoreConfig(issue_width=issue_width,
+                                       freq_hz=freq_hz), spec)
+    dram = DRAMModel(memory_technology)
+    runtime_ps = model.standalone_runtime_ps(instructions, dram)
+    runtime_s = runtime_ps / 1e12
+
+    power_model = CorePowerModel(issue_width, freq_hz, core_params)
+    dynamic = (power_model.energy_per_instruction_j() * instructions
+               * dvfs.dynamic_energy_scale(freq_hz))
+    static = (power_model.static_power_w() * runtime_s
+              * dvfs.static_power_scale(freq_hz))
+
+    # DRAM: demand traffic energy + background over the (frequency-
+    # dependent) runtime.
+    timing = model.block(instructions, dram.tech)
+    tech = dram.tech
+    dram_dynamic = timing.dram_bytes * 8 * tech.access_energy_pj_per_bit * 1e-12
+    dram_background = tech.background_power_w * runtime_s
+    return DvfsPoint(
+        freq_hz=freq_hz,
+        runtime_ps=runtime_ps,
+        core_energy_j=dynamic + static,
+        dram_energy_j=dram_dynamic + dram_background,
+    )
+
+
+def frequency_sweep(workload_name: str, freqs_hz, **kwargs) -> Dict[float, DvfsPoint]:
+    """Evaluate a list of operating frequencies."""
+    return {f: evaluate_frequency(workload_name, f, **kwargs)
+            for f in freqs_hz}
+
+
+def energy_optimal_frequency(sweep: Dict[float, DvfsPoint]) -> float:
+    """The frequency minimising total energy-to-solution."""
+    if not sweep:
+        raise ValueError("empty sweep")
+    return min(sweep, key=lambda f: sweep[f].total_energy_j)

@@ -1,0 +1,99 @@
+"""System-level energy/efficiency aggregation.
+
+Combines the core power model (:mod:`~repro.power.mcpat_lite`), the
+DRAM energy bookkeeping carried by :class:`~repro.memory.dram.DRAMModel`
+and the cost models (:mod:`~repro.power.cost`) into the three headline
+metrics of the paper's design-space study: performance, performance per
+Watt, and performance per Dollar (Figs. 10-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.units import SimTime
+from ..memory.dram import DRAMModel
+from .cost import WaferParams, system_cost_dollars
+from .mcpat_lite import CorePowerModel, CorePowerParams
+
+
+@dataclass
+class DesignPoint:
+    """One (core x memory) configuration's measured outcome."""
+
+    name: str
+    issue_width: int
+    memory_technology: str
+    runtime_ps: SimTime
+    instructions: int
+    core_power_w: float
+    dram_power_w: float
+    system_cost_dollars: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_ps / 1e12
+
+    @property
+    def performance(self) -> float:
+        """Work per second (instructions/s) — higher is better."""
+        return self.instructions / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    @property
+    def total_power_w(self) -> float:
+        return self.core_power_w + self.dram_power_w
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.performance / self.total_power_w if self.total_power_w else 0.0
+
+    @property
+    def perf_per_dollar(self) -> float:
+        return (self.performance / self.system_cost_dollars
+                if self.system_cost_dollars else 0.0)
+
+    @property
+    def energy_to_solution_j(self) -> float:
+        return self.total_power_w * self.runtime_s
+
+
+def evaluate_design_point(
+    name: str,
+    *,
+    issue_width: int,
+    freq_hz: float,
+    memory_technology: str,
+    runtime_ps: SimTime,
+    instructions: int,
+    dram: DRAMModel,
+    memory_gb: float = 4.0,
+    core_params: CorePowerParams = CorePowerParams(),
+    wafer: WaferParams = WaferParams(),
+    n_cores: int = 1,
+) -> DesignPoint:
+    """Fold one run's measurements into a :class:`DesignPoint`.
+
+    ``dram`` must be the model instance the run actually exercised (its
+    dynamic-energy counters are read here); ``runtime_ps`` and
+    ``instructions`` come from the core's statistics.
+    """
+    if runtime_ps <= 0:
+        raise ValueError("runtime must be positive")
+    core_model = CorePowerModel(issue_width, freq_hz, core_params)
+    runtime_s = runtime_ps / 1e12
+    ips = instructions / runtime_s
+    core_power = core_model.total_power_w(ips / n_cores) * n_cores
+    dram_power = dram.average_power_w(runtime_ps)
+    cost = system_cost_dollars(core_model.area_mm2() * n_cores,
+                               memory_technology, memory_gb, wafer)
+    return DesignPoint(
+        name=name,
+        issue_width=issue_width,
+        memory_technology=memory_technology,
+        runtime_ps=runtime_ps,
+        instructions=instructions,
+        core_power_w=core_power,
+        dram_power_w=dram_power,
+        system_cost_dollars=cost,
+    )

@@ -1,0 +1,100 @@
+"""McPAT-lite: analytic core power and area model.
+
+The paper's SST study used McPAT for processor power; we reproduce the
+first-order scaling behaviour it would report for an in-order core
+swept across issue widths:
+
+* **super-linear area/energy growth with width** — multi-ported
+  register files, wakeup/select and bypass networks scale at roughly
+  O(w^1.8) in area and energy per access (Zyuban's thesis, the paper's
+  ref [43]);
+* **dynamic energy per instruction** grows mildly with width (wider
+  structures are touched per instruction even when issue slots go
+  empty);
+* **static (leakage) power proportional to area**, hence also ~w^1.8.
+
+Defaults are calibrated so that an 8-wide core burns ~2.2x the power of
+a single-issue core while running ~1.8x faster on a partially
+memory-bound miniapp — the Fig. 12 operating point ("78% faster, 123%
+more power").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: exponent for width-scaled structures (regfile, bypass) — ref [43]
+WIDTH_EXPONENT = 1.8
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    """Tunable coefficients of the core power/area model."""
+
+    #: dynamic energy per retired instruction at reference width 1 (J)
+    epi_base_j: float = 1.0e-9
+    #: mild width dependence of per-instruction energy
+    epi_width_exponent: float = 0.12
+    #: width-independent static power (uncore share), W
+    static_base_w: float = 1.0
+    #: coefficient of the w^1.8 leakage term, W
+    static_width_w: float = 0.055
+    #: reference frequency for the dynamic term (dynamic power ~ f)
+    ref_freq_hz: float = 2.0e9
+    #: fixed (uncore, caches, IO) die area, mm^2
+    area_base_mm2: float = 40.0
+    #: coefficient of the w^1.8 core-area term, mm^2
+    area_width_mm2: float = 3.0
+
+
+class CorePowerModel:
+    """Power/area estimates for one core configuration."""
+
+    def __init__(self, issue_width: int, freq_hz: float = 2.0e9,
+                 params: CorePowerParams = CorePowerParams()):
+        if issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if freq_hz <= 0:
+            raise ValueError("freq_hz must be positive")
+        self.width = issue_width
+        self.freq_hz = freq_hz
+        self.params = params
+
+    # -- energy / power --------------------------------------------------
+    def energy_per_instruction_j(self) -> float:
+        """Dynamic energy per retired instruction (frequency-independent
+        to first order; voltage scaling is out of scope)."""
+        p = self.params
+        return p.epi_base_j * (self.width ** p.epi_width_exponent)
+
+    def static_power_w(self) -> float:
+        p = self.params
+        return p.static_base_w + p.static_width_w * (self.width ** WIDTH_EXPONENT)
+
+    def dynamic_power_w(self, instructions_per_second: float) -> float:
+        return self.energy_per_instruction_j() * instructions_per_second
+
+    def total_power_w(self, instructions_per_second: float) -> float:
+        return self.dynamic_power_w(instructions_per_second) + self.static_power_w()
+
+    def energy_j(self, instructions: float, elapsed_s: float) -> float:
+        """Total core energy of a run: dynamic per instruction + leakage."""
+        return (self.energy_per_instruction_j() * instructions
+                + self.static_power_w() * elapsed_s)
+
+    # -- area -------------------------------------------------------------
+    def area_mm2(self) -> float:
+        p = self.params
+        return p.area_base_mm2 + p.area_width_mm2 * (self.width ** WIDTH_EXPONENT)
+
+
+def register_file_energy_scale(width: int) -> float:
+    """Relative register-file energy per access vs a 1-wide core: O(w^1.8).
+
+    Exposed separately because it is the headline scaling law quoted in
+    the paper ("register file energy per access and area scales at
+    roughly O(w^1.8)").
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return float(width) ** WIDTH_EXPONENT

@@ -1,0 +1,172 @@
+"""Temperature and leakage modelling (paper §5, objective functions).
+
+The paper's prediction section argues that "accurate temperature
+modeling is required for accurate power and energy modeling due to its
+effect on leakage current", and that temperature further degrades
+reliability (electromigration, dielectric breakdown, thermal cycling).
+This module supplies the standard first-order forms of both couplings:
+
+* a lumped **thermal RC** node: die temperature follows
+  ``C_th dT/dt = P - (T - T_amb) / R_th``;
+* **temperature-dependent leakage**: ``P_leak(T) = P_leak(T0) *
+  exp(beta * (T - T0))`` — the exponential subthreshold form;
+* the **closed loop**: leakage heats the die, heat raises leakage; the
+  steady state is a fixed point, and its absence is *thermal runaway*;
+* an **Arrhenius acceleration factor** mapping temperature to failure
+  rate, which plugs straight into :mod:`repro.resilience`'s MTBF —
+  closing the paper's temperature->reliability arrow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV = 8.617e-5
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Lumped die+package thermal model parameters."""
+
+    ambient_c: float = 40.0
+    #: junction-to-ambient thermal resistance, degC per Watt
+    r_thermal_c_per_w: float = 0.8
+    #: thermal capacitance, Joules per degC (sets the time constant)
+    c_thermal_j_per_c: float = 25.0
+    #: leakage power at the reference temperature, W
+    leakage_ref_w: float = 1.0
+    reference_c: float = 60.0
+    #: exponential leakage sensitivity, 1/degC (typ. 0.01-0.04)
+    leakage_beta: float = 0.02
+    #: junction temperature limit (throttle/shutdown), degC
+    t_max_c: float = 105.0
+
+    def __post_init__(self):
+        if self.r_thermal_c_per_w <= 0 or self.c_thermal_j_per_c <= 0:
+            raise ValueError("thermal R and C must be positive")
+        if self.leakage_ref_w < 0 or self.leakage_beta < 0:
+            raise ValueError("leakage parameters must be non-negative")
+
+    @property
+    def time_constant_s(self) -> float:
+        return self.r_thermal_c_per_w * self.c_thermal_j_per_c
+
+    def leakage_w(self, temperature_c: float) -> float:
+        """Exponential subthreshold leakage at a junction temperature."""
+        return self.leakage_ref_w * math.exp(
+            self.leakage_beta * (temperature_c - self.reference_c)
+        )
+
+
+class ThermalRunaway(RuntimeError):
+    """No stable operating point exists for the given dynamic power."""
+
+
+@dataclass
+class OperatingPoint:
+    """A converged electro-thermal steady state."""
+
+    temperature_c: float
+    dynamic_power_w: float
+    leakage_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.dynamic_power_w + self.leakage_power_w
+
+
+class ThermalModel:
+    """Transient and steady-state solutions of the coupled system."""
+
+    def __init__(self, params: ThermalParams = ThermalParams()):
+        self.params = params
+
+    # -- steady state -----------------------------------------------------
+    def steady_state(self, dynamic_power_w: float,
+                     max_iterations: int = 200,
+                     tolerance_c: float = 1e-6) -> OperatingPoint:
+        """Fixed point of T = T_amb + R*(P_dyn + P_leak(T)).
+
+        Raises :class:`ThermalRunaway` if the iteration diverges past
+        ``t_max_c`` — leakage growth outrunning conduction.
+        """
+        if dynamic_power_w < 0:
+            raise ValueError("dynamic power must be non-negative")
+        p = self.params
+        temperature = p.ambient_c + p.r_thermal_c_per_w * dynamic_power_w
+        for _ in range(max_iterations):
+            leakage = p.leakage_w(temperature)
+            new_temperature = p.ambient_c + p.r_thermal_c_per_w * (
+                dynamic_power_w + leakage
+            )
+            # Damped update keeps the iteration stable near criticality.
+            new_temperature = 0.5 * temperature + 0.5 * new_temperature
+            if new_temperature > p.t_max_c * 2:
+                raise ThermalRunaway(
+                    f"no operating point below {p.t_max_c}C for "
+                    f"{dynamic_power_w:.1f}W dynamic"
+                )
+            if abs(new_temperature - temperature) < tolerance_c:
+                temperature = new_temperature
+                break
+            temperature = new_temperature
+        else:
+            raise ThermalRunaway("fixed-point iteration did not converge")
+        if temperature > p.t_max_c:
+            raise ThermalRunaway(
+                f"steady state {temperature:.1f}C exceeds the "
+                f"{p.t_max_c}C junction limit"
+            )
+        return OperatingPoint(
+            temperature_c=temperature,
+            dynamic_power_w=dynamic_power_w,
+            leakage_power_w=p.leakage_w(temperature),
+        )
+
+    # -- transient ----------------------------------------------------------
+    def transient(self, dynamic_power_w: float, duration_s: float,
+                  dt_s: float = 0.05,
+                  initial_c: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Explicit-Euler temperature trajectory [(t, T), ...]."""
+        if dt_s <= 0 or duration_s <= 0:
+            raise ValueError("durations must be positive")
+        p = self.params
+        temperature = p.ambient_c if initial_c is None else initial_c
+        trace = [(0.0, temperature)]
+        steps = int(duration_s / dt_s)
+        for i in range(1, steps + 1):
+            power = dynamic_power_w + p.leakage_w(temperature)
+            d_temp = (power - (temperature - p.ambient_c)
+                      / p.r_thermal_c_per_w) / p.c_thermal_j_per_c
+            temperature += d_temp * dt_s
+            trace.append((i * dt_s, temperature))
+        return trace
+
+    # -- reliability coupling -------------------------------------------------
+    @staticmethod
+    def arrhenius_acceleration(temperature_c: float,
+                               reference_c: float = 60.0,
+                               activation_ev: float = 0.7) -> float:
+        """Failure-rate acceleration factor at ``temperature_c``.
+
+        AF = exp( Ea/k * (1/T_ref - 1/T) ) with temperatures in Kelvin;
+        AF > 1 means failures come faster than at the reference.
+        """
+        t_k = temperature_c + 273.15
+        ref_k = reference_c + 273.15
+        if t_k <= 0 or ref_k <= 0:
+            raise ValueError("temperatures must exceed absolute zero")
+        return math.exp(activation_ev / BOLTZMANN_EV * (1.0 / ref_k - 1.0 / t_k))
+
+    def derated_mtbf_s(self, nominal_mtbf_s: float,
+                       temperature_c: float,
+                       reference_c: float = 60.0) -> float:
+        """MTBF at temperature: nominal / Arrhenius acceleration."""
+        if nominal_mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        return nominal_mtbf_s / self.arrhenius_acceleration(
+            temperature_c, reference_c
+        )

@@ -1,0 +1,54 @@
+"""PySST processor model library.
+
+Abstract CPU cores driven by statistical workload descriptions
+(:mod:`~repro.processor.mix`), synthetic memory-trace generation
+(:mod:`~repro.processor.trace`), the block-stepped multi-issue core and
+request-level traffic generator (:mod:`~repro.processor.core`), and the
+analytic SIMT GPU model (:mod:`~repro.processor.gpu`).
+
+Component types registered: ``processor.MixCore``,
+``processor.TrafficGenerator``.
+"""
+
+from .core import (BlockTiming, BulkMemRequest, BulkMemResponse, CoreConfig,
+                   CoreTimingModel, MixCore, TrafficGenerator)
+from .gpu import (FERMI_M2090, KEPLER_LIKE, GpuSpec, GpuTimingModel,
+                  KernelEstimate, KernelProfile)
+from .mix import (HPCCG, LULESH, MINIFE_FEA, MINIFE_SOLVER, WORKLOADS,
+                  InstructionMix, MemoryProfile, WorkloadSpec, workload)
+from .trace import Region, TraceSpec, measure_hit_rates
+from .tracefile import (TraceFormatError, TraceReplayCore, read_trace,
+                        record_trace, write_trace)
+
+__all__ = [
+    "BlockTiming",
+    "BulkMemRequest",
+    "BulkMemResponse",
+    "CoreConfig",
+    "CoreTimingModel",
+    "FERMI_M2090",
+    "GpuSpec",
+    "GpuTimingModel",
+    "HPCCG",
+    "InstructionMix",
+    "KEPLER_LIKE",
+    "KernelEstimate",
+    "KernelProfile",
+    "LULESH",
+    "MINIFE_FEA",
+    "MINIFE_SOLVER",
+    "MemoryProfile",
+    "MixCore",
+    "Region",
+    "TraceFormatError",
+    "TraceReplayCore",
+    "TraceSpec",
+    "TrafficGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "measure_hit_rates",
+    "read_trace",
+    "record_trace",
+    "workload",
+    "write_trace",
+]

@@ -1,0 +1,363 @@
+"""Abstract processor-core models.
+
+The GeM5 substitute (see the substitution catalogue in DESIGN.md): an
+in-order, multi-issue core whose timing is computed per *block* of
+instructions from a statistical workload description, rather than per
+instruction.  Per-block stepping keeps event counts tractable for a
+pure-Python DES while retaining the effects the paper's SST studies
+measure:
+
+* issue-width scaling saturating at the workload's ILP;
+* cache-miss latency stalls, overlapped up to the core's MLP;
+* DRAM bandwidth as a roofline — a core (or several cores sharing a
+  memory) cannot retire bandwidth-bound blocks faster than the memory
+  system moves their data.  Contention between cores emerges naturally
+  because each block's DRAM traffic serialises through the shared
+  :class:`~repro.memory.dram.DRAMModel` channel state.
+
+Two components are registered:
+
+* ``processor.MixCore`` — the block-stepped abstract core, driven by a
+  named workload from :mod:`repro.processor.mix`.
+* ``processor.TrafficGenerator`` — a simple request-level load/store
+  issuer with a bounded outstanding window, for driving event-driven
+  cache/bus/memory chains in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.component import Component
+from ..core.event import Event
+from ..core.registry import register
+from ..core.units import SimTime
+from ..memory.dram import DRAMModel, DRAMTech
+from ..memory.events import MemRequest, MemResponse
+from .mix import WorkloadSpec, workload as lookup_workload
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of the abstract core."""
+
+    issue_width: int = 2
+    freq_hz: float = 2.0e9
+    #: memory-level parallelism: how many outstanding long-latency misses
+    #: the core overlaps (MSHRs + OoO window effect).
+    mlp: float = 4.0
+    l1_latency_ps: SimTime = 1_500   # ~3 cycles at 2GHz
+    l2_latency_ps: SimTime = 6_000   # ~12 cycles
+    l3_latency_ps: SimTime = 18_000  # ~36 cycles
+
+    def __post_init__(self):
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.freq_hz <= 0:
+            raise ValueError("freq_hz must be positive")
+        if self.mlp < 1:
+            raise ValueError("mlp must be >= 1")
+
+
+@dataclass
+class BlockTiming:
+    """Latency decomposition of one instruction block."""
+
+    n_instructions: int
+    compute_ps: SimTime        #: issue-limited time (no memory stalls)
+    cache_stall_ps: SimTime    #: L2/L3 hit latency exposure
+    dram_latency_ps: SimTime   #: DRAM latency exposure (MLP-divided)
+    dram_bytes: int            #: demand traffic handed to the memory system
+    dram_accesses: int
+
+    @property
+    def latency_bound_ps(self) -> SimTime:
+        return self.compute_ps + self.cache_stall_ps + self.dram_latency_ps
+
+
+class CoreTimingModel:
+    """Computes per-block timing for (core config x workload) pairs."""
+
+    def __init__(self, config: CoreConfig, spec: WorkloadSpec):
+        self.config = config
+        self.spec = spec
+
+    def effective_issue(self) -> float:
+        """Sustained instructions/cycle: harmonic blend of width and ILP.
+
+        ``1/(1/W + 1/ILP)`` models the dependency stalls that keep wide
+        cores from reaching their nominal width — the source of the
+        sub-linear width scaling in Fig. 12 (8-wide only ~78% faster
+        than 1-wide).
+        """
+        w = float(self.config.issue_width)
+        ilp = self.spec.mix.ilp
+        return 1.0 / (1.0 / w + 1.0 / ilp)
+
+    def block(self, n_instructions: int,
+              dram_tech: Optional[DRAMTech] = None,
+              dram_row_hit_rate: float = 0.6) -> BlockTiming:
+        """Timing decomposition for ``n_instructions`` of this workload."""
+        cfg = self.config
+        mix = self.spec.mix
+        prof = self.spec.memory
+        cycle_ps = 1e12 / cfg.freq_hz
+
+        compute_cycles = n_instructions / self.effective_issue()
+        compute_ps = int(round(compute_cycles * cycle_ps))
+
+        misses = prof.miss_per_instr(mix.memory_fraction)
+        levels = list(misses.keys())
+        # An L1 miss pays the L2 latency, an L2 miss the L3 latency...
+        next_latency = {
+            "L1": cfg.l2_latency_ps,
+            "L2": cfg.l3_latency_ps,
+        }
+        cache_stall = 0.0
+        for level in levels:
+            lat = next_latency.get(level)
+            if lat is not None:
+                cache_stall += misses[level] * n_instructions * lat
+        cache_stall_ps = int(round(cache_stall / cfg.mlp))
+
+        dram_accesses = int(round(
+            prof.dram_accesses_per_instr(mix.memory_fraction) * n_instructions
+        ))
+        dram_bytes = int(round(prof.dram_bytes_per_instr * n_instructions))
+        dram_latency_ps = 0
+        if dram_tech is not None and dram_accesses:
+            avg = (dram_row_hit_rate * dram_tech.t_cas_ps
+                   + (1.0 - dram_row_hit_rate) * dram_tech.row_miss_latency_ps)
+            dram_latency_ps = int(round(dram_accesses * avg / cfg.mlp))
+
+        return BlockTiming(
+            n_instructions=n_instructions,
+            compute_ps=compute_ps,
+            cache_stall_ps=cache_stall_ps,
+            dram_latency_ps=dram_latency_ps,
+            dram_bytes=dram_bytes,
+            dram_accesses=dram_accesses,
+        )
+
+    def standalone_runtime_ps(self, n_instructions: int, dram: DRAMModel,
+                              n_sharers: int = 1,
+                              overlap_penalty: float = 0.3) -> SimTime:
+        """Runtime estimate without a DES (used by quick sweeps).
+
+        Partial-overlap roofline, matching :class:`MixCore`'s block
+        completion rule: ``max(C, M) + k*min(C, M)`` where C is the
+        latency-bound (compute + cache stall) time, M the DRAM transfer
+        time at this core's bandwidth share, and k the fraction of the
+        shorter component that the core fails to hide behind the longer
+        (k=0 is a hard roofline, k=1 fully serial).
+        """
+        timing = self.block(n_instructions, dram.tech)
+        bw = dram.peak_bandwidth / n_sharers
+        bw_ps = int(round(timing.dram_bytes / bw * 1e12)) if timing.dram_bytes else 0
+        c = timing.latency_bound_ps
+        return max(c, bw_ps) + int(round(overlap_penalty * min(c, bw_ps)))
+
+
+class BulkMemRequest(Event):
+    """Aggregate DRAM traffic of one instruction block."""
+
+    __slots__ = ("nbytes", "accesses", "req_id")
+
+    _next_id = 0
+
+    def __init__(self, nbytes: int, accesses: int):
+        self.nbytes = nbytes
+        self.accesses = accesses
+        BulkMemRequest._next_id += 1
+        self.req_id = BulkMemRequest._next_id
+
+
+class BulkMemResponse(Event):
+    __slots__ = ("req_id",)
+
+    def __init__(self, req_id: int):
+        self.req_id = req_id
+
+
+@register("processor.MixCore")
+class MixCore(Component):
+    """Block-stepped abstract core running a statistical workload.
+
+    Ports: ``mem`` — optional link to a bulk-capable memory
+    (``memory.NodeMemory``); without it, DRAM traffic is assumed
+    unconstrained (latency-only model).
+
+    Parameters: ``workload`` (name in :data:`repro.processor.mix.WORKLOADS`),
+    ``instructions`` (total to retire), ``block`` (instructions per DES
+    block, default 100k), ``issue_width``, ``clock`` (e.g. "2GHz"),
+    ``mlp``.
+
+    Statistics: ``instructions``, ``blocks``, ``compute_ps``,
+    ``stall_ps``, ``runtime_ps``.
+    """
+
+    PORTS = {"mem": "bulk DRAM traffic to the node memory (optional)"}
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        p = self.params
+        spec_name = p.find_str("workload", "hpccg")
+        self.spec = lookup_workload(spec_name)
+        self.total_instructions = p.find_int("instructions",
+                                             self.spec.instructions_per_iteration)
+        self.block_size = p.find_int("block", 100_000)
+        self.config = CoreConfig(
+            issue_width=p.find_int("issue_width", 2),
+            freq_hz=p.find_freq_hz("clock", "2GHz"),
+            mlp=p.find_float("mlp", 4.0),
+        )
+        #: fraction of the shorter of (compute, memory) that is NOT hidden
+        #: behind the longer — 0 would be a perfect roofline overlap.
+        self.overlap_penalty = p.find_float("overlap_penalty", 0.3)
+        self.model = CoreTimingModel(self.config, self.spec)
+        self._retired = 0
+        self._block_started: SimTime = 0
+        self._pending_compute_done: SimTime = 0
+        self.s_instructions = self.stats.counter("instructions")
+        self.s_blocks = self.stats.counter("blocks")
+        self.s_compute = self.stats.counter("compute_ps")
+        self.s_stall = self.stats.counter("stall_ps")
+        self.s_runtime = self.stats.counter("runtime_ps")
+        self.set_handler("mem", self.on_mem_response)
+        self.register_as_primary()
+
+    def setup(self) -> None:
+        self._start_block()
+
+    # -- block state machine ------------------------------------------------
+    def _start_block(self) -> None:
+        remaining = self.total_instructions - self._retired
+        if remaining <= 0:
+            self.s_runtime.add(self.now - self.s_runtime.count)
+            self.primary_ok_to_end()
+            return
+        n = min(self.block_size, remaining)
+        # DRAM latency exposure is computed by the memory side; locally we
+        # account compute + cache stalls.
+        timing = self.model.block(n, dram_tech=self._dram_tech())
+        self._block_started = self.now
+        self._current_block = timing
+        compute_done_delay = timing.latency_bound_ps
+        self._pending_compute_done = self.now + compute_done_delay
+        if timing.dram_bytes and self.port_connected("mem"):
+            self.send("mem", BulkMemRequest(timing.dram_bytes,
+                                            timing.dram_accesses))
+        else:
+            self.schedule(compute_done_delay, self._finish_block, None)
+
+    def _dram_tech(self) -> Optional[DRAMTech]:
+        # The attached node memory advertises its technology during wiring
+        # (see NodeMemory.setup); fall back to latency-free if absent.
+        return getattr(self, "_advertised_tech", None)
+
+    def advertise_tech(self, tech: DRAMTech) -> None:
+        self._advertised_tech = tech
+
+    def on_mem_response(self, event) -> None:
+        assert isinstance(event, BulkMemResponse)
+        # Partial overlap: the block ends after the longer of compute and
+        # memory, plus a penalty fraction of the shorter one (imperfect
+        # compute/memory overlap in an in-order core).
+        compute_elapsed = self._pending_compute_done - self._block_started
+        memory_elapsed = self.now - self._block_started
+        total = max(compute_elapsed, memory_elapsed) + int(round(
+            self.overlap_penalty * min(compute_elapsed, memory_elapsed)
+        ))
+        finish_at = self._block_started + total
+        self.schedule(max(0, finish_at - self.now), self._finish_block, None)
+
+    def _finish_block(self, _payload) -> None:
+        timing = self._current_block
+        self._retired += timing.n_instructions
+        self.s_instructions.add(timing.n_instructions)
+        self.s_blocks.add()
+        self.s_compute.add(timing.compute_ps)
+        stall = (self.now - self._block_started) - timing.compute_ps
+        self.s_stall.add(max(0, stall))
+        self._start_block()
+
+    @property
+    def retired(self) -> int:
+        return self._retired
+
+    def runtime_ps(self) -> SimTime:
+        return self.s_runtime.count
+
+
+@register("processor.TrafficGenerator")
+class TrafficGenerator(Component):
+    """Request-level load/store issuer with a bounded outstanding window.
+
+    Drives event-driven memory chains (Cache -> Bus -> MainMemory).
+    Ports: ``mem``.  Parameters: ``requests`` (count), ``outstanding``
+    (window), ``pattern`` ("stream" | "random"), ``footprint``
+    (random-pattern address range, e.g. "16MB"), ``stride`` (stream
+    pattern), ``write_fraction``, ``size`` (bytes per request), and
+    ``base`` (address-space offset, so several generators can work
+    disjoint regions).
+
+    Statistics: ``issued``, ``completed``, ``latency_ps`` accumulator,
+    ``runtime_ps``.
+    """
+
+    PORTS = {"mem": "MemRequest out / MemResponse in"}
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        p = self.params
+        self.n_requests = p.find_int("requests", 1000)
+        self.window = p.find_int("outstanding", 8)
+        self.pattern = p.find_str("pattern", "stream")
+        if self.pattern not in ("stream", "random"):
+            raise ValueError(f"{name}: unknown pattern {self.pattern!r}")
+        self.footprint = p.find_size_bytes("footprint", "16MB")
+        self.base = p.find_size_bytes("base", 0)
+        self.stride = p.find_int("stride", 64)
+        self.write_fraction = p.find_float("write_fraction", 0.0)
+        self.req_size = p.find_int("size", 64)
+        self._issued = 0
+        self._inflight = {}
+        self.s_issued = self.stats.counter("issued")
+        self.s_completed = self.stats.counter("completed")
+        self.s_latency = self.stats.accumulator("latency_ps")
+        self.s_runtime = self.stats.counter("runtime_ps")
+        self.set_handler("mem", self.on_response)
+        self.register_as_primary()
+
+    def setup(self) -> None:
+        for _ in range(min(self.window, self.n_requests)):
+            self._issue()
+
+    def _next_addr(self) -> int:
+        if self.pattern == "stream":
+            return self.base + (self._issued * self.stride) % self.footprint
+        return self.base + int(
+            self.rng.integers(0, max(self.footprint // 8, 1))) * 8
+
+    def _issue(self) -> None:
+        addr = self._next_addr()
+        is_write = bool(self.rng.random() < self.write_fraction)
+        request = MemRequest(addr, self.req_size, is_write)
+        self._inflight[request.req_id] = self.now
+        self._issued += 1
+        self.s_issued.add()
+        self.send("mem", request)
+
+    def on_response(self, event) -> None:
+        assert isinstance(event, MemResponse)
+        started = self._inflight.pop(event.req_id, None)
+        if started is None:
+            return
+        self.s_completed.add()
+        self.s_latency.add(self.now - started)
+        if self._issued < self.n_requests:
+            self._issue()
+        elif not self._inflight:
+            self.s_runtime.add(self.now - self.s_runtime.count)
+            self.primary_ok_to_end()

@@ -1,0 +1,191 @@
+"""Analytic SIMT GPU model (the Fermi substitute).
+
+The miniFE CUDA study (paper §3.4, Fig. 8) turns on one mechanism:
+*register spilling*.  The FE assembly kernel needs ~700+ bytes of
+per-thread state but a Fermi thread gets at most 63 x 32-bit registers
+(252 bytes); the spilled state overflows L1/L2 (which offer only ~96
+bytes/thread at full occupancy) and lands in global memory, turning a
+floating-point-intensive kernel into a bandwidth-bound one.
+
+The model computes, per kernel launch:
+
+* **occupancy** — threads resident per SM, limited by the register
+  file, shared memory, and the hardware thread cap;
+* **spill traffic** — per-thread state beyond the register budget
+  spills; the portion that doesn't fit in the per-thread share of
+  L1+L2 generates global-memory traffic on every reuse;
+* **runtime** — a roofline over compute (FLOPs at the SM throughput)
+  and memory (demand + spill traffic over device bandwidth), plus PCIe
+  transfer time for host<->device movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Device parameters (defaults are NVIDIA Fermi M2090-class)."""
+
+    name: str = "Fermi-M2090"
+    n_sms: int = 16
+    cores_per_sm: int = 32
+    clock_hz: float = 1.3e9
+    #: FMA counts as 2 flops/cycle/core
+    flops_per_core_cycle: float = 2.0
+    max_registers_per_thread: int = 63
+    register_bytes: int = 4
+    registers_per_sm: int = 32768
+    max_threads_per_sm: int = 1536
+    threads_per_block: int = 512
+    l1_bytes_per_sm: int = 48 * 1024
+    l2_bytes_total: int = 768 * 1024
+    shared_bytes_per_sm: int = 48 * 1024
+    mem_bandwidth_bytes_per_s: float = 177e9
+    pcie_bandwidth_bytes_per_s: float = 6e9  # Gen-2 x16 effective
+
+    @property
+    def peak_flops(self) -> float:
+        return (self.n_sms * self.cores_per_sm * self.flops_per_core_cycle
+                * self.clock_hz)
+
+    @property
+    def register_budget_bytes(self) -> int:
+        return self.max_registers_per_thread * self.register_bytes
+
+
+FERMI_M2090 = GpuSpec()
+
+#: A Kepler-generation what-if: the "future generations of NVIDIA
+#: systems are expected to address some of these findings" paragraph of
+#: §3.4 — more registers per thread and bigger L1/L2.
+KEPLER_LIKE = GpuSpec(
+    name="Kepler-like",
+    max_registers_per_thread=255,
+    registers_per_sm=65536,
+    l1_bytes_per_sm=64 * 1024,
+    l2_bytes_total=1536 * 1024,
+    mem_bandwidth_bytes_per_s=250e9,
+    n_sms=14,
+    cores_per_sm=192,
+    clock_hz=0.8e9,
+)
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-thread resource/traffic description of one kernel."""
+
+    name: str
+    flops_per_thread: float
+    #: architectural state the kernel needs live per thread
+    state_bytes_per_thread: int
+    #: compulsory global-memory traffic per thread (inputs + outputs)
+    mem_bytes_per_thread: float
+    #: average reuses of each spilled byte (each reuse is a round trip)
+    spill_reuse: float = 2.0
+    shared_bytes_per_thread: int = 0
+    #: registers the compiler actually allocates (None = as much state
+    #: as fits the cap)
+    registers_per_thread: Optional[int] = None
+
+    def with_optimizations(self, state_reduction_bytes: int = 0,
+                           shared_bytes: int = 0) -> "KernelProfile":
+        """Apply the §3.4 tuning: shrink live state (symmetry, reordering)
+        and move part of it to shared memory."""
+        new_state = max(0, self.state_bytes_per_thread - state_reduction_bytes
+                        - shared_bytes)
+        return replace(self, state_bytes_per_thread=new_state,
+                       shared_bytes_per_thread=self.shared_bytes_per_thread
+                       + shared_bytes)
+
+
+@dataclass
+class KernelEstimate:
+    """Model outputs for one kernel launch."""
+
+    occupancy_threads_per_sm: int
+    occupancy_fraction: float
+    spill_bytes_per_thread: int
+    cached_spill_bytes_per_thread: int
+    spill_traffic_bytes: float
+    compute_time_s: float
+    memory_time_s: float
+    runtime_s: float
+    bandwidth_bound: bool
+
+
+class GpuTimingModel:
+    """Occupancy / spill / roofline estimator for one device."""
+
+    def __init__(self, spec: GpuSpec = FERMI_M2090):
+        self.spec = spec
+
+    # -- occupancy -----------------------------------------------------
+    def occupancy(self, kernel: KernelProfile) -> int:
+        """Resident threads per SM under register/shared/thread limits."""
+        spec = self.spec
+        regs = kernel.registers_per_thread
+        if regs is None:
+            needed = kernel.state_bytes_per_thread // spec.register_bytes
+            regs = min(spec.max_registers_per_thread, max(needed, 16))
+        by_registers = spec.registers_per_sm // max(regs, 1)
+        if kernel.shared_bytes_per_thread > 0:
+            by_shared = spec.shared_bytes_per_sm // kernel.shared_bytes_per_thread
+        else:
+            by_shared = spec.max_threads_per_sm
+        threads = min(by_registers, by_shared, spec.max_threads_per_sm)
+        # Threads are granted in warps of 32.
+        return max(32, (threads // 32) * 32)
+
+    # -- spilling --------------------------------------------------------
+    def spill_bytes(self, kernel: KernelProfile) -> int:
+        """Per-thread state that does not fit the register budget."""
+        return max(0, kernel.state_bytes_per_thread - self.spec.register_budget_bytes)
+
+    def cache_share_per_thread(self, threads_per_sm: int) -> int:
+        """L1+L2 bytes available per resident thread."""
+        spec = self.spec
+        l1 = spec.l1_bytes_per_sm // max(threads_per_sm, 1)
+        l2 = spec.l2_bytes_total // max(threads_per_sm * spec.n_sms, 1)
+        return l1 + l2
+
+    # -- runtime ----------------------------------------------------------
+    def estimate(self, kernel: KernelProfile, n_threads: int) -> KernelEstimate:
+        spec = self.spec
+        threads_per_sm = self.occupancy(kernel)
+        occupancy_fraction = threads_per_sm / spec.max_threads_per_sm
+
+        spill = self.spill_bytes(kernel)
+        cache_share = self.cache_share_per_thread(threads_per_sm)
+        cached_spill = min(spill, cache_share)
+        global_spill = spill - cached_spill
+        # Each globally spilled byte makes spill_reuse round trips (store
+        # + reload) to DRAM.
+        spill_traffic = global_spill * 2.0 * kernel.spill_reuse * n_threads
+
+        compute_time = kernel.flops_per_thread * n_threads / spec.peak_flops
+        # Low occupancy cannot cover even compute latency; derate linearly
+        # below half occupancy (a standard first-order occupancy model).
+        if occupancy_fraction < 0.5:
+            compute_time /= max(occupancy_fraction / 0.5, 0.05)
+        mem_traffic = kernel.mem_bytes_per_thread * n_threads + spill_traffic
+        memory_time = mem_traffic / spec.mem_bandwidth_bytes_per_s
+        runtime = max(compute_time, memory_time)
+        return KernelEstimate(
+            occupancy_threads_per_sm=threads_per_sm,
+            occupancy_fraction=occupancy_fraction,
+            spill_bytes_per_thread=spill,
+            cached_spill_bytes_per_thread=cached_spill,
+            spill_traffic_bytes=spill_traffic,
+            compute_time_s=compute_time,
+            memory_time_s=memory_time,
+            runtime_s=runtime,
+            bandwidth_bound=memory_time >= compute_time,
+        )
+
+    def pcie_time(self, nbytes: float) -> float:
+        """Host<->device transfer time over PCIe."""
+        return nbytes / self.spec.pcie_bandwidth_bytes_per_s

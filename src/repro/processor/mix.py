@@ -1,0 +1,212 @@
+"""Statistical workload descriptions: instruction mixes and memory profiles.
+
+SST's abstract processor models are driven not by real binaries but by
+statistical descriptions of a workload: the instruction-class mix, the
+exploitable instruction-level parallelism, and the memory-reference
+locality.  This module defines those descriptions and ships calibrated
+profiles for the miniapps used in the paper's studies (HPCCG, Lulesh,
+miniFE's FEA and solver phases, and the bandwidth-degradation apps).
+
+The numbers are representative of published characterisations of the
+Mantevo miniapps (sparse CG is bandwidth-bound with low ILP and ~4-8
+bytes of DRAM traffic per instruction; FE assembly is compute-bound and
+cache-resident; Lulesh sits in between) — the experiments depend on the
+relative positioning, per the substitution catalogue in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of each instruction class (sum to 1) plus ILP.
+
+    ``ilp`` is the mean number of independently issuable instructions —
+    the ceiling on effective superscalar issue regardless of width.
+    """
+
+    fp: float
+    int_alu: float
+    load: float
+    store: float
+    branch: float
+    ilp: float = 2.0
+
+    def __post_init__(self):
+        total = self.fp + self.int_alu + self.load + self.store + self.branch
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"instruction mix fractions sum to {total}, not 1")
+        if self.ilp <= 0:
+            raise ValueError("ilp must be positive")
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.load + self.store
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Per-level cache hit rates and DRAM traffic for one workload phase.
+
+    ``hit_rates`` are conditional: the fraction of references *reaching*
+    that level which hit there.  ``dram_bytes_per_instr`` is the demand
+    the workload places on memory bandwidth (reads + writebacks).
+    """
+
+    hit_rates: Dict[str, float]  #: e.g. {"L1": 0.95, "L2": 0.6, "L3": 0.5}
+    dram_bytes_per_instr: float
+    line_size: int = 64
+
+    def miss_per_instr(self, memory_fraction: float) -> Dict[str, float]:
+        """Misses per instruction reaching each level, L1 outward."""
+        reaching = memory_fraction
+        out: Dict[str, float] = {}
+        for level, hit in self.hit_rates.items():
+            misses = reaching * (1.0 - hit)
+            out[level] = misses
+            reaching = misses
+        return out
+
+    def dram_accesses_per_instr(self, memory_fraction: float) -> float:
+        reaching = memory_fraction
+        for hit in self.hit_rates.values():
+            reaching *= (1.0 - hit)
+        return reaching
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete statistical workload: mix + memory behaviour + a name."""
+
+    name: str
+    mix: InstructionMix
+    memory: MemoryProfile
+    #: nominal instruction count for "one iteration" of the motif
+    instructions_per_iteration: int = 1_000_000
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        return replace(
+            self,
+            instructions_per_iteration=int(self.instructions_per_iteration * factor),
+        )
+
+
+# ----------------------------------------------------------------------
+# calibrated workload library
+# ----------------------------------------------------------------------
+
+def _spec(name: str, mix: InstructionMix, hit_rates: Dict[str, float],
+          dram_bpi: float, instrs: int = 1_000_000) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        mix=mix,
+        memory=MemoryProfile(hit_rates=hit_rates, dram_bytes_per_instr=dram_bpi),
+        instructions_per_iteration=instrs,
+    )
+
+
+#: Sparse CG solver (Trilinos-style): streaming sparse matvec dominates;
+#: low ILP, poor L2/L3 reuse, heavy DRAM traffic per instruction.
+HPCCG = _spec(
+    "hpccg",
+    InstructionMix(fp=0.30, int_alu=0.22, load=0.33, store=0.10, branch=0.05,
+                   ilp=2.2),
+    {"L1": 0.92, "L2": 0.45, "L3": 0.40},
+    dram_bpi=5.0,
+)
+
+#: Lulesh hydrodynamics: more FP work per byte than CG, moderate reuse.
+LULESH = _spec(
+    "lulesh",
+    InstructionMix(fp=0.42, int_alu=0.20, load=0.26, store=0.08, branch=0.04,
+                   ilp=3.2),
+    {"L1": 0.95, "L2": 0.60, "L3": 0.55},
+    dram_bpi=4.0,
+)
+
+#: miniFE finite-element assembly phase: compute-bound, cache-resident
+#: element operators; very little DRAM traffic (Fig. 3: FEA insensitive
+#: to memory speed).
+MINIFE_FEA = _spec(
+    "minife_fea",
+    InstructionMix(fp=0.48, int_alu=0.24, load=0.20, store=0.05, branch=0.03,
+                   ilp=3.0),
+    {"L1": 0.97, "L2": 0.85, "L3": 0.80},
+    dram_bpi=0.30,
+)
+
+#: miniFE CG solve phase: same motif as HPCCG (that is the point of the
+#: validation study — miniFE's solver tracks Charon's Krylov solver).
+MINIFE_SOLVER = _spec(
+    "minife_solver",
+    InstructionMix(fp=0.31, int_alu=0.22, load=0.32, store=0.10, branch=0.05,
+                   ilp=2.2),
+    {"L1": 0.92, "L2": 0.46, "L3": 0.41},
+    dram_bpi=4.8,
+)
+
+#: Charon FE assembly (drift-diffusion device physics): like miniFE's
+#: FEA but with more irregular, pointer-chasing access — slightly worse
+#: L1, much worse L2/L3 reuse (Fig. 4: miniFE L2/L3 hit rates are 3-6x
+#: Charon's in the FEA phase).
+CHARON_FEA = _spec(
+    "charon_fea",
+    InstructionMix(fp=0.44, int_alu=0.27, load=0.21, store=0.05, branch=0.03,
+                   ilp=2.7),
+    {"L1": 0.95, "L2": 0.28, "L3": 0.14},
+    dram_bpi=0.80,
+)
+
+#: Charon Krylov solver (BiCGSTAB): bandwidth-bound like CG.
+CHARON_SOLVER = _spec(
+    "charon_solver",
+    InstructionMix(fp=0.30, int_alu=0.23, load=0.32, store=0.10, branch=0.05,
+                   ilp=2.1),
+    {"L1": 0.90, "L2": 0.42, "L3": 0.38},
+    dram_bpi=5.2,
+)
+
+#: CTH shock physics: large structured arrays streamed each step.
+CTH = _spec(
+    "cth",
+    InstructionMix(fp=0.36, int_alu=0.24, load=0.28, store=0.09, branch=0.03,
+                   ilp=2.5),
+    {"L1": 0.94, "L2": 0.55, "L3": 0.50},
+    dram_bpi=3.0,
+)
+
+#: SAGE adaptive-grid hydrodynamics: similar streaming profile.
+SAGE = _spec(
+    "sage",
+    InstructionMix(fp=0.34, int_alu=0.25, load=0.28, store=0.09, branch=0.04,
+                   ilp=2.4),
+    {"L1": 0.93, "L2": 0.52, "L3": 0.48},
+    dram_bpi=3.2,
+)
+
+#: xNOBEL hydrocode: compute-heavy with communication overlap.
+XNOBEL = _spec(
+    "xnobel",
+    InstructionMix(fp=0.40, int_alu=0.23, load=0.25, store=0.08, branch=0.04,
+                   ilp=2.6),
+    {"L1": 0.95, "L2": 0.62, "L3": 0.55},
+    dram_bpi=1.8,
+)
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (HPCCG, LULESH, MINIFE_FEA, MINIFE_SOLVER, CHARON_FEA,
+                 CHARON_SOLVER, CTH, SAGE, XNOBEL)
+}
+
+
+def workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; options: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,273 @@
+"""Checkpoint/restart and failure modelling (paper §3.1 and §5 hooks).
+
+The Teller testbed description calls out its per-node SSDs as
+"enabling us to study local checkpointing strategies", and the §5
+objective-function list makes reliability a first-class design
+concern.  This module supplies both rungs of the prediction ladder for
+that study:
+
+* **analytic** — the classic Daly/Young checkpoint-interval model:
+  optimal interval and expected completion time under exponential
+  failures;
+* **simulated** — :class:`CheckpointedJob`, a component that runs a
+  fixed amount of work under injected failures, alternating compute
+  segments and checkpoint writes, losing un-checkpointed progress on
+  every failure.  Its measured completion times validate (and at
+  extreme parameters, correct) the analytic model.
+
+Checkpoint *targets* capture the §3.1 comparison: a node-local SSD
+gives every node its full write bandwidth, while a shared parallel
+filesystem divides its aggregate bandwidth across all nodes — so local
+checkpointing wins at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .core.component import Component
+from .core.registry import register
+from .core.units import SimTime, bytes_time
+
+
+# ----------------------------------------------------------------------
+# failure model
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential failures: node MTBF shrinks to system MTBF with scale."""
+
+    node_mtbf_s: float
+    n_nodes: int = 1
+
+    def __post_init__(self):
+        if self.node_mtbf_s <= 0 or self.n_nodes < 1:
+            raise ValueError("invalid failure model")
+
+    @property
+    def system_mtbf_s(self) -> float:
+        """Any-node-fails MTBF: node MTBF / N (independent exponentials)."""
+        return self.node_mtbf_s / self.n_nodes
+
+    @property
+    def system_mtbf_ps(self) -> SimTime:
+        return int(self.system_mtbf_s * 1e12)
+
+
+# ----------------------------------------------------------------------
+# checkpoint targets (§3.1: local SSD vs shared parallel filesystem)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckpointTarget:
+    """Where checkpoints go and how fast they get there."""
+
+    name: str
+    #: per-node write bandwidth when writing alone (bytes/s)
+    node_bandwidth: float
+    #: aggregate ceiling shared by all nodes (None = no shared ceiling,
+    #: i.e. node-local storage)
+    aggregate_bandwidth: Optional[float] = None
+    write_latency_ps: SimTime = 1_000_000  # 1 us setup
+
+    def effective_node_bandwidth(self, n_nodes: int) -> float:
+        """Per-node bandwidth when all nodes checkpoint simultaneously."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.aggregate_bandwidth is None:
+            return self.node_bandwidth
+        return min(self.node_bandwidth, self.aggregate_bandwidth / n_nodes)
+
+    def checkpoint_time_ps(self, state_bytes_per_node: int,
+                           n_nodes: int) -> SimTime:
+        bw = self.effective_node_bandwidth(n_nodes)
+        return self.write_latency_ps + bytes_time(state_bytes_per_node, bw)
+
+
+#: A Micron C400-class SATA SSD in every node (the Teller configuration).
+LOCAL_SSD = CheckpointTarget("local-ssd", node_bandwidth=250e6)
+#: A shared parallel filesystem: fast in aggregate, divided at scale.
+PARALLEL_FS = CheckpointTarget("parallel-fs", node_bandwidth=1.0e9,
+                               aggregate_bandwidth=20e9)
+#: In-memory buddy checkpointing: near-network-speed, for comparison.
+BUDDY_MEMORY = CheckpointTarget("buddy-memory", node_bandwidth=3.2e9)
+
+TARGETS = {t.name: t for t in (LOCAL_SSD, PARALLEL_FS, BUDDY_MEMORY)}
+
+
+# ----------------------------------------------------------------------
+# the Daly/Young analytic model
+# ----------------------------------------------------------------------
+
+def young_interval_s(checkpoint_s: float, mtbf_s: float) -> float:
+    """Young's first-order optimum: sqrt(2 * delta * M)."""
+    if checkpoint_s <= 0 or mtbf_s <= 0:
+        raise ValueError("checkpoint time and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_s * mtbf_s)
+
+
+def daly_interval_s(checkpoint_s: float, mtbf_s: float) -> float:
+    """Daly's higher-order optimum (his eq. 37, the perturbation form).
+
+    Falls back to M itself when delta >= 2M (checkpointing pointless).
+    """
+    if checkpoint_s <= 0 or mtbf_s <= 0:
+        raise ValueError("checkpoint time and MTBF must be positive")
+    if checkpoint_s >= 2.0 * mtbf_s:
+        return mtbf_s
+    x = checkpoint_s / (2.0 * mtbf_s)
+    return math.sqrt(2.0 * checkpoint_s * mtbf_s) * (
+        1.0 + math.sqrt(x) / 3.0 + x / 9.0
+    ) - checkpoint_s
+
+
+def expected_runtime_s(work_s: float, interval_s: float, checkpoint_s: float,
+                       restart_s: float, mtbf_s: float) -> float:
+    """Daly's expected completion time under exponential failures.
+
+    T = M * e^{R/M} * (e^{(tau+delta)/M} - 1) * W / tau
+    """
+    if min(work_s, interval_s, mtbf_s) <= 0 or checkpoint_s < 0 or restart_s < 0:
+        raise ValueError("invalid parameters")
+    segments = work_s / interval_s
+    per_segment = mtbf_s * math.exp(restart_s / mtbf_s) * (
+        math.exp((interval_s + checkpoint_s) / mtbf_s) - 1.0
+    )
+    return per_segment * segments
+
+
+# ----------------------------------------------------------------------
+# the simulated job
+# ----------------------------------------------------------------------
+
+@register("resilience.CheckpointedJob")
+class CheckpointedJob(Component):
+    """A job that computes, checkpoints and survives injected failures.
+
+    Parameters: ``work`` (total compute, e.g. "10s" of simulated time),
+    ``interval`` (compute per checkpoint), ``checkpoint_time``,
+    ``restart_time``, ``mtbf`` (system MTBF; failures are exponential),
+    ``max_failures`` (safety valve, default 10_000).
+
+    Statistics: ``completed_work_ps``, ``failures``, ``rework_ps``
+    (progress lost to failures), ``checkpoint_ps`` (overhead written),
+    ``runtime_ps``.
+
+    Failure semantics: a failure strikes at an exponential time from
+    the last failure/restart.  If it lands during a compute segment or
+    a checkpoint write, all progress since the last completed
+    checkpoint is lost and the job pays ``restart_time`` before
+    resuming.  (Failures during restart restart the restart.)
+    """
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        p = self.params
+        self.total_work = p.find_time("work", "10s")
+        self.interval = p.find_time("interval", "1s")
+        self.checkpoint_time = p.find_time("checkpoint_time", "10ms")
+        self.restart_time = p.find_time("restart_time", "30ms")
+        self.mtbf = p.find_time("mtbf", "1000s")
+        self.max_failures = p.find_int("max_failures", 10_000)
+        if min(self.total_work, self.interval, self.mtbf) <= 0:
+            raise ValueError(f"{name}: work, interval, mtbf must be positive")
+        self._done_work: SimTime = 0  # checkpointed progress
+        self._next_failure: SimTime = 0
+        self._phase_started: SimTime = 0
+        self.s_completed = self.stats.counter("completed_work_ps")
+        self.s_failures = self.stats.counter("failures")
+        self.s_rework = self.stats.counter("rework_ps")
+        self.s_checkpoint = self.stats.counter("checkpoint_ps")
+        self.s_runtime = self.stats.counter("runtime_ps")
+        self.register_as_primary()
+
+    # -- failure sampling ----------------------------------------------
+    def _draw_failure(self) -> None:
+        u = float(self.rng.random())
+        gap = max(1, int(-math.log(max(u, 1e-300)) * self.mtbf))
+        self._next_failure = self.now + gap
+
+    # -- state machine ----------------------------------------------------
+    def setup(self) -> None:
+        self._draw_failure()
+        self._start_segment()
+
+    def _start_segment(self) -> None:
+        remaining = self.total_work - self._done_work
+        if remaining <= 0:
+            self.s_completed.add(self._done_work - self.s_completed.count)
+            self.s_runtime.add(self.now - self.s_runtime.count)
+            self.primary_ok_to_end()
+            return
+        segment = min(self.interval, remaining)
+        self._run_phase(segment, self._segment_done, payload=segment)
+
+    def _run_phase(self, duration: SimTime, on_success, payload=None) -> None:
+        """Run a phase that a failure can interrupt."""
+        self._phase_started = self.now
+        end = self.now + duration
+        if self._next_failure < end:
+            # A failure drawn at/before "now" (boundary case) strikes
+            # immediately.
+            self.schedule(max(0, self._next_failure - self.now),
+                          self._on_failure)
+        else:
+            self.schedule(duration, on_success, payload)
+
+    def _segment_done(self, segment: SimTime) -> None:
+        # Segment computed; now write the checkpoint (also failure-prone).
+        self._pending_progress = segment
+        remaining_after = self.total_work - self._done_work - segment
+        if remaining_after <= 0:
+            # Final segment: no checkpoint needed, job is done.
+            self._done_work += segment
+            self._start_segment()
+            return
+        self._run_phase(self.checkpoint_time, self._checkpoint_done)
+
+    def _checkpoint_done(self, _payload) -> None:
+        self._done_work += self._pending_progress
+        self._pending_progress = 0
+        self.s_checkpoint.add(self.checkpoint_time)
+        self._start_segment()
+
+    def _on_failure(self, _payload) -> None:
+        if self.s_failures.count >= self.max_failures:
+            raise RuntimeError(f"{self.name}: exceeded max_failures")
+        self.s_failures.add()
+        # Progress since the last checkpoint is lost.
+        lost = self.now - self._phase_started
+        self._pending_progress = 0
+        self.s_rework.add(max(0, lost))
+        self._draw_failure()
+        self._run_phase(self.restart_time, self._restart_done)
+
+    def _restart_done(self, _payload) -> None:
+        self._start_segment()
+
+    @property
+    def runtime_ps(self) -> SimTime:
+        return self.s_runtime.count
+
+
+def simulate_job(*, work_s: float, interval_s: float, checkpoint_s: float,
+                 restart_s: float, mtbf_s: float, seed: int = 1,
+                 name: str = "job") -> CheckpointedJob:
+    """Convenience wrapper: build, run and return a finished job."""
+    from .core import Params, Simulation
+
+    sim = Simulation(seed=seed)
+    job = CheckpointedJob(sim, name, Params({
+        "work": int(work_s * 1e12),
+        "interval": int(interval_s * 1e12),
+        "checkpoint_time": int(checkpoint_s * 1e12),
+        "restart_time": int(restart_s * 1e12),
+        "mtbf": int(mtbf_s * 1e12),
+    }))
+    result = sim.run()
+    if result.reason != "exit":
+        raise RuntimeError(f"job did not finish: {result.reason}")
+    return job

@@ -1,0 +1,90 @@
+"""Cross-validation: AMM analytic predictions vs the discrete-event simulator.
+
+The paper's §5 methodology uses *multiple* prediction techniques —
+back-of-envelope AMMs up through simulation — and gains confidence when
+they agree.  These tests close that loop: for every halo app the
+analytic iteration-time prediction must track the simulated machine
+within a modelling tolerance.
+"""
+
+import pytest
+
+from repro.amm import MachineModel, predict_halo_app_iteration_ps
+from repro.config import build
+from repro.core.units import parse_size_bytes, parse_time
+from repro.miniapps import (app_runtime_stats, build_app_machine,
+                            grid_dims_3d, halo_neighbors_3d)
+from repro.miniapps.apps import CTH, HPCCG, SAGE, Charon, Lulesh
+
+APPS = {"CTH": CTH, "SAGE": SAGE, "Charon": Charon, "HPCCG": HPCCG,
+        "Lulesh": Lulesh}
+N_RANKS = 16
+ITERATIONS = 3
+
+
+def simulate_iteration_ps(app_name: str) -> float:
+    graph = build_app_machine(f"miniapps.{app_name}", N_RANKS,
+                              iterations=ITERATIONS)
+    sim = build(graph, seed=7)
+    result = sim.run()
+    assert result.reason == "exit"
+    return app_runtime_stats(sim, N_RANKS)["runtime_ps"] / ITERATIONS
+
+
+def predict_iteration_ps(app_name: str) -> float:
+    defaults = APPS[app_name].DEFAULTS
+    neighbors = halo_neighbors_3d(0, grid_dims_3d(N_RANKS))
+    return predict_halo_app_iteration_ps(
+        MachineModel(),
+        n_ranks=N_RANKS,
+        n_neighbors=len(neighbors),
+        msg_size=parse_size_bytes(defaults["msg_size"]),
+        msgs_per_neighbor=defaults.get("msgs_per_neighbor", 1),
+        compute_ps=parse_time(defaults["compute_ps"]),
+        allreduces=defaults.get("allreduces", 0),
+        overlap_fraction=defaults.get("overlap_fraction", 0.0),
+    )
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_amm_tracks_simulation(app):
+    measured = simulate_iteration_ps(app)
+    predicted = predict_iteration_ps(app)
+    # Within 20% — the analytic model has no router contention, no
+    # cross-rank skew, no torus hop-count distribution.
+    assert predicted == pytest.approx(measured, rel=0.20), \
+        (app, measured, predicted)
+
+
+def test_amm_preserves_app_ordering():
+    """Even if absolute errors existed, the AMM must rank the apps the
+    same way the simulator does — that ranking is what an architect
+    uses an AMM for."""
+    measured = {app: simulate_iteration_ps(app) for app in APPS}
+    predicted = {app: predict_iteration_ps(app) for app in APPS}
+    measured_order = sorted(APPS, key=measured.__getitem__)
+    predicted_order = sorted(APPS, key=predicted.__getitem__)
+    assert measured_order == predicted_order
+
+
+def test_amm_predicts_bandwidth_sensitivity_direction():
+    """Halving AMM injection bandwidth must slow CTH much more than
+    Charon — the Fig. 9 conclusion, reproduced analytically."""
+    slow = MachineModel().evolve(injection_bandwidth=0.4e9)
+
+    def ratio(app_name):
+        defaults = APPS[app_name].DEFAULTS
+        neighbors = halo_neighbors_3d(0, grid_dims_3d(N_RANKS))
+        kwargs = dict(
+            n_ranks=N_RANKS, n_neighbors=len(neighbors),
+            msg_size=parse_size_bytes(defaults["msg_size"]),
+            msgs_per_neighbor=defaults.get("msgs_per_neighbor", 1),
+            compute_ps=parse_time(defaults["compute_ps"]),
+            allreduces=defaults.get("allreduces", 0),
+            overlap_fraction=defaults.get("overlap_fraction", 0.0),
+        )
+        return (predict_halo_app_iteration_ps(slow, **kwargs)
+                / predict_halo_app_iteration_ps(MachineModel(), **kwargs))
+
+    assert ratio("Charon") < 1.15
+    assert ratio("CTH") > 1.6

@@ -1,0 +1,194 @@
+"""Integration tests: whole machines built through the config layer.
+
+These exercise the full pipeline the benchmarks rely on:
+ConfigGraph -> (serialize ->) build / build_parallel -> run -> statistics,
+with every model library in the loop.
+"""
+
+import pytest
+
+from repro.config import (ConfigGraph, build, build_parallel, from_json,
+                          to_dict, to_json)
+from repro.core import Params, Simulation
+from repro.miniapps import app_runtime_stats, build_app_machine
+
+
+def _node_graph(n_cores=2, technology="DDR3-1333", requests=64):
+    """TrafficGen cores -> private L1 -> shared bus -> controller -> DRAM."""
+    g = ConfigGraph("node")
+    g.component("bus", "memory.SharedBus",
+                {"n_ports": n_cores, "bandwidth": "10.67GB/s"})
+    g.component("ctrl", "memory.MemController",
+                {"technology": technology, "policy": "frfcfs"})
+    g.link("bus", "mem", "ctrl", "cpu", latency="2ns")
+    for i in range(n_cores):
+        g.component(f"cpu{i}", "processor.TrafficGenerator",
+                    {"requests": requests, "pattern": "stream",
+                     "stride": 64, "outstanding": 4})
+        g.component(f"l1_{i}", "memory.Cache",
+                    {"size": "4KB", "ways": 2, "hit_latency": "1ns"})
+        g.link(f"cpu{i}", "mem", f"l1_{i}", "cpu", latency="1ns")
+        g.link(f"l1_{i}", "mem", "bus", f"cpu{i}", latency="1ns")
+    return g
+
+
+class TestNodeMachine:
+    def test_memory_chain_end_to_end(self):
+        sim = build(_node_graph())
+        result = sim.run()
+        assert result.reason == "exit"
+        values = sim.stat_values()
+        for i in range(2):
+            assert values[f"cpu{i}.completed"] == 64
+        # Bus saw all the cache fills (requests + responses).
+        assert values["bus.transfers"] > 0
+        assert values["ctrl.requests"] > 0
+
+    def test_serialize_then_build_equivalent(self):
+        graph = _node_graph()
+        rebuilt = from_json(to_json(graph))
+        assert to_dict(rebuilt) == to_dict(graph)
+        sim_a = build(graph, seed=11)
+        sim_b = build(rebuilt, seed=11)
+        res_a, res_b = sim_a.run(), sim_b.run()
+        assert sim_a.stat_values() == sim_b.stat_values()
+        assert res_a.end_time == res_b.end_time
+
+    def test_cache_size_changes_memory_pressure(self):
+        # 256 streaming requests over an 8KB (128-line) footprint: the
+        # second pass hits in a 16KB cache and misses in a 1KB one.
+        def controller_requests(cache_size):
+            g = ConfigGraph("n")
+            g.component("cpu", "processor.TrafficGenerator",
+                        {"requests": 256, "pattern": "stream", "stride": 64,
+                         "footprint": "8KB", "outstanding": 2})
+            g.component("l1", "memory.Cache", {"size": cache_size, "ways": 2})
+            g.component("mem", "memory.SimpleMemory", {"latency": "50ns"})
+            g.link("cpu", "mem", "l1", "cpu", latency="1ns")
+            g.link("l1", "mem", "mem", "cpu", latency="1ns")
+            sim = build(g)
+            sim.run()
+            return sim.stat_values()["mem.requests"]
+
+        assert controller_requests("16KB") < controller_requests("1KB")
+
+
+class TestMixCoreMachine:
+    def _graph(self, n_cores, technology):
+        g = ConfigGraph("mixnode")
+        g.component("mem", "memory.NodeMemory",
+                    {"technology": technology, "n_ports": n_cores})
+        for i in range(n_cores):
+            g.component(f"core{i}", "processor.MixCore",
+                        {"workload": "hpccg", "instructions": 400_000,
+                         "issue_width": 4})
+            g.link(f"core{i}", "mem", "mem", f"core{i}", latency="1ns")
+        return g
+
+    def test_config_driven_design_point(self):
+        sim = build(self._graph(2, "DDR3-1333"), seed=2)
+        result = sim.run()
+        assert result.reason == "exit"
+        values = sim.stat_values()
+        assert values["core0.instructions"] == 400_000
+        assert values["core1.instructions"] == 400_000
+        assert values["mem.bytes"] == pytest.approx(2 * 400_000 * 5.0, rel=0.02)
+
+    def test_technology_sweep_through_configs(self):
+        runtimes = {}
+        for technology in ("DDR2-800", "DDR3-1333", "GDDR5"):
+            sim = build(self._graph(4, technology), seed=2)
+            sim.run()
+            runtimes[technology] = max(
+                sim.stat_values()[f"core{i}.runtime_ps"] for i in range(4))
+        assert runtimes["GDDR5"] < runtimes["DDR3-1333"] < runtimes["DDR2-800"]
+
+
+def _assert_equivalent(seq_values, par_values, rel=0.02):
+    """Parallel-vs-sequential equivalence with the PDES tie caveat.
+
+    Event *counts* (messages, iterations, bytes...) must match exactly.
+    *Timing* statistics (queue waits, comm time, runtimes) may shift
+    slightly: cross-rank deliveries are re-sequenced at the epoch
+    exchange, so same-timestamp arrivals at a bandwidth-serialised
+    resource can be served in a different (still deterministic) order
+    than in the sequential engine.  SST carries the same caveat.
+    """
+    assert set(seq_values) == set(par_values)
+    for key, seq_value in seq_values.items():
+        par_value = par_values[key]
+        if key.endswith("wait_ps") or key.endswith("comm_ps"):
+            # Aggregate wait accounting is order-sensitive: when two
+            # same-timestamp messages contend, *who* waits depends on
+            # service order, so the sum of waits legitimately shifts.
+            assert par_value == pytest.approx(seq_value, rel=0.5, abs=1e7), key
+        elif key.endswith("_ps"):
+            assert par_value == pytest.approx(seq_value, rel=rel, abs=1e6), key
+        else:
+            assert par_value == seq_value, key
+
+
+class TestAppMachineParallel:
+    @pytest.mark.parametrize("strategy", ["linear", "round_robin", "bfs", "kl"])
+    def test_parallel_app_machine_matches_sequential(self, strategy):
+        graph = build_app_machine("miniapps.HPCCG", 8, iterations=2)
+        seq = build(graph, seed=4)
+        seq_result = seq.run()
+        assert seq_result.reason == "exit"
+
+        graph2 = build_app_machine("miniapps.HPCCG", 8, iterations=2)
+        par = build_parallel(graph2, 4, strategy=strategy, seed=4)
+        par_result = par.run()
+        assert par_result.reason == "exit"
+        _assert_equivalent(seq.stat_values(), par.stat_values())
+
+    def test_threads_backend_on_app_machine(self):
+        graph = build_app_machine("miniapps.Charon", 8, iterations=2)
+        seq = build(graph, seed=4)
+        seq.run()
+        graph2 = build_app_machine("miniapps.Charon", 8, iterations=2)
+        with build_parallel(graph2, 2, backend="threads", seed=4) as par:
+            par.run()
+            _assert_equivalent(seq.stat_values(), par.stat_values())
+
+    def test_parallel_run_is_self_deterministic(self):
+        """Two identical parallel runs must agree bit-for-bit, ties and
+        all — determinism holds within an engine configuration."""
+        results = []
+        for _ in range(2):
+            graph = build_app_machine("miniapps.HPCCG", 8, iterations=2)
+            par = build_parallel(graph, 4, strategy="round_robin", seed=4)
+            par.run()
+            results.append(par.stat_values())
+        assert results[0] == results[1]
+
+    def test_parallel_engine_reports_protocol_metrics(self):
+        graph = build_app_machine("miniapps.CTH", 8, iterations=2)
+        par = build_parallel(graph, 4, strategy="bfs", seed=4)
+        result = par.run()
+        assert result.epochs > 0
+        assert result.remote_events > 0
+        assert result.lookahead >= 1
+        assert sum(result.per_rank_events) == result.events_executed
+
+
+class TestInjectionBandwidthPipeline:
+    def test_bandwidth_knob_reaches_the_nics(self):
+        def runtime(bw):
+            graph = build_app_machine("miniapps.CTH", 8, iterations=2,
+                                      injection_bandwidth=bw)
+            sim = build(graph, seed=5)
+            assert sim.run().reason == "exit"
+            return app_runtime_stats(sim, 8)["runtime_ps"]
+
+        assert runtime("0.4GB/s") > 1.3 * runtime("3.2GB/s")
+
+    def test_app_machine_statistics_complete(self):
+        graph = build_app_machine("miniapps.SAGE", 8, iterations=3)
+        sim = build(graph, seed=5)
+        sim.run()
+        stats = app_runtime_stats(sim, 8)
+        assert stats["runtime_ps"] > 0
+        assert stats["messages"] == sim.stat_values()["rank0.messages_sent"] * 8
+        assert stats["mean_compute_ps"] > 0
+        assert stats["mean_comm_ps"] >= 0

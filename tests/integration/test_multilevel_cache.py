@@ -1,0 +1,108 @@
+"""Integration: multi-level cache chains built from Cache components.
+
+The event-driven Cache speaks MemRequest/MemResponse on both sides, so
+levels compose by wiring one cache's ``mem`` port to the next one's
+``cpu`` port.  These tests pin down the inclusion/traffic behaviour of
+an L1 -> L2 -> controller chain.
+"""
+
+import pytest
+
+from repro.config import ConfigGraph, build
+
+
+def two_level_machine(*, requests=256, pattern="stream", footprint="64KB",
+                      l1_size="4KB", l2_size="32KB", l2_prefetch=0,
+                      outstanding=2):
+    graph = ConfigGraph("two-level")
+    graph.component("cpu", "processor.TrafficGenerator",
+                    {"requests": requests, "pattern": pattern,
+                     "stride": 64, "footprint": footprint,
+                     "outstanding": outstanding})
+    graph.component("l1", "memory.Cache",
+                    {"size": l1_size, "ways": 2, "hit_latency": "1ns",
+                     "level": "L1"})
+    graph.component("l2", "memory.Cache",
+                    {"size": l2_size, "ways": 4, "hit_latency": "4ns",
+                     "level": "L2", "prefetch": l2_prefetch})
+    graph.component("mem", "memory.MemController",
+                    {"technology": "DDR3-1333"})
+    graph.link("cpu", "mem", "l1", "cpu", latency="500ps")
+    graph.link("l1", "mem", "l2", "cpu", latency="1ns")
+    graph.link("l2", "mem", "mem", "cpu", latency="2ns")
+    sim = build(graph, seed=3)
+    result = sim.run()
+    assert result.reason == "exit"
+    return sim.stat_values()
+
+
+class TestTwoLevelChain:
+    def test_all_requests_complete(self):
+        values = two_level_machine()
+        assert values["cpu.completed"] == 256
+
+    def test_filtering_down_the_hierarchy(self):
+        """L2 only sees L1 misses; the controller only sees L2 misses."""
+        values = two_level_machine()
+        l1_traffic = values["l1.hits"] + values["l1.misses"]
+        l2_traffic = values["l2.hits"] + values["l2.misses"]
+        assert l1_traffic == 256
+        # L2 demand accesses = L1 line fetches (plus L1 writebacks, none
+        # here for a read stream).
+        assert l2_traffic == values["l1.misses"]
+        assert values["mem.requests"] == values["l2.misses"]
+
+    def test_l2_captures_l1_capacity_misses(self):
+        """A footprint that overflows L1 but fits L2: pass 2 hits in L2."""
+        # 16KB footprint = 256 lines; L1 4KB(64 lines), L2 32KB(512).
+        values = two_level_machine(requests=512, footprint="16KB")
+        # Pass 1: 256 cold L1 misses -> L2 cold misses.
+        # Pass 2: L1 still misses (footprint 4x L1) but L2 hits.
+        assert values["l1.misses"] == 512
+        assert values["l2.hits"] == 256
+        assert values["l2.misses"] == 256
+        assert values["mem.requests"] == 256
+
+    def test_second_level_prefetcher_helps_streams(self):
+        base = two_level_machine(requests=512, footprint="1MB")
+        prefetched = two_level_machine(requests=512, footprint="1MB",
+                                       l2_prefetch=4)
+        assert prefetched["l2.prefetch_hits"] > 0
+        assert prefetched["cpu.runtime_ps"] < base["cpu.runtime_ps"]
+
+    def test_latency_strata(self):
+        """Mean latencies order as L1-hit < L2-hit < memory."""
+        # All-L1: tiny footprint second pass.
+        all_l1 = two_level_machine(requests=128, footprint="2KB")
+        # L2-resident: overflows L1, fits L2.
+        l2_res = two_level_machine(requests=512, footprint="16KB")
+        # Memory-bound: overflows both.
+        mem_bound = two_level_machine(requests=256, footprint="4MB")
+        # Compare the per-request completion-latency means via runtime
+        # per completed request (all runs use the same issue window).
+        def per_request(values):
+            return values["cpu.runtime_ps"] / values["cpu.completed"]
+
+        assert per_request(all_l1) < per_request(l2_res) < \
+            per_request(mem_bound)
+
+    def test_writeback_propagation(self):
+        """Dirty L1 victims travel down as writes, not up as responses."""
+        graph = ConfigGraph("wb")
+        graph.component("cpu", "processor.TrafficGenerator",
+                        {"requests": 256, "pattern": "stream", "stride": 64,
+                         "footprint": "16KB", "outstanding": 1,
+                         "write_fraction": 1.0})
+        graph.component("l1", "memory.Cache",
+                        {"size": "4KB", "ways": 2, "level": "L1"})
+        graph.component("l2", "memory.Cache",
+                        {"size": "32KB", "ways": 4, "level": "L2"})
+        graph.component("mem", "memory.SimpleMemory", {"latency": "40ns"})
+        graph.link("cpu", "mem", "l1", "cpu", latency="500ps")
+        graph.link("l1", "mem", "l2", "cpu", latency="1ns")
+        graph.link("l2", "mem", "mem", "cpu", latency="2ns")
+        sim = build(graph, seed=3)
+        assert sim.run().reason == "exit"
+        values = sim.stat_values()
+        assert values["cpu.completed"] == 256
+        assert values["l1.writebacks"] > 0

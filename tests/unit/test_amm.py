@@ -1,0 +1,132 @@
+"""Unit tests for the Abstract Machine Model layer (paper §5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amm import (LogPParams, MachineModel, fit_from_simulation,
+                       predict_allreduce_ps, predict_compute_ps,
+                       predict_exchange_ps, predict_halo_app_iteration_ps)
+
+
+class TestLogP:
+    def test_message_time_composition(self):
+        logp = LogPParams(L=1000, o=500, g=500, G=1.0, P=4)
+        assert logp.message_time(100) == 2 * 500 + 1000 + 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogPParams(L=-1, o=0, g=0, G=0, P=1)
+        with pytest.raises(ValueError):
+            LogPParams(L=0, o=0, g=0, G=0, P=0)
+
+    @given(st.integers(0, 1 << 22))
+    @settings(max_examples=40)
+    def test_message_time_monotone(self, nbytes):
+        logp = LogPParams(L=1000, o=500, g=500, G=0.3, P=4)
+        assert logp.message_time(nbytes + 64) >= logp.message_time(nbytes)
+
+
+class TestMachineModel:
+    def test_from_strings(self):
+        m = MachineModel.from_strings(injection_bandwidth="1.6GB/s",
+                                      link_latency="40ns")
+        assert m.injection_bandwidth == 1.6e9
+        assert m.link_latency_ps == 40_000
+
+    def test_to_logp_projection(self):
+        m = MachineModel(link_latency_ps=20_000, hops_estimate=3.0,
+                         hop_latency_ps=10_000, send_overhead_ps=500_000,
+                         recv_overhead_ps=300_000,
+                         injection_bandwidth=3.2e9)
+        logp = m.to_logp()
+        assert logp.L == 20_000 + 30_000
+        assert logp.o == 400_000
+        assert logp.G == pytest.approx(1e12 / 3.2e9)
+        assert logp.P == m.n_nodes * m.cores_per_node
+
+    def test_evolve_is_nondestructive(self):
+        m = MachineModel()
+        m2 = m.evolve(injection_bandwidth=1.0e9)
+        assert m.injection_bandwidth != m2.injection_bandwidth
+        assert m2.link_latency_ps == m.link_latency_ps
+
+
+class TestPredictors:
+    def test_compute_matches_core_model(self):
+        m = MachineModel(issue_width=4, memory_technology="DDR3-1333")
+        t1 = predict_compute_ps(m, "hpccg", 1_000_000)
+        t8 = predict_compute_ps(m, "hpccg", 1_000_000, n_sharers=8)
+        assert t8 > t1 > 0
+
+    def test_exchange_scales_with_size_and_count(self):
+        m = MachineModel()
+        small = predict_exchange_ps(m, 6, 1024)
+        big = predict_exchange_ps(m, 6, 1 << 20)
+        more = predict_exchange_ps(m, 6, 1024, msgs_per_neighbor=8)
+        assert big > small
+        assert more > small
+        assert predict_exchange_ps(m, 0, 1024) == 0
+
+    def test_allreduce_log_scaling(self):
+        m = MachineModel()
+        t4 = predict_allreduce_ps(m, 4)
+        t16 = predict_allreduce_ps(m, 16)
+        t17 = predict_allreduce_ps(m, 17)
+        assert t16 == 2 * t4  # log2: 2 rounds -> 4 rounds
+        assert t17 > t16  # non-power-of-two needs an extra round
+        assert predict_allreduce_ps(m, 1) == 0
+
+    def test_overlap_hides_exchange(self):
+        m = MachineModel()
+        kwargs = dict(n_ranks=16, n_neighbors=6, msg_size=65536,
+                      msgs_per_neighbor=1, compute_ps=10**9)
+        blocking = predict_halo_app_iteration_ps(m, overlap_fraction=0.0,
+                                                 **kwargs)
+        overlapped = predict_halo_app_iteration_ps(m, overlap_fraction=1.0,
+                                                   **kwargs)
+        assert overlapped < blocking
+        # Fully overlapped and compute-dominated: iteration ~= compute.
+        assert overlapped == pytest.approx(10**9, rel=0.01)
+
+
+class TestFit:
+    def test_fit_recovers_effective_network(self):
+        nominal = MachineModel()
+        fitted = fit_from_simulation(nominal)
+        # Effective end-to-end rate = inject and eject in series: bw/2.
+        assert fitted.injection_bandwidth == pytest.approx(
+            nominal.injection_bandwidth / 2, rel=0.05)
+        # Latency ~ wire latency (plus the 1ns port links).
+        assert fitted.link_latency_ps == pytest.approx(
+            nominal.link_latency_ps, rel=0.2)
+
+    def test_fitted_model_predicts_probe_sizes(self):
+        """The evolve loop closes: the fitted model's point-to-point
+        prediction matches a fresh simulated measurement."""
+        from repro.core import Params, Simulation
+        from repro.network import Nic, PatternEndpoint
+
+        nominal = MachineModel()
+        fitted = fit_from_simulation(nominal)
+        size = 262_144  # a size NOT in the probe set
+
+        sim = Simulation(seed=9)
+        src = PatternEndpoint(sim, "src", Params({
+            "endpoint_id": 0, "n_endpoints": 2, "pattern": "neighbor",
+            "count": 1, "size": size, "gap": "1us", "expected": 0}))
+        dst = PatternEndpoint(sim, "dst", Params({
+            "endpoint_id": 1, "n_endpoints": 2, "count": 0, "expected": 1}))
+        nic_kwargs = {"injection_bandwidth": nominal.injection_bandwidth,
+                      "send_overhead": nominal.send_overhead_ps,
+                      "recv_overhead": nominal.recv_overhead_ps}
+        nic_s = Nic(sim, "nic_s", Params(nic_kwargs))
+        nic_d = Nic(sim, "nic_d", Params(nic_kwargs))
+        sim.connect(src, "nic", nic_s, "cpu", latency="1ns")
+        sim.connect(dst, "nic", nic_d, "cpu", latency="1ns")
+        sim.connect(nic_s, "net", nic_d, "net",
+                    latency=nominal.link_latency_ps)
+        sim.run()
+        measured = sim.stats()["dst.latency_ps"].mean
+        predicted = fitted.to_logp().message_time(size)
+        assert predicted == pytest.approx(measured, rel=0.05)

@@ -1,0 +1,140 @@
+"""Tests for the validation-metric framework and result tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (Diagnostic, ResultTable, Thresholds,
+                            ValidationStudy, Verdict, relative_to)
+
+
+class TestThresholds:
+    def test_bands(self):
+        t = Thresholds(pass_below=0.1, caution_below=0.25)
+        assert t.assess(0.05) is Verdict.PASS
+        assert t.assess(0.10) is Verdict.PASS
+        assert t.assess(0.20) is Verdict.CAUTION
+        assert t.assess(0.30) is Verdict.FAIL
+
+    def test_absolute_value_used(self):
+        t = Thresholds()
+        assert t.assess(-0.05) is Verdict.PASS
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            Thresholds(pass_below=0.3, caution_below=0.1)
+
+    @given(st.floats(0, 10, allow_nan=False))
+    @settings(max_examples=50)
+    def test_total_function(self, x):
+        assert Thresholds().assess(x) in (Verdict.PASS, Verdict.CAUTION,
+                                          Verdict.FAIL)
+
+
+class TestDiagnostic:
+    def test_eq4_difference(self):
+        d = Diagnostic("d", baseline=10.0, miniapp=8.0)
+        assert d.difference == 2.0
+        assert d.proportional_difference == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        assert Diagnostic("d", 0.0, 0.0).proportional_difference == 0.0
+        assert Diagnostic("d", 0.0, 1.0).proportional_difference == float("inf")
+        assert Diagnostic("d", 0.0, 1.0).verdict is Verdict.FAIL
+
+    def test_verdict_uses_thresholds(self):
+        d = Diagnostic("d", 1.0, 0.95, thresholds=Thresholds(0.02, 0.04))
+        assert d.verdict is Verdict.FAIL
+
+
+class TestValidationStudy:
+    def test_paper_fig3_style_study(self):
+        """miniFE within 4% of Charon on memory-speed sensitivity: pass."""
+        study = ValidationStudy("memory-speed")
+        charon = {"800": 1.38, "1066": 1.09, "1333": 1.0}
+        minife = {"800": 1.44, "1066": 1.13, "1333": 1.0}
+        study.add_series("relative", charon, minife,
+                         thresholds=Thresholds(0.08, 0.2))
+        assert study.summary() is Verdict.PASS
+
+    def test_paper_fig4_style_study(self):
+        """FEA cache: L1 passes, L2/L3 fail (the paper's verdict)."""
+        study = ValidationStudy("fea-cache")
+        study.add("L1", baseline=0.951, miniapp=0.972)
+        study.add("L2", baseline=0.114, miniapp=0.852)
+        study.add("L3", baseline=0.268, miniapp=0.757)
+        verdicts = study.verdicts()
+        assert verdicts["L1"] is Verdict.PASS
+        assert verdicts["L2"] is Verdict.FAIL
+        assert study.summary() is Verdict.FAIL
+
+    def test_caution_summary(self):
+        study = ValidationStudy("s")
+        study.add("a", 1.0, 1.05)
+        study.add("b", 1.0, 1.2)
+        assert study.summary() is Verdict.CAUTION
+        assert study.count(Verdict.PASS) == 1
+        assert study.count(Verdict.CAUTION) == 1
+
+    def test_empty_study_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationStudy("empty").summary()
+
+    def test_add_series_intersects_keys(self):
+        study = ValidationStudy("s")
+        added = study.add_series("x", {"a": 1, "b": 2}, {"b": 2, "c": 3})
+        assert len(added) == 1
+        assert added[0].name == "x[b]"
+
+    def test_report_renders(self):
+        study = ValidationStudy("render")
+        study.add("metric", 2.0, 1.9, note="close")
+        text = study.report()
+        assert "render" in text
+        assert "metric" in text
+        assert "pass" in text
+
+
+class TestResultTable:
+    def test_round_trip(self):
+        t = ResultTable(["app", "bw", "slowdown"], title="Fig 9")
+        t.add_row(app="cth", bw="full", slowdown=1.0)
+        t.add_row(app="cth", bw="1/8", slowdown=2.2)
+        assert len(t) == 2
+        assert t.column("slowdown") == [1.0, 2.2]
+
+    def test_unknown_column_rejected(self):
+        t = ResultTable(["a"])
+        with pytest.raises(KeyError):
+            t.add_row(b=1)
+        with pytest.raises(KeyError):
+            t.column("b")
+
+    def test_render_contains_values(self):
+        t = ResultTable(["name", "value"], title="T")
+        t.add_row(name="x", value=1.25)
+        text = t.render()
+        assert "T" in text and "x" in text and "1.25" in text
+
+    def test_render_handles_none(self):
+        t = ResultTable(["a"])
+        t.add_row(a=None)
+        assert "-" in t.render()
+
+    def test_csv_output(self, tmp_path):
+        t = ResultTable(["a", "b"])
+        t.add_row(a=1, b=2)
+        path = tmp_path / "out.csv"
+        text = t.to_csv(path)
+        assert path.read_text() == text
+        assert "a,b" in text
+        assert "1,2" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_relative_to(self):
+        assert relative_to([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ZeroDivisionError):
+            relative_to([1.0], 0.0)

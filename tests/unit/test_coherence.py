@@ -1,0 +1,216 @@
+"""Tests for the MSI snooping coherence protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Params, Simulation
+from repro.memory.coherence import (AccessOutcome, CoherentBusComponent,
+                                    CoherentCache, SnoopBus, State)
+from repro.memory.events import MemRequest
+
+
+class TestProtocolTransitions:
+    def test_read_miss_fetches_shared(self):
+        bus = SnoopBus(2)
+        outcome = bus.read(0, 0x100)
+        assert not outcome.hit
+        assert outcome.supplied_by == "memory"
+        assert bus.state_of(0, 0x100) is State.S
+
+    def test_read_hit_after_fill(self):
+        bus = SnoopBus(2)
+        bus.read(0, 0x100)
+        assert bus.read(0, 0x100).hit
+
+    def test_two_readers_share(self):
+        bus = SnoopBus(2)
+        bus.read(0, 0x100)
+        bus.read(1, 0x100)
+        assert bus.state_of(0, 0x100) is State.S
+        assert bus.state_of(1, 0x100) is State.S
+        assert sorted(bus.sharers(0x100)) == [0, 1]
+
+    def test_write_miss_takes_modified(self):
+        bus = SnoopBus(2)
+        outcome = bus.write(0, 0x100)
+        assert not outcome.hit
+        assert bus.state_of(0, 0x100) is State.M
+
+    def test_write_to_shared_upgrades_and_invalidates(self):
+        bus = SnoopBus(2)
+        bus.read(0, 0x100)
+        bus.read(1, 0x100)
+        outcome = bus.write(0, 0x100)
+        assert outcome.upgraded
+        assert bus.state_of(0, 0x100) is State.M
+        assert bus.state_of(1, 0x100) is State.I
+        assert bus.stats.invalidations == 1
+        assert bus.stats.upgrades == 1
+
+    def test_read_of_modified_line_downgrades_owner(self):
+        bus = SnoopBus(2)
+        bus.write(0, 0x100)
+        outcome = bus.read(1, 0x100)
+        assert outcome.supplied_by == "cache"
+        assert bus.state_of(0, 0x100) is State.S
+        assert bus.state_of(1, 0x100) is State.S
+        assert bus.stats.cache_to_cache == 1
+
+    def test_write_steals_modified_line(self):
+        bus = SnoopBus(2)
+        bus.write(0, 0x100)
+        bus.write(1, 0x100)
+        assert bus.state_of(0, 0x100) is State.I
+        assert bus.state_of(1, 0x100) is State.M
+
+    def test_ping_pong_writes_count_transactions(self):
+        bus = SnoopBus(2)
+        for _ in range(5):
+            bus.write(0, 0x100)
+            bus.write(1, 0x100)
+        # First write is a BusRdX; every ownership steal is another.
+        assert bus.stats.bus_transactions == 10
+
+    def test_eviction_writes_back_dirty(self):
+        bus = SnoopBus(1, capacity_lines=2)
+        bus.write(0, 0 * 64)
+        bus.read(0, 1 * 64)
+        bus.read(0, 2 * 64)  # evicts block 0 (dirty)
+        assert bus.stats.writebacks == 1
+        # Re-reading block 0 must observe the written version.
+        bus.read(0, 0 * 64)  # stale-read assertion inside would fire
+
+    def test_line_granularity(self):
+        bus = SnoopBus(2, line_size=64)
+        bus.write(0, 0x100)
+        assert bus.read(0, 0x13F).hit  # same line
+        assert not bus.read(0, 0x140).hit  # next line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnoopBus(0)
+        with pytest.raises(ValueError):
+            SnoopBus(2, capacity_lines=0)
+
+
+class TestProtocolProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 3),            # cache id
+                  st.integers(0, 15),           # block
+                  st.booleans()),               # is_write
+        min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_invariants_under_random_traffic(self, ops):
+        """SWMR + freshness hold for arbitrary interleavings.
+
+        (The SnoopBus itself asserts single-writer, M-excludes-S and
+        no-stale-reads on every access; this test drives those
+        assertions hard and re-checks globally at the end.)
+        """
+        bus = SnoopBus(4, capacity_lines=8)
+        for cache_id, block, is_write in ops:
+            addr = block * 64
+            if is_write:
+                bus.write(cache_id, addr)
+            else:
+                bus.read(cache_id, addr)
+        bus.check_invariants()
+        s = bus.stats
+        assert s.invalidations >= 0
+        assert s.cache_to_cache + s.memory_fetches <= s.bus_transactions
+
+    @given(st.integers(2, 4), st.integers(1, 20))
+    @settings(max_examples=30)
+    def test_false_sharing_ping_pong(self, n_caches, rounds):
+        """Alternating writers to one line invalidate each other every
+        round — the false-sharing signature."""
+        bus = SnoopBus(n_caches)
+        for r in range(rounds):
+            bus.write(r % n_caches, 0x200)
+        if n_caches >= 2 and rounds >= 2:
+            assert bus.stats.invalidations >= rounds - 1
+
+
+class TestCoherentComponents:
+    def _machine(self, n_cores=2):
+        sim = Simulation(seed=5)
+        bus = CoherentBusComponent(sim, "bus", Params({
+            "n_caches": n_cores, "capacity_lines": 32}))
+        caches = []
+        for i in range(n_cores):
+            cache = CoherentCache(sim, f"l1_{i}", Params({"cache_id": i}))
+            sim.connect(cache, "bus", bus, f"cache{i}", latency="1ns")
+            caches.append(cache)
+        return sim, bus, caches
+
+    def test_traffic_through_components(self):
+        from repro.processor import TrafficGenerator
+
+        sim, bus, caches = self._machine(2)
+        cpus = []
+        for i in range(2):
+            cpu = TrafficGenerator(sim, f"cpu{i}", Params({
+                "requests": 64, "pattern": "random", "footprint": "4KB",
+                "outstanding": 1, "write_fraction": 0.3}))
+            sim.connect(cpu, "mem", caches[i], "cpu", latency="1ns")
+            cpus.append(cpu)
+        result = sim.run()
+        assert result.reason == "exit"
+        for cpu in cpus:
+            assert cpu.s_completed.count == 64
+        # Shared 4KB footprint with writes: coherence traffic happened.
+        assert bus.protocol.stats.invalidations > 0
+        bus.protocol.check_invariants()
+
+    def test_hits_avoid_the_bus(self):
+        from repro.processor import TrafficGenerator
+
+        sim, bus, caches = self._machine(1)
+        cpu = TrafficGenerator(sim, "cpu", Params({
+            "requests": 64, "pattern": "stream", "stride": 64,
+            "footprint": "1KB", "outstanding": 1}))  # 16 lines, repasses
+        sim.connect(cpu, "mem", caches[0], "cpu", latency="1ns")
+        sim.run()
+        assert caches[0].s_hits.count == 48  # 64 - 16 cold misses
+        assert bus.s_transactions.count == 16
+
+    def test_cache_requires_bus_connection(self):
+        sim = Simulation()
+        CoherentCache(sim, "orphan", Params({"cache_id": 0}))
+        with pytest.raises(RuntimeError, match="must be connected"):
+            sim.setup()
+
+    def test_false_sharing_slows_writers(self):
+        """Two cores ping-ponging one line run slower than two cores on
+        disjoint lines — the component-level false-sharing effect."""
+        from repro.processor import TrafficGenerator
+
+        def runtime(footprints):
+            sim, bus, caches = self._machine(2)
+            cpus = []
+            for i in range(2):
+                cpu = TrafficGenerator(sim, f"cpu{i}", Params({
+                    "requests": 64, "pattern": "stream", "stride": 0,
+                    "footprint": footprints[i], "outstanding": 1,
+                    "write_fraction": 1.0}))
+                sim.connect(cpu, "mem", caches[i], "cpu", latency="1ns")
+                cpus.append(cpu)
+            sim.run()
+            return max(c.s_runtime.count for c in cpus)
+
+        # stride 0 = hammer one address; same footprint -> same line.
+        shared = runtime(["64", "64"])
+        # Disjoint lines: give core 1 a different base via footprint
+        # trickery is not possible with stride 0, so compare against a
+        # single-core run instead.
+        sim, bus, caches = self._machine(2)
+        from repro.processor import TrafficGenerator as TG
+
+        cpu = TG(sim, "solo", Params({
+            "requests": 64, "pattern": "stream", "stride": 0,
+            "footprint": "64", "outstanding": 1, "write_fraction": 1.0}))
+        sim.connect(cpu, "mem", caches[0], "cpu", latency="1ns")
+        sim.run()
+        solo = cpu.s_runtime.count
+        assert shared > 1.5 * solo

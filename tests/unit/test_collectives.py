@@ -1,0 +1,157 @@
+"""Tests for the collective operations of the skeleton-app engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import build
+from repro.core import Params
+from repro.core.registry import _REGISTRY, register
+from repro.miniapps import (AllReduce, AllToAll, AppRank, Barrier, Broadcast,
+                            Compute, Reduce, app_runtime_stats,
+                            build_app_machine)
+
+
+def _collective_app(phases_fn, type_name):
+    """Register (once) an AppRank subclass running ``phases_fn``."""
+    if type_name in _REGISTRY:
+        return type_name
+
+    class CollectiveApp(AppRank):
+        def program(self):
+            yield from phases_fn(self)
+
+    register(type_name)(CollectiveApp)
+    return type_name
+
+
+def run_collective(phases_fn, n_ranks, type_name, seed=2):
+    _collective_app(phases_fn, type_name)
+    graph = build_app_machine(type_name, n_ranks, iterations=1)
+    sim = build(graph, seed=seed)
+    result = sim.run()
+    assert result.reason == "exit", f"{type_name} deadlocked at n={n_ranks}"
+    return sim
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13, 16])
+    def test_completes_any_rank_count(self, n):
+        sim = run_collective(
+            lambda app: iter([Broadcast(4096, key="bc0")]),
+            n, f"testlib.Bcast{n}")
+        stats = app_runtime_stats(sim, n)
+        # A binomial broadcast sends exactly n-1 messages.
+        assert stats["messages"] == n - 1
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        n = 6
+        sim = run_collective(
+            lambda app: iter([Broadcast(4096, key="bc0", root=root)]),
+            n, f"testlib.BcastRoot{root}")
+        assert app_runtime_stats(sim, n)["messages"] == n - 1
+
+    def test_latency_logarithmic(self):
+        """Broadcast completion grows ~log2(n), not linearly."""
+        def runtime(n):
+            sim = run_collective(
+                lambda app: iter([Broadcast(64, key="bc0")]),
+                n, f"testlib.BcastLat{n}")
+            return app_runtime_stats(sim, n)["runtime_ps"]
+
+        t4, t16 = runtime(4), runtime(16)
+        # 4 ranks: 2 levels; 16 ranks: 4 levels -> about 2x, far from 4x.
+        assert t16 < 3.0 * t4
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 11, 16])
+    def test_completes_any_rank_count(self, n):
+        sim = run_collective(
+            lambda app: iter([Reduce(4096, key="rd0")]),
+            n, f"testlib.Reduce{n}")
+        assert app_runtime_stats(sim, n)["messages"] == n - 1
+
+    def test_nonzero_root(self):
+        n = 7
+        sim = run_collective(
+            lambda app: iter([Reduce(4096, key="rd0", root=2)]),
+            n, f"testlib.ReduceRoot2")
+        assert app_runtime_stats(sim, n)["messages"] == n - 1
+
+    def test_reduce_then_broadcast_is_allreduce_shaped(self):
+        """reduce+broadcast moves 2(n-1) messages; recursive-doubling
+        all-reduce moves n*log2(n) — both must complete and the engine
+        must keep their keys separate."""
+        n = 8
+
+        def program(app):
+            yield Reduce(8, key="rd")
+            yield Broadcast(8, key="bc")
+            yield AllReduce(8, key="ar")
+
+        sim = run_collective(program, n, "testlib.RBvsAR")
+        stats = app_runtime_stats(sim, n)
+        expected = 2 * (n - 1) + n * int(math.log2(n))
+        assert stats["messages"] == expected
+
+
+class TestBarrierAndAllToAll:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_barrier_synchronises(self, n):
+        """Ranks with staggered compute all leave the barrier at (or
+        after) the slowest rank's arrival."""
+
+        def program(app):
+            yield Compute(1_000_000 * (app.rank + 1))  # staggered
+            yield Barrier(key="bar0")
+
+        sim = run_collective(program, n, f"testlib.Barrier{n}")
+        values = sim.stat_values()
+        finishes = [values[f"rank{i}.runtime_ps"] for i in range(n)]
+        slowest_compute = 1_000_000 * n
+        assert min(finishes) >= slowest_compute
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_alltoall_message_count(self, n):
+        sim = run_collective(
+            lambda app: iter([AllToAll(1024, key="a2a0")]),
+            n, f"testlib.A2A{n}")
+        assert app_runtime_stats(sim, n)["messages"] == n * (n - 1)
+
+    def test_alltoall_heavier_than_allreduce(self):
+        n = 8
+
+        def a2a(app):
+            yield AllToAll(4096, key="x")
+
+        def ar(app):
+            yield AllReduce(4096, key="x")
+
+        sim_a = run_collective(a2a, n, "testlib.A2AHeavy")
+        sim_r = run_collective(ar, n, "testlib.ARLight")
+        assert app_runtime_stats(sim_a, n)["messages"] > \
+            app_runtime_stats(sim_r, n)["messages"]
+
+
+class TestMixedPrograms:
+    @given(st.integers(2, 12), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_random_collective_sequences_complete(self, n, root):
+        """Any sequence of collectives with distinct keys terminates."""
+        root = root % n
+
+        def program(app):
+            yield Broadcast(256, key="p1", root=root)
+            yield AllReduce(8, key="p2")
+            yield Reduce(256, key="p3", root=root)
+            yield Barrier(key="p4")
+            yield AllToAll(64, key="p5")
+
+        type_name = f"testlib.Mixed{n}_{root}"
+        sim = run_collective(program, n, type_name)
+        stats = app_runtime_stats(sim, n)
+        assert stats["runtime_ps"] > 0

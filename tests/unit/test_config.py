@@ -1,0 +1,381 @@
+"""Tests for the configuration layer: graph, serialization, builder, topology."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (ConfigError, ConfigGraph, build, build_crossbar,
+                          build_fat_tree, build_parallel, build_ring,
+                          build_torus, from_dict, from_json, load, save,
+                          to_dict, to_json)
+from repro.core import registry
+from repro.core.registry import RegistryError
+import tests.conftest  # noqa: F401  (registers testlib.* component types)
+
+
+class TestConfigGraph:
+    def test_component_declaration(self):
+        g = ConfigGraph("m")
+        c = g.component("a", "testlib.Sink", {"x": 1})
+        assert c.name == "a"
+        assert g.get_component("a") is c
+        assert len(g) == 1
+
+    def test_duplicate_component_rejected(self):
+        g = ConfigGraph()
+        g.component("a", "testlib.Sink")
+        with pytest.raises(ConfigError):
+            g.component("a", "testlib.Sink")
+
+    def test_empty_names_rejected(self):
+        g = ConfigGraph()
+        with pytest.raises(ConfigError):
+            g.component("", "testlib.Sink")
+        with pytest.raises(ConfigError):
+            g.component("a", "")
+
+    def test_link_declaration(self):
+        g = ConfigGraph()
+        a = g.component("a", "t.A")
+        b = g.component("b", "t.B")
+        link = g.link(a, "out", b, "in", latency="5ns")
+        assert link.latency == 5000
+        assert g.num_links() == 1
+
+    def test_link_by_name(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        g.component("b", "t.B")
+        g.link("a", "out", "b", "in")
+        assert g.num_links() == 1
+
+    def test_link_unknown_component_rejected(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        with pytest.raises(ConfigError):
+            g.link("a", "out", "ghost", "in")
+
+    def test_port_reuse_rejected(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        g.component("b", "t.B")
+        g.component("c", "t.C")
+        g.link("a", "out", "b", "in")
+        with pytest.raises(ConfigError):
+            g.link("a", "out", "c", "in")
+
+    def test_self_link(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        link = g.self_link("a", "loop", latency="2ns")
+        assert link.is_self_link()
+
+    def test_duplicate_link_name_rejected(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        g.component("b", "t.B")
+        g.link("a", "o1", "b", "i1", name="L")
+        with pytest.raises(ConfigError):
+            g.link("a", "o2", "b", "i2", name="L")
+
+    def test_validate_warns_isolated(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        g.component("b", "t.B")
+        g.link("a", "o", "b", "i")
+        g.component("island", "t.C")
+        warnings = g.validate()
+        assert any("island" in w for w in warnings)
+
+    def test_validate_resolves_types(self):
+        g = ConfigGraph()
+        g.component("a", "no.SuchThing")
+        with pytest.raises(RegistryError):
+            g.validate(resolve_types=True)
+
+    def test_chainable_param(self):
+        g = ConfigGraph()
+        c = g.component("a", "t.A").param("x", 1).param("y", 2)
+        assert c.params == {"x": 1, "y": 2}
+
+    def test_merge_with_prefix(self):
+        node = ConfigGraph("node")
+        node.component("cpu", "t.Cpu")
+        node.component("mem", "t.Mem")
+        node.link("cpu", "m", "mem", "c")
+        machine = ConfigGraph("machine")
+        machine.merge(node, prefix="n0.")
+        machine.merge(node, prefix="n1.")
+        assert machine.has_component("n0.cpu")
+        assert machine.has_component("n1.mem")
+        assert machine.num_links() == 2
+
+    def test_partition_inputs(self):
+        g = ConfigGraph()
+        g.component("a", "t.A", weight=2.0)
+        g.component("b", "t.B")
+        g.link("a", "o", "b", "i", latency="3ns", weight=5.0)
+        nodes, edges, weights = g.partition_inputs()
+        assert nodes == ["a", "b"]
+        assert edges[0].latency == 3000
+        assert edges[0].weight == 5.0
+        assert weights["a"] == 2.0
+
+    def test_min_latency(self):
+        g = ConfigGraph()
+        g.component("a", "t.A")
+        g.component("b", "t.B")
+        assert g.min_latency() is None
+        g.link("a", "o", "b", "i", latency="7ns")
+        assert g.min_latency() == 7000
+
+    def test_summary_counts_types(self):
+        g = ConfigGraph("m")
+        g.component("a", "t.A")
+        g.component("b", "t.A")
+        g.component("c", "t.B")
+        text = g.summary()
+        assert "x2" in text and "x1" in text
+
+
+class TestSerialize:
+    def _sample(self):
+        g = ConfigGraph("sample")
+        g.component("a", "testlib.Source", {"count": 3, "period": "1ns"}, weight=2.0)
+        g.component("b", "testlib.Sink", rank=1)
+        g.link("a", "out", "b", "in", latency="4ns", weight=1.5)
+        g.self_link("a", "loop", latency="1ns")
+        return g
+
+    def test_roundtrip_dict(self):
+        g = self._sample()
+        g2 = from_dict(to_dict(g))
+        assert to_dict(g2) == to_dict(g)
+
+    def test_roundtrip_json(self):
+        g = self._sample()
+        g2 = from_json(to_json(g))
+        assert to_dict(g2) == to_dict(g)
+
+    def test_json_is_valid_and_versioned(self):
+        doc = json.loads(to_json(self._sample()))
+        assert doc["format"] == "pysst-config"
+        assert doc["version"] == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        g = self._sample()
+        path = tmp_path / "machine.json"
+        save(g, path)
+        g2 = load(path)
+        assert to_dict(g2) == to_dict(g)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigError):
+            from_dict({"format": "other"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ConfigError):
+            from_dict({"format": "pysst-config", "version": 99})
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        extra_links=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_random_graph_roundtrip(self, n, extra_links, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = ConfigGraph(f"rand{seed}")
+        for i in range(n):
+            g.component(f"c{i}", "t.X", {"k": rng.randint(0, 9)},
+                        weight=rng.choice([1.0, 2.0]))
+        used = set()
+        for j in range(extra_links):
+            a, b = rng.randrange(n), rng.randrange(n)
+            pa, pb = f"p{j}a", f"p{j}b"
+            if (f"c{a}", pa) in used or (f"c{b}", pb) in used:
+                continue
+            g.link(f"c{a}", pa, f"c{b}", pb, latency=rng.randint(1, 10**6))
+            used.add((f"c{a}", pa))
+            used.add((f"c{b}", pb))
+        assert to_dict(from_json(to_json(g))) == to_dict(g)
+
+
+class TestBuilder:
+    def _graph(self, n_tokens=4):
+        g = ConfigGraph("pipe")
+        g.component("src", "testlib.Source", {"count": n_tokens, "period": "2ns"})
+        g.component("sink", "testlib.Sink")
+        g.link("src", "out", "sink", "in", latency="3ns")
+        return g
+
+    def test_build_and_run(self):
+        sim = build(self._graph())
+        result = sim.run()
+        assert result.reason == "exhausted"
+        assert sim.stat_values()["sink.received"] == 4
+
+    def test_build_unknown_type(self):
+        g = ConfigGraph()
+        g.component("x", "no.Such")
+        with pytest.raises(RegistryError):
+            build(g)
+
+    def test_build_parallel_matches_sequential(self):
+        seq = build(self._graph(8), seed=4)
+        seq.run()
+        psim = build_parallel(self._graph(8), 2, strategy="round_robin", seed=4)
+        psim.run()
+        assert psim.stat_values() == seq.stat_values()
+
+    def test_build_parallel_respects_rank_pins(self):
+        g = self._graph()
+        g.get_component("src").rank = 1
+        g.get_component("sink").rank = 0
+        psim = build_parallel(g, 2)
+        assert psim.rank_sim(1).component("src")
+        assert psim.rank_sim(0).component("sink")
+
+    def test_rank_pin_out_of_range(self):
+        g = self._graph()
+        g.get_component("src").rank = 5
+        with pytest.raises(ConfigError):
+            build_parallel(g, 2)
+
+    def test_build_with_self_link(self):
+        g = ConfigGraph()
+        g.component("src", "testlib.Source", {"count": 1, "period": "1ns"})
+        g.component("sink", "testlib.Sink")
+        g.link("src", "out", "sink", "in", latency="1ns")
+        g.self_link("sink", "loop", latency="1ns")
+        sim = build(g)
+        sim.run()
+        assert sim.stat_values()["sink.received"] == 1
+
+
+class TestTopology:
+    def test_torus_3d_component_count(self):
+        g = ConfigGraph()
+        topo = build_torus(g, (3, 3, 3), locals_per_router=2,
+                           router_type="testlib.Sink")
+        assert len(topo.router_names) == 27
+        assert topo.num_endpoints == 54
+        # 3 links per router in a 3D torus (each dim contributes n links
+        # per ring of n): 27 routers * 3 dims = 81 links.
+        assert g.num_links() == 81
+
+    def test_torus_2wide_dimension_no_duplicate_wrap(self):
+        g = ConfigGraph()
+        build_torus(g, (2, 2), router_type="testlib.Sink")
+        # Each ring of 2 has exactly 1 link: 2x2 torus -> 4 links.
+        assert g.num_links() == 4
+
+    def test_mesh_has_fewer_links_than_torus(self):
+        g1, g2 = ConfigGraph(), ConfigGraph()
+        build_torus(g1, (4, 4), router_type="testlib.Sink", wrap=True)
+        build_torus(g2, (4, 4), router_type="testlib.Sink", wrap=False)
+        assert g2.num_links() == g1.num_links() - 8  # 2 dims x 4 wrap links
+
+    def test_ring(self):
+        g = ConfigGraph()
+        topo = build_ring(g, 5, router_type="testlib.Sink")
+        assert topo.kind == "ring"
+        assert len(topo.router_names) == 5
+        assert g.num_links() == 5
+
+    def test_router_params_carry_topology(self):
+        g = ConfigGraph()
+        build_torus(g, (2, 3), locals_per_router=2, router_type="testlib.Sink")
+        comp = g.get_component("net.r1_2")
+        assert comp.params["kind"] == "torus"
+        assert comp.params["dims"] == "2x3"
+        assert comp.params["coords"] == "1,2"
+        assert comp.params["locals"] == 2
+
+    def test_endpoint_attach(self):
+        g = ConfigGraph()
+        topo = build_torus(g, (2, 2), locals_per_router=1,
+                           router_type="testlib.Sink")
+        g.component("nic0", "testlib.Source", {"count": 1, "period": "1ns"})
+        topo.attach(g, 0, "nic0", "out", latency="5ns")
+        router, port = topo.endpoints[0]
+        assert any(l.comp_a == "nic0" or l.comp_b == "nic0" for l in g.links())
+
+    def test_fat_tree_structure(self):
+        g = ConfigGraph()
+        topo = build_fat_tree(g, leaves=4, down_ports=4, spines=2,
+                              router_type="testlib.Sink")
+        assert topo.num_endpoints == 16
+        assert len(topo.router_names) == 6
+        assert g.num_links() == 8  # 4 leaves x 2 spines
+
+    def test_crossbar(self):
+        g = ConfigGraph()
+        topo = build_crossbar(g, 8, router_type="testlib.Sink")
+        assert topo.num_endpoints == 8
+        assert len(topo.router_names) == 1
+
+    def test_invalid_dims(self):
+        g = ConfigGraph()
+        with pytest.raises(ValueError):
+            build_torus(g, ())
+        with pytest.raises(ValueError):
+            build_torus(g, (0, 3))
+        with pytest.raises(ValueError):
+            build_fat_tree(g, leaves=0, down_ports=1, spines=1)
+        with pytest.raises(ValueError):
+            build_crossbar(g, 0)
+
+    def test_torus_endpoint_indexing_row_major(self):
+        g = ConfigGraph()
+        topo = build_torus(g, (2, 2), locals_per_router=2,
+                           router_type="testlib.Sink")
+        # endpoint 5 -> router index 2 (coords (1,0)), local 1
+        router, port = topo.endpoints[5]
+        assert router == "net.r1_0"
+        assert port == "local1"
+
+
+class TestRegistry:
+    def test_registered_types_include_testlib(self):
+        assert "testlib.Sink" in registry.registered_types()
+
+    def test_resolve_known(self):
+        from tests.conftest import Sink
+
+        assert registry.resolve("testlib.Sink") is Sink
+
+    def test_resolve_unknown(self):
+        with pytest.raises(RegistryError):
+            registry.resolve("nolib.Nothing")
+
+    def test_conflicting_registration_rejected(self):
+        from repro.core import Component, register
+
+        @register("testlib.Unique1")
+        class A(Component):
+            pass
+
+        with pytest.raises(RegistryError):
+            @register("testlib.Unique1")
+            class B(Component):
+                pass
+
+    def test_reregister_same_class_ok(self):
+        from repro.core import Component, register
+
+        @register("testlib.Unique2")
+        class C(Component):
+            pass
+
+        assert register("testlib.Unique2")(C) is C
+
+    def test_register_non_component_rejected(self):
+        from repro.core import register
+
+        with pytest.raises(TypeError):
+            register("testlib.Bad")(dict)

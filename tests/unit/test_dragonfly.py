@@ -1,0 +1,223 @@
+"""Tests for the dragonfly topology and its minimal routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ConfigGraph, build, build_dragonfly
+from repro.core import Params, Simulation
+from repro.network import Router
+
+
+def make_dragonfly(groups=7, a=3, h=2, p=2):
+    g = ConfigGraph("df")
+    topo = build_dragonfly(g, groups=groups, routers_per_group=a,
+                           global_per_router=h, locals_per_router=p)
+    return g, topo
+
+
+class TestStructure:
+    def test_component_and_link_counts(self):
+        g, topo = make_dragonfly(groups=7, a=3, h=2, p=2)
+        assert len(topo.router_names) == 21
+        assert topo.num_endpoints == 42
+        # intra: 7 groups x C(3,2)=3; inter: C(7,2)=21.
+        assert g.num_links() == 7 * 3 + 21
+
+    def test_balance_condition_enforced(self):
+        g = ConfigGraph("bad")
+        with pytest.raises(ValueError, match="balanced"):
+            build_dragonfly(g, groups=8, routers_per_group=3,
+                            global_per_router=2)
+
+    def test_invalid_parameters(self):
+        g = ConfigGraph("bad")
+        with pytest.raises(ValueError):
+            build_dragonfly(g, groups=0, routers_per_group=1,
+                            global_per_router=1)
+
+    def test_every_group_pair_joined_once(self):
+        g, topo = make_dragonfly()
+        global_links = [
+            link for link in g.links()
+            if link.port_a.startswith("g") and link.port_b.startswith("g")
+        ]
+        pairs = set()
+        for link in global_links:
+            group_a = int(link.comp_a.split(".g")[1].split("r")[0])
+            group_b = int(link.comp_b.split(".g")[1].split("r")[0])
+            pair = tuple(sorted((group_a, group_b)))
+            assert pair not in pairs, f"duplicate global link {pair}"
+            pairs.add(pair)
+        assert len(pairs) == 21  # C(7,2)
+
+    def test_minimal_dragonfly(self):
+        # g=2, a=1, h=1: two routers, one global link.
+        g, topo = make_dragonfly(groups=2, a=1, h=1, p=1)
+        assert g.num_links() == 1
+        assert topo.num_endpoints == 2
+
+
+class TestRouting:
+    def _router(self, group, index, groups=7, a=3, h=2, p=2):
+        sim = Simulation()
+        return Router(sim, "r", Params({
+            "kind": "dragonfly", "groups": groups,
+            "routers_per_group": a, "global_per_router": h, "locals": p,
+            "group": group, "index": index}))
+
+    def test_local_delivery(self):
+        r = self._router(group=0, index=0)
+        # endpoint 1 = group 0, router 0, terminal 1
+        assert r.route(1) == "local1"
+
+    def test_intra_group(self):
+        r = self._router(group=0, index=0)
+        # endpoint of group 0, router 2: 2*p = 4
+        assert r.route(4) == "l2"
+
+    def test_global_from_gateway(self):
+        r = self._router(group=0, index=0)
+        # dest group 1: d=1 -> gateway (1-1)//2=0 (me), port g0.
+        dest = (1 * 3 + 0) * 2  # group1 router0 terminal0
+        assert r.route(dest) == "g0"
+        # dest group 2: d=2 -> gateway 0, port g1.
+        dest = (2 * 3 + 0) * 2
+        assert r.route(dest) == "g1"
+
+    def test_local_hop_to_gateway(self):
+        r = self._router(group=0, index=0)
+        # dest group 3: d=3 -> gateway (3-1)//2 = 1 -> local hop l1.
+        dest = (3 * 3 + 0) * 2
+        assert r.route(dest) == "l1"
+
+    @given(st.integers(0, 41), st.integers(0, 41))
+    @settings(max_examples=60)
+    def test_any_pair_reachable_within_three_router_hops(self, src, dest):
+        """Follow the routing function hop by hop; must deliver in <= 3
+        router-to-router hops (l, g, l) + terminal."""
+        groups, a, h, p = 7, 3, 2, 2
+        if src == dest:
+            return
+        router_global = src // p
+        group, index = divmod(router_global, a)
+        hops = 0
+        while True:
+            r = self._router(group=group, index=index)
+            port = r.route(dest)
+            if port.startswith("local"):
+                break
+            hops += 1
+            assert hops <= 3, (src, dest)
+            if port.startswith("l"):
+                index = int(port[1:])
+            else:  # global hop: recompute the peer (builder's wiring)
+                k = int(port[1:])
+                d = None
+                # Find which offset this (index, k) gateway serves.
+                channel = index * h + k
+                d = channel + 1
+                dest_group = (group + d) % groups
+                d_back = (group - dest_group) % groups
+                group = dest_group
+                index = (d_back - 1) // h
+
+
+class TestEndToEnd:
+    def test_traffic_delivers(self):
+        g, topo = make_dragonfly(groups=5, a=2, h=2, p=1)
+        n = topo.num_endpoints
+        for i in range(n):
+            g.component(f"nic{i}", "network.Nic", {})
+            g.component(f"ep{i}", "network.PatternEndpoint",
+                        {"endpoint_id": i, "n_endpoints": n,
+                         "pattern": "bitcomplement", "count": 3,
+                         "size": "8KB", "gap": "5us"})
+            g.link(f"ep{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+            topo.attach(g, i, f"nic{i}", "net", latency="10ns")
+        sim = build(g, seed=4)
+        result = sim.run()
+        assert result.reason == "exit"
+        values = sim.stat_values()
+        assert sum(values[f"ep{i}.received"] for i in range(n)) == 3 * n
+
+    def test_global_links_slower_than_local(self):
+        """Cross-group latency > intra-group latency (the dragonfly
+        global-link penalty)."""
+        g, topo = make_dragonfly(groups=3, a=2, h=1, p=2)
+        n = topo.num_endpoints
+        for i in range(n):
+            g.component(f"nic{i}", "network.Nic", {})
+            g.component(f"ep{i}", "network.PatternEndpoint",
+                        {"endpoint_id": i, "n_endpoints": n,
+                         "pattern": "neighbor", "count": 2,
+                         "size": 512, "gap": "5us"})
+            g.link(f"ep{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+            topo.attach(g, i, f"nic{i}", "net", latency="10ns")
+        sim = build(g, seed=4)
+        assert sim.run().reason == "exit"
+        stats = sim.stats()
+        # ep0 -> ep1 shares a router; ep3 -> ep4 crosses into group 1.
+        same_router = stats["ep1.latency_ps"].mean
+        cross_group = stats["ep4.latency_ps"].mean
+        assert cross_group > same_router
+
+
+class TestValiantRouting:
+    def _run(self, routing, pattern="shift", groups=5, a=2, h=2, p=2,
+             count=3):
+        g, topo = None, None
+        graph = ConfigGraph(f"df-{routing}")
+        topo = build_dragonfly(graph, groups=groups, routers_per_group=a,
+                               global_per_router=h, locals_per_router=p,
+                               router_params={"routing": routing})
+        n = topo.num_endpoints
+        for i in range(n):
+            graph.component(f"nic{i}", "network.Nic", {})
+            graph.component(f"ep{i}", "network.PatternEndpoint",
+                            {"endpoint_id": i, "n_endpoints": n,
+                             "pattern": pattern, "count": count,
+                             "size": "8KB", "gap": "2us",
+                             "shift_amount": a * p})
+            graph.link(f"ep{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+            topo.attach(graph, i, f"nic{i}", "net", latency="10ns")
+        sim = build(graph, seed=6)
+        result = sim.run()
+        assert result.reason == "exit", (routing, result.reason)
+        return sim, n
+
+    def test_valiant_delivers_everything(self):
+        sim, n = self._run("valiant")
+        values = sim.stat_values()
+        assert sum(values[f"ep{i}.received"] for i in range(n)) == 3 * n
+
+    def test_valiant_takes_longer_paths(self):
+        sim_min, n = self._run("minimal")
+        sim_val, _ = self._run("valiant")
+        hops_min = sum(sim_min.stats()[f"ep{i}.hops"].mean
+                       for i in range(n)) / n
+        hops_val = sum(sim_val.stats()[f"ep{i}.hops"].mean
+                       for i in range(n)) / n
+        assert hops_val > hops_min
+
+    def test_valiant_bounded_hops(self):
+        sim, n = self._run("valiant")
+        worst = max(sim.stats()[f"ep{i}.hops"].maximum for i in range(n))
+        # Valiant worst case: l g l (to via) + l g l (to dest) + deliver.
+        assert worst <= 7
+
+    def test_valiant_deterministic(self):
+        a = self._run("valiant")[0].stat_values()
+        b = self._run("valiant")[0].stat_values()
+        assert a == b
+
+    def test_unknown_routing_rejected(self):
+        from repro.core import Params, Simulation
+        from repro.network import Router
+
+        sim = Simulation()
+        with pytest.raises(ValueError, match="routing"):
+            Router(sim, "r", Params({
+                "kind": "dragonfly", "groups": 5, "routers_per_group": 2,
+                "global_per_router": 2, "locals": 1, "group": 0,
+                "index": 0, "routing": "teleport"}))

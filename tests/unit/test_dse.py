@@ -1,0 +1,84 @@
+"""Tests for the design-space exploration driver."""
+
+import pytest
+
+from repro.dse import (PAPER_TECHNOLOGIES, PAPER_WIDTHS, PAPER_WORKLOADS,
+                       SweepResult, design_point_graph, run_design_point,
+                       sweep)
+
+
+class TestDesignPoint:
+    def test_single_point_runs(self):
+        point = run_design_point("hpccg", issue_width=2,
+                                 technology="DDR3-1333",
+                                 instructions=500_000)
+        assert point.instructions == 500_000
+        assert point.runtime_ps > 0
+        assert point.performance > 0
+        assert point.memory_technology == "DDR3-1333"
+
+    def test_multi_core_point(self):
+        solo = run_design_point("hpccg", n_cores=1, instructions=500_000)
+        quad = run_design_point("hpccg", n_cores=4, instructions=500_000)
+        # Four cores retire 4x instructions but contend for bandwidth.
+        assert quad.instructions == 4 * 500_000
+        assert quad.runtime_ps > solo.runtime_ps
+        assert quad.core_power_w > solo.core_power_w
+
+    def test_graph_shape(self):
+        graph = design_point_graph("lulesh", issue_width=4,
+                                   technology="GDDR5",
+                                   instructions=100_000, n_cores=2)
+        types = [c.type_name for c in graph.components()]
+        assert types.count("processor.MixCore") == 2
+        assert types.count("memory.NodeMemory") == 1
+        assert graph.num_links() == 2
+
+    def test_deterministic(self):
+        a = run_design_point("lulesh", seed=5, instructions=500_000)
+        b = run_design_point("lulesh", seed=5, instructions=500_000)
+        assert a.runtime_ps == b.runtime_ps
+        assert a.total_power_w == b.total_power_w
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_design_point("quake3")
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep(workloads=["hpccg"], widths=[1, 4],
+                     technologies=["DDR3-1066", "GDDR5"],
+                     instructions=500_000)
+
+    def test_grid_complete(self, small_sweep):
+        assert len(small_sweep.points) == 4
+        for width in (1, 4):
+            for tech in ("DDR3-1066", "GDDR5"):
+                assert small_sweep.point("hpccg", width, tech)
+
+    def test_speedup_helper(self, small_sweep):
+        gain = small_sweep.speedup("hpccg", 4, "GDDR5", "DDR3-1066")
+        assert gain > 0
+
+    def test_best_by_metric(self, small_sweep):
+        fastest = small_sweep.best("performance")
+        assert fastest.issue_width == 4
+        assert fastest.memory_technology == "GDDR5"
+        per_dollar = small_sweep.best("perf_per_dollar")
+        assert per_dollar is not None
+
+    def test_best_with_workload_filter(self, small_sweep):
+        assert small_sweep.best("performance", workload="hpccg")
+        with pytest.raises(ValueError):
+            small_sweep.best("performance", workload="doom")
+
+    def test_missing_point_raises(self, small_sweep):
+        with pytest.raises(KeyError):
+            small_sweep.point("hpccg", 8, "GDDR5")
+
+    def test_paper_axes_exported(self):
+        assert set(PAPER_TECHNOLOGIES) == {"DDR2-800", "DDR3-1066", "GDDR5"}
+        assert tuple(PAPER_WIDTHS) == (1, 2, 4, 8)
+        assert set(PAPER_WORKLOADS) == {"hpccg", "lulesh"}

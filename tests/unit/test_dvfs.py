@@ -1,0 +1,100 @@
+"""Tests for the DVFS model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.dvfs import (DvfsParams, DvfsPoint, energy_optimal_frequency,
+                              evaluate_frequency, frequency_sweep)
+
+FREQS = [1.0e9, 1.4e9, 1.8e9, 2.2e9, 2.6e9, 3.0e9]
+
+
+class TestDvfsParams:
+    def test_voltage_interpolation(self):
+        p = DvfsParams(f_min_hz=1e9, f_max_hz=3e9, v_min=0.8, v_max=1.2)
+        assert p.voltage(1e9) == 0.8
+        assert p.voltage(3e9) == 1.2
+        assert p.voltage(2e9) == pytest.approx(1.0)
+
+    def test_voltage_clamps(self):
+        p = DvfsParams()
+        assert p.voltage(0.1e9) == p.v_min
+        assert p.voltage(10e9) == p.v_max
+
+    def test_scales_reference_unity(self):
+        p = DvfsParams()
+        assert p.dynamic_energy_scale(p.f_ref_hz) == pytest.approx(1.0)
+        assert p.static_power_scale(p.f_ref_hz) == pytest.approx(1.0)
+
+    def test_dynamic_scale_is_v_squared(self):
+        p = DvfsParams()
+        assert p.dynamic_energy_scale(p.f_max_hz) == pytest.approx(
+            (p.v_max / p.voltage(p.f_ref_hz)) ** 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DvfsParams(f_min_hz=3e9, f_max_hz=1e9)
+        with pytest.raises(ValueError):
+            DvfsParams(v_min=0)
+        with pytest.raises(ValueError):
+            DvfsParams(f_ref_hz=9e9)
+
+    @given(st.floats(1e9, 3.2e9))
+    @settings(max_examples=40)
+    def test_voltage_monotone(self, freq):
+        p = DvfsParams()
+        assert p.voltage(freq) <= p.voltage(min(freq * 1.1, p.f_max_hz)) + 1e-12
+
+
+class TestFrequencyEvaluation:
+    def test_runtime_decreases_with_frequency(self):
+        for workload in ("hpccg", "minife_fea"):
+            sweep = frequency_sweep(workload, FREQS)
+            runtimes = [sweep[f].runtime_ps for f in FREQS]
+            assert runtimes == sorted(runtimes, reverse=True), workload
+
+    def test_energy_curve_u_shaped(self):
+        for workload in ("hpccg", "minife_fea"):
+            sweep = frequency_sweep(workload, FREQS)
+            optimum = energy_optimal_frequency(sweep)
+            assert sweep[FREQS[0]].total_energy_j >= \
+                sweep[optimum].total_energy_j
+            assert sweep[FREQS[-1]].total_energy_j > \
+                sweep[optimum].total_energy_j
+            assert FREQS[0] < optimum < FREQS[-1] or optimum in FREQS
+
+    def test_bandwidth_bound_saturates_compute_bound_scales(self):
+        """The DVFS contrast: frequency buys much more speed for the
+        compute-bound phase than for the bandwidth-bound solver."""
+        hpccg = frequency_sweep("hpccg", [FREQS[0], FREQS[-1]])
+        fea = frequency_sweep("minife_fea", [FREQS[0], FREQS[-1]])
+        hpccg_speedup = (hpccg[FREQS[0]].runtime_ps
+                         / hpccg[FREQS[-1]].runtime_ps)
+        fea_speedup = fea[FREQS[0]].runtime_ps / fea[FREQS[-1]].runtime_ps
+        assert fea_speedup > hpccg_speedup * 1.3
+
+    def test_energy_cost_per_speedup_higher_when_bandwidth_bound(self):
+        """Overclocking a memory-bound workload pays more energy per unit
+        of speedup than a compute-bound one — crawl beats race-to-halt
+        there."""
+        def cost_per_speedup(workload):
+            sweep = frequency_sweep(workload, [1.4e9, 3.0e9])
+            energy_ratio = (sweep[3.0e9].total_energy_j
+                            / sweep[1.4e9].total_energy_j)
+            speedup = sweep[1.4e9].runtime_ps / sweep[3.0e9].runtime_ps
+            return energy_ratio / speedup
+
+        assert cost_per_speedup("hpccg") > \
+            1.15 * cost_per_speedup("minife_fea")
+
+    def test_point_accessors(self):
+        point = evaluate_frequency("hpccg", 2.0e9)
+        assert point.total_energy_j == pytest.approx(
+            point.core_energy_j + point.dram_energy_j)
+        assert point.energy_delay_product == pytest.approx(
+            point.total_energy_j * point.runtime_s)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            energy_optimal_frequency({})

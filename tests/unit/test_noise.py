@@ -1,0 +1,104 @@
+"""Tests for OS-noise injection in the skeleton-app engine (paper §4)."""
+
+import pytest
+
+from repro.config import build
+from repro.core import Params, Simulation
+from repro.miniapps import app_runtime_stats, build_app_machine
+from repro.miniapps.base import AppRank, Compute
+
+
+class _PureCompute(AppRank):
+    def program(self):
+        for it in range(self.iterations):
+            yield Compute(1_000_000_000)  # 1 ms
+            self.iteration_done()
+
+
+def _run_pure(noise_hz, noise_dur, iterations=50, seed=3, name="r"):
+    sim = Simulation(seed=seed)
+    params = {"rank": 0, "n_ranks": 1, "iterations": iterations}
+    if noise_hz:
+        params.update({"noise_frequency": noise_hz,
+                       "noise_duration": noise_dur})
+    rank = _PureCompute(sim, name, Params(params))
+    result = sim.run()
+    assert result.reason == "exit"
+    return rank
+
+
+class TestNoiseInjection:
+    def test_no_noise_by_default(self):
+        rank = _run_pure(0, 0)
+        assert rank.s_noise.count == 0
+        assert rank.s_runtime.count == 50 * 1_000_000_000
+
+    def test_noise_extends_runtime(self):
+        noisy = _run_pure(1000, "50us")  # 5% net
+        assert noisy.s_noise.count > 0
+        assert noisy.s_runtime.count == \
+            50 * 1_000_000_000 + noisy.s_noise.count
+
+    def test_net_noise_fraction_statistical(self):
+        """Injected noise converges to frequency x duration."""
+        noisy = _run_pure(2000, "25us", iterations=200)  # 5% net
+        fraction = noisy.s_noise.count / (200 * 1_000_000_000)
+        assert fraction == pytest.approx(0.05, rel=0.3)
+
+    def test_deterministic_per_seed(self):
+        a = _run_pure(1000, "50us", seed=9)
+        b = _run_pure(1000, "50us", seed=9)
+        assert a.s_runtime.count == b.s_runtime.count
+
+    def test_ranks_draw_independent_noise(self):
+        """Two ranks with identical parameters see different detours
+        (component-keyed seeding) — the precondition for collective
+        amplification."""
+        sim = Simulation(seed=3)
+        params = {"rank": 0, "n_ranks": 1, "iterations": 50,
+                  "noise_frequency": 1000, "noise_duration": "50us"}
+        a = _PureCompute(sim, "a", Params(params))
+        sim2 = Simulation(seed=3)
+        b = _PureCompute(sim2, "b", Params(params))
+        sim.run()
+        sim2.run()
+        assert a.s_noise.count != b.s_noise.count
+
+    def test_negative_parameters_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            _PureCompute(sim, "bad", Params({
+                "rank": 0, "n_ranks": 1, "noise_frequency": -1}))
+
+
+class TestNoiseAmplification:
+    """The Ferreira et al. phenomenon the paper's §4 describes."""
+
+    def _slowdown(self, noise_hz, noise_dur, n=32, app="HPCCG"):
+        def run(extra):
+            graph = build_app_machine(f"miniapps.{app}", n,
+                                      app_params=extra, iterations=5)
+            sim = build(graph, seed=11)
+            assert sim.run().reason == "exit"
+            return app_runtime_stats(sim, n)["runtime_ps"]
+
+        base = run({})
+        noisy = run({"noise_frequency": noise_hz,
+                     "noise_duration": noise_dur})
+        return noisy / base - 1.0
+
+    def test_low_frequency_noise_amplified_by_collectives(self):
+        # 2.5% net noise as rare long detours: the fine-grained
+        # collective app amplifies it far beyond 2.5%.
+        slowdown = self._slowdown(10, "2.5ms")
+        assert slowdown > 0.25
+
+    def test_high_frequency_noise_absorbed(self):
+        # Same 2.5% net as frequent tiny detours: mostly absorbed.
+        slowdown = self._slowdown(2500, "10us")
+        assert slowdown < 0.15
+
+    def test_coarse_grained_app_absorbs_noise(self):
+        # CTH's long compute phases absorb even low-frequency noise.
+        slowdown = self._slowdown(10, "2.5ms", app="CTH")
+        assert slowdown < 0.25

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.params."""
+
+import pytest
+
+from repro.core import ParamError, Params
+
+
+class TestBasicFinds:
+    def test_find_present(self):
+        assert Params({"a": 1}).find("a") == 1
+
+    def test_find_missing_raises(self):
+        with pytest.raises(ParamError):
+            Params({}).find("a")
+
+    def test_find_default(self):
+        assert Params({}).find("a", 7) == 7
+
+    def test_find_str(self):
+        assert Params({"a": 42}).find_str("a") == "42"
+
+    def test_find_int_from_string(self):
+        assert Params({"a": "42"}).find_int("a") == 42
+
+    def test_find_int_hex(self):
+        assert Params({"a": "0x10"}).find_int("a") == 16
+
+    def test_find_int_bad(self):
+        with pytest.raises(ParamError):
+            Params({"a": "many"}).find_int("a")
+
+    def test_find_float(self):
+        assert Params({"a": "2.5"}).find_float("a") == 2.5
+
+    def test_find_bool_variants(self):
+        p = Params({"a": "true", "b": "0", "c": "YES", "d": False, "e": "off"})
+        assert p.find_bool("a") is True
+        assert p.find_bool("b") is False
+        assert p.find_bool("c") is True
+        assert p.find_bool("d") is False
+        assert p.find_bool("e") is False
+
+    def test_find_bool_bad(self):
+        with pytest.raises(ParamError):
+            Params({"a": "maybe"}).find_bool("a")
+
+
+class TestUnitFinds:
+    def test_find_time(self):
+        assert Params({"lat": "10ns"}).find_time("lat") == 10_000
+
+    def test_find_time_default(self):
+        assert Params({}).find_time("lat", "1ns") == 1000
+
+    def test_find_period(self):
+        assert Params({"clock": "2GHz"}).find_period("clock") == 500
+
+    def test_find_freq(self):
+        assert Params({"clock": "800MHz"}).find_freq_hz("clock") == 8e8
+
+    def test_find_size(self):
+        assert Params({"size": "32KB"}).find_size_bytes("size") == 32768
+
+    def test_find_bandwidth(self):
+        assert Params({"bw": "1.6GB/s"}).find_bandwidth("bw") == 1.6e9
+
+    def test_bad_unit_raises_param_error(self):
+        with pytest.raises(ParamError):
+            Params({"lat": "sluggish"}).find_time("lat")
+
+
+class TestStructure:
+    def test_scoped(self):
+        p = Params({"l1.size": "32KB", "l1.ways": "8", "l2.size": "256KB"})
+        l1 = p.scoped("l1")
+        assert l1.find_size_bytes("size") == 32768
+        assert l1.find_int("ways") == 8
+        assert "l2.size" not in l1
+
+    def test_scoped_trailing_dot_equivalent(self):
+        p = Params({"x.y": 1})
+        assert p.scoped("x").find_int("y") == p.scoped("x.").find_int("y") == 1
+
+    def test_merged_overrides(self):
+        p = Params({"a": 1, "b": 2}).merged({"b": 3, "c": 4})
+        assert p.find_int("a") == 1
+        assert p.find_int("b") == 3
+        assert p.find_int("c") == 4
+
+    def test_merged_none(self):
+        assert Params({"a": 1}).merged(None).find_int("a") == 1
+
+    def test_unused_keys_tracking(self):
+        p = Params({"used": 1, "unused": 2})
+        p.find_int("used")
+        assert p.unused_keys() == {"unused"}
+
+    def test_scoping_consumes_parent_keys(self):
+        p = Params({"l1.size": "32KB", "top": 1})
+        p.scoped("l1")
+        assert p.unused_keys() == {"top"}
+
+    def test_mapping_protocol(self):
+        p = Params({"a": 1, "b": 2})
+        assert len(p) == 2
+        assert set(p) == {"a", "b"}
+        assert p["a"] == 1
+        assert dict(p) == {"a": 1, "b": 2}
+
+    def test_as_dict_copies(self):
+        p = Params({"a": 1})
+        d = p.as_dict()
+        d["a"] = 99
+        assert p.find_int("a") == 1
+
+    def test_error_mentions_scope(self):
+        with pytest.raises(ParamError, match="l1"):
+            Params({"l1.x": 1}).scoped("l1").find("missing")

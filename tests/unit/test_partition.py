@@ -1,0 +1,163 @@
+"""Unit + property tests for the component-graph partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (STRATEGIES, PartitionEdge, evaluate,
+                                  partition)
+
+
+def ring_edges(n, latency=10):
+    return [PartitionEdge(i, (i + 1) % n, latency=latency) for i in range(n)]
+
+
+def grid_nodes_edges(width, height):
+    nodes = [(x, y) for y in range(height) for x in range(width)]
+    edges = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append(PartitionEdge((x, y), (x + 1, y)))
+            if y + 1 < height:
+                edges.append(PartitionEdge((x, y), (x, y + 1)))
+    return nodes, edges
+
+
+class TestBasics:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_nodes_assigned(self, strategy):
+        nodes = list(range(20))
+        result = partition(nodes, ring_edges(20), 4, strategy=strategy)
+        assert set(result.assignment) == set(nodes)
+        assert all(0 <= r < 4 for r in result.assignment.values())
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_rank_is_trivial(self, strategy):
+        result = partition(list(range(5)), ring_edges(5), 1, strategy=strategy)
+        assert set(result.assignment.values()) == {0}
+        assert result.edge_cut == 0
+
+    def test_more_ranks_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            partition([1, 2], [], 3)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            partition([1], [], 0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            partition([1, 2], [], 2, strategy="magic")
+
+    def test_unknown_edge_node_rejected(self):
+        with pytest.raises(ValueError):
+            partition([1, 2], [PartitionEdge(1, 99)], 2)
+
+    def test_linear_keeps_contiguous_slices(self):
+        nodes = list(range(12))
+        result = partition(nodes, ring_edges(12), 4, strategy="linear")
+        # Linear on a ring: each rank gets one contiguous run of 3.
+        for rank in range(4):
+            members = [n for n, r in result.assignment.items() if r == rank]
+            assert members == list(range(min(members), max(members) + 1))
+
+    def test_round_robin_alternates(self):
+        result = partition(list(range(6)), [], 2, strategy="round_robin")
+        assert [result.assignment[i] for i in range(6)] == [0, 1, 0, 1, 0, 1]
+
+
+class TestQualityMetrics:
+    def test_ring_linear_cut(self):
+        # A 16-ring split linearly into 4 slices cuts exactly 4 edges.
+        result = partition(list(range(16)), ring_edges(16), 4, strategy="linear")
+        assert result.cut_edges == 4
+
+    def test_round_robin_cut_is_worst(self):
+        nodes = list(range(16))
+        edges = ring_edges(16)
+        rr = partition(nodes, edges, 4, strategy="round_robin")
+        lin = partition(nodes, edges, 4, strategy="linear")
+        assert rr.cut_edges > lin.cut_edges
+
+    def test_kl_not_worse_than_bfs_on_grid(self):
+        nodes, edges = grid_nodes_edges(8, 8)
+        bfs = partition(nodes, edges, 4, strategy="bfs")
+        kl = partition(nodes, edges, 4, strategy="kl")
+        assert kl.edge_cut <= bfs.edge_cut
+
+    def test_min_cut_latency_reported(self):
+        nodes = [0, 1, 2, 3]
+        edges = [PartitionEdge(0, 1, latency=100), PartitionEdge(1, 2, latency=5),
+                 PartitionEdge(2, 3, latency=50)]
+        result = partition(nodes, edges, 2, strategy="round_robin")
+        # round_robin: 0,2 -> rank0; 1,3 -> rank1; all edges cut.
+        assert result.min_cut_latency == 5
+
+    def test_no_cut_edges_latency_none(self):
+        result = partition([0, 1], [PartitionEdge(0, 1)], 1)
+        assert result.min_cut_latency is None
+
+    def test_imbalance_weighted(self):
+        weights = {0: 10.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        result = partition([0, 1, 2, 3], [], 2, strategy="round_robin",
+                           weights=weights)
+        # rank0 = {0, 2} weight 11, ideal 6.5
+        assert result.imbalance == pytest.approx(11 / 6.5)
+
+    def test_evaluate_standalone(self):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        edges = [PartitionEdge(0, 1), PartitionEdge(1, 2), PartitionEdge(2, 3)]
+        result = evaluate(assignment, edges)
+        assert result.cut_edges == 1
+        assert result.edge_cut == 1.0
+
+    def test_ranks_grouping(self):
+        result = partition(list(range(4)), [], 2, strategy="round_robin")
+        groups = result.ranks()
+        assert groups[0] == [0, 2]
+        assert groups[1] == [1, 3]
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        ranks=st.integers(min_value=1, max_value=8),
+        strategy=st.sampled_from(STRATEGIES),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=80)
+    def test_partition_is_complete_and_disjoint(self, n, ranks, strategy, seed):
+        if ranks > n:
+            ranks = n
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = [
+            PartitionEdge(rng.randrange(n), rng.randrange(n),
+                          latency=rng.randint(1, 100))
+            for _ in range(min(n * 2, 80))
+        ]
+        edges = [e for e in edges if e.u != e.v]
+        result = partition(nodes, edges, ranks, strategy=strategy)
+        # Complete: every node exactly once.
+        assert set(result.assignment) == set(nodes)
+        # Valid ranks.
+        assert all(0 <= r < ranks for r in result.assignment.values())
+        # Metrics internally consistent.
+        recomputed = evaluate(result.assignment, edges, num_ranks=ranks)
+        assert recomputed.cut_edges == result.cut_edges
+        assert recomputed.edge_cut == result.edge_cut
+
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        ranks=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_deterministic(self, n, ranks):
+        nodes = list(range(n))
+        edges = ring_edges(n)
+        a = partition(nodes, edges, ranks, strategy="kl")
+        b = partition(nodes, edges, ranks, strategy="kl")
+        assert a.assignment == b.assignment

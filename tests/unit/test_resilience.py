@@ -1,0 +1,162 @@
+"""Tests for the checkpoint/restart and failure models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Params, Simulation
+from repro.resilience import (BUDDY_MEMORY, LOCAL_SSD, PARALLEL_FS, TARGETS,
+                              CheckpointedJob, CheckpointTarget, FailureModel,
+                              daly_interval_s, expected_runtime_s,
+                              simulate_job, young_interval_s)
+
+
+class TestFailureModel:
+    def test_system_mtbf_scales_inversely(self):
+        model = FailureModel(node_mtbf_s=43800 * 3600, n_nodes=1000)
+        assert model.system_mtbf_s == pytest.approx(43800 * 3.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(node_mtbf_s=0)
+        with pytest.raises(ValueError):
+            FailureModel(node_mtbf_s=1, n_nodes=0)
+
+
+class TestCheckpointTargets:
+    def test_local_ssd_scale_invariant(self):
+        assert LOCAL_SSD.effective_node_bandwidth(1) == \
+            LOCAL_SSD.effective_node_bandwidth(10_000)
+
+    def test_parallel_fs_divides_at_scale(self):
+        small = PARALLEL_FS.effective_node_bandwidth(4)
+        large = PARALLEL_FS.effective_node_bandwidth(4096)
+        assert small == PARALLEL_FS.node_bandwidth  # below the ceiling
+        assert large == pytest.approx(20e9 / 4096)
+
+    def test_crossover_with_scale(self):
+        """The §3.1 motivation: PFS wins small, local SSD wins at scale."""
+        state = 2 * 10**9
+        assert PARALLEL_FS.checkpoint_time_ps(state, 8) < \
+            LOCAL_SSD.checkpoint_time_ps(state, 8)
+        assert LOCAL_SSD.checkpoint_time_ps(state, 1024) < \
+            PARALLEL_FS.checkpoint_time_ps(state, 1024)
+
+    def test_registry(self):
+        assert set(TARGETS) == {"local-ssd", "parallel-fs", "buddy-memory"}
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            LOCAL_SSD.effective_node_bandwidth(0)
+
+
+class TestAnalyticModel:
+    def test_young_formula(self):
+        assert young_interval_s(5.0, 1000.0) == pytest.approx(100.0)
+
+    def test_daly_close_to_young_for_small_delta(self):
+        daly = daly_interval_s(1.0, 10_000.0)
+        young = young_interval_s(1.0, 10_000.0)
+        assert daly == pytest.approx(young, rel=0.05)
+
+    def test_daly_degenerate_regime(self):
+        # delta >= 2M: checkpointing pointless, interval = MTBF.
+        assert daly_interval_s(100.0, 40.0) == 40.0
+
+    def test_expected_runtime_exceeds_work(self):
+        t = expected_runtime_s(1000.0, 50.0, 5.0, 10.0, 500.0)
+        assert t > 1000.0
+
+    def test_optimum_is_a_minimum(self):
+        mtbf, delta, restart, work = 300.0, 4.0, 8.0, 1000.0
+        opt = daly_interval_s(delta, mtbf)
+        t_opt = expected_runtime_s(work, opt, delta, restart, mtbf)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            t = expected_runtime_s(work, opt * factor, delta, restart, mtbf)
+            assert t >= t_opt * 0.999, factor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval_s(0, 100)
+        with pytest.raises(ValueError):
+            daly_interval_s(1, 0)
+        with pytest.raises(ValueError):
+            expected_runtime_s(0, 1, 1, 1, 1)
+
+    @given(st.floats(0.5, 50), st.floats(100, 10_000))
+    @settings(max_examples=40)
+    def test_interval_scales_with_sqrt(self, delta, mtbf):
+        base = young_interval_s(delta, mtbf)
+        assert young_interval_s(delta * 4, mtbf) == pytest.approx(2 * base)
+        assert young_interval_s(delta, mtbf * 4) == pytest.approx(2 * base)
+
+
+class TestCheckpointedJob:
+    def test_no_failures_pure_overhead(self):
+        # MTBF far beyond the run: runtime = work + checkpoints.
+        job = simulate_job(work_s=10.0, interval_s=2.0, checkpoint_s=0.5,
+                           restart_s=1.0, mtbf_s=1e9)
+        assert job.s_failures.count == 0
+        # 5 segments, 4 checkpoints (the final segment skips it).
+        assert job.runtime_ps == pytest.approx((10.0 + 4 * 0.5) * 1e12)
+        assert job.s_checkpoint.count == int(4 * 0.5 * 1e12)
+
+    def test_failures_add_rework(self):
+        job = simulate_job(work_s=100.0, interval_s=5.0, checkpoint_s=0.5,
+                           restart_s=2.0, mtbf_s=30.0, seed=5)
+        assert job.s_failures.count > 0
+        assert job.s_rework.count > 0
+        assert job.runtime_ps > 100e12
+
+    def test_deterministic_given_seed(self):
+        a = simulate_job(work_s=50.0, interval_s=5.0, checkpoint_s=0.5,
+                         restart_s=2.0, mtbf_s=40.0, seed=7)
+        b = simulate_job(work_s=50.0, interval_s=5.0, checkpoint_s=0.5,
+                         restart_s=2.0, mtbf_s=40.0, seed=7)
+        assert a.runtime_ps == b.runtime_ps
+        assert a.s_failures.count == b.s_failures.count
+
+    def test_simulation_tracks_daly_model(self):
+        """Mean simulated completion within ~15% of Daly's expectation."""
+        mtbf, delta, restart, work = 200.0, 5.0, 10.0, 500.0
+        interval = daly_interval_s(delta, mtbf)
+        analytic = expected_runtime_s(work, interval, delta, restart, mtbf)
+        runtimes = [
+            simulate_job(work_s=work, interval_s=interval, checkpoint_s=delta,
+                         restart_s=restart, mtbf_s=mtbf, seed=s).runtime_ps
+            for s in range(8)
+        ]
+        mean = sum(runtimes) / len(runtimes) / 1e12
+        assert mean == pytest.approx(analytic, rel=0.15)
+
+    def test_interval_sweep_minimum_near_daly(self):
+        """The simulated optimum lies near the analytic optimum."""
+        mtbf, delta, restart, work = 150.0, 4.0, 8.0, 400.0
+        opt = daly_interval_s(delta, mtbf)
+        candidates = [opt / 4, opt, opt * 4]
+
+        def mean_runtime(interval):
+            runs = [simulate_job(work_s=work, interval_s=interval,
+                                 checkpoint_s=delta, restart_s=restart,
+                                 mtbf_s=mtbf, seed=s).runtime_ps
+                    for s in range(6)]
+            return sum(runs) / len(runs)
+
+        times = [mean_runtime(i) for i in candidates]
+        assert times[1] == min(times)
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            CheckpointedJob(sim, "bad", Params({"work": 0}))
+
+    def test_runaway_failure_guard(self):
+        sim = Simulation(seed=1)
+        job = CheckpointedJob(sim, "doomed", Params({
+            "work": int(10e12), "interval": int(1e12),
+            "checkpoint_time": int(0.1e12), "restart_time": int(0.5e12),
+            "mtbf": int(0.2e12),  # fails constantly
+            "max_failures": 50,
+        }))
+        with pytest.raises(RuntimeError, match="max_failures"):
+            sim.run()

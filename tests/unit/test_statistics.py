@@ -1,0 +1,203 @@
+"""Unit + property tests for statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.statistics import (Accumulator, Counter, Histogram,
+                                   StatisticGroup)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestCounter:
+    def test_starts_zero(self):
+        assert Counter("c").count == 0
+
+    def test_add(self):
+        c = Counter("c")
+        c.add()
+        c.add(5)
+        assert c.count == 6
+        assert c.value() == 6.0
+
+    def test_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.add(3)
+        b.add(4)
+        a.merge(b)
+        assert a.count == 7
+
+    def test_merge_name_mismatch(self):
+        with pytest.raises(ValueError):
+            Counter("a").merge(Counter("b"))
+
+    def test_merge_type_mismatch(self):
+        with pytest.raises(TypeError):
+            Counter("a").merge(Accumulator("a"))
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(10)
+        c.reset()
+        assert c.count == 0
+
+
+class TestAccumulator:
+    def test_empty(self):
+        a = Accumulator("a")
+        assert a.count == 0
+        assert a.mean == 0.0
+        assert a.stddev == 0.0
+
+    def test_stats(self):
+        a = Accumulator("a")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            a.add(v)
+        assert a.count == 4
+        assert a.mean == 2.5
+        assert a.minimum == 1.0
+        assert a.maximum == 4.0
+        assert a.variance == pytest.approx(1.25)
+        assert a.stddev == pytest.approx(math.sqrt(1.25))
+
+    def test_as_dict(self):
+        a = Accumulator("a")
+        a.add(2.0)
+        d = a.as_dict()
+        assert d["count"] == 1
+        assert d["mean"] == 2.0
+        assert d["min"] == 2.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_matches_batch_computation(self, values):
+        a = Accumulator("a")
+        for v in values:
+            a.add(v)
+        assert a.count == len(values)
+        assert a.total == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+        assert a.minimum == min(values)
+        assert a.maximum == max(values)
+        batch_mean = sum(values) / len(values)
+        assert a.mean == pytest.approx(batch_mean, rel=1e-9, abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.lists(finite_floats, min_size=1, max_size=50))
+    def test_merge_equals_combined(self, left, right):
+        a, b, combined = Accumulator("x"), Accumulator("x"), Accumulator("x")
+        for v in left:
+            a.add(v)
+            combined.add(v)
+        for v in right:
+            b.add(v)
+            combined.add(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total, rel=1e-9, abs=1e-6)
+        assert a.minimum == combined.minimum
+        assert a.maximum == combined.maximum
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram("h", low=0.0, bin_width=10.0, n_bins=4)
+        for v in (5, 15, 15, 35):
+            h.add(v)
+        assert h.bins == [1, 2, 0, 1]
+        assert h.count == 4
+
+    def test_under_overflow(self):
+        h = Histogram("h", low=0.0, bin_width=1.0, n_bins=2)
+        h.add(-5)
+        h.add(100)
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.count == 2
+
+    def test_weighted_add(self):
+        h = Histogram("h", low=0.0, bin_width=1.0, n_bins=4)
+        h.add(1.5, weight=10)
+        assert h.bins[1] == 10
+        assert h.count == 10
+
+    def test_mean(self):
+        h = Histogram("h", low=0.0, bin_width=1.0, n_bins=10)
+        h.add(2.0)
+        h.add(4.0)
+        assert h.mean == 3.0
+
+    def test_percentile(self):
+        h = Histogram("h", low=0.0, bin_width=1.0, n_bins=10)
+        for v in range(10):
+            h.add(v + 0.5)
+        assert h.percentile(0.5) == pytest.approx(4.5, abs=1.0)
+        assert h.percentile(1.0) == pytest.approx(9.5, abs=1.0)
+
+    def test_percentile_bounds(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_merge_compatible(self):
+        a = Histogram("h", 0.0, 1.0, 4)
+        b = Histogram("h", 0.0, 1.0, 4)
+        a.add(0.5)
+        b.add(2.5)
+        a.merge(b)
+        assert a.bins == [1, 0, 1, 0]
+        assert a.count == 2
+
+    def test_merge_incompatible_binning(self):
+        a = Histogram("h", 0.0, 1.0, 4)
+        b = Histogram("h", 0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bin_width=0)
+        with pytest.raises(ValueError):
+            Histogram("h", n_bins=0)
+
+    def test_bin_edges(self):
+        h = Histogram("h", low=10.0, bin_width=5.0, n_bins=2)
+        assert h.bin_edges() == [10.0, 15.0, 20.0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                    min_size=0, max_size=100))
+    def test_total_count_conserved(self, values):
+        h = Histogram("h", low=20.0, bin_width=5.0, n_bins=8)
+        for v in values:
+            h.add(v)
+        assert sum(h.bins) + h.underflow + h.overflow == len(values)
+
+
+class TestStatisticGroup:
+    def test_register_and_fetch(self):
+        g = StatisticGroup()
+        c = g.counter("hits")
+        assert g.get("hits") is c
+        assert "hits" in g
+        assert len(g) == 1
+
+    def test_reregister_same_type_returns_existing(self):
+        g = StatisticGroup()
+        a = g.counter("x")
+        b = g.counter("x")
+        assert a is b
+
+    def test_reregister_different_type_raises(self):
+        g = StatisticGroup()
+        g.counter("x")
+        with pytest.raises(ValueError):
+            g.accumulator("x")
+
+    def test_all_returns_copy(self):
+        g = StatisticGroup()
+        g.counter("x")
+        d = g.all()
+        d.clear()
+        assert len(g) == 1

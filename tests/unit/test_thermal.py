@@ -1,0 +1,154 @@
+"""Tests for the electro-thermal and reliability-coupling models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.thermal import (OperatingPoint, ThermalModel, ThermalParams,
+                                 ThermalRunaway)
+
+
+class TestParams:
+    def test_leakage_exponential(self):
+        p = ThermalParams(leakage_ref_w=2.0, reference_c=60.0,
+                          leakage_beta=0.02)
+        assert p.leakage_w(60.0) == pytest.approx(2.0)
+        assert p.leakage_w(95.0) == pytest.approx(2.0 * math.exp(0.7))
+
+    def test_time_constant(self):
+        p = ThermalParams(r_thermal_c_per_w=0.8, c_thermal_j_per_c=25.0)
+        assert p.time_constant_s == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalParams(r_thermal_c_per_w=0)
+        with pytest.raises(ValueError):
+            ThermalParams(leakage_beta=-1)
+
+
+class TestSteadyState:
+    def test_zero_power_sits_at_ambient_plus_leakage(self):
+        model = ThermalModel(ThermalParams(leakage_ref_w=0.0))
+        point = model.steady_state(0.0)
+        assert point.temperature_c == pytest.approx(40.0)
+        assert point.total_power_w == 0.0
+
+    def test_consistency_of_fixed_point(self):
+        model = ThermalModel()
+        point = model.steady_state(20.0)
+        p = model.params
+        expected_t = p.ambient_c + p.r_thermal_c_per_w * point.total_power_w
+        assert point.temperature_c == pytest.approx(expected_t, abs=1e-3)
+        assert point.leakage_power_w == pytest.approx(
+            p.leakage_w(point.temperature_c), rel=1e-6)
+
+    def test_leakage_amplifies_with_power(self):
+        model = ThermalModel()
+        low = model.steady_state(10.0)
+        high = model.steady_state(50.0)
+        assert high.temperature_c > low.temperature_c
+        assert high.leakage_power_w > low.leakage_power_w
+        # Exponential coupling: the leakage ratio exceeds the linearised
+        # estimate 1 + beta*dT (1.65 here; exp gives ~1.92).
+        d_temp = high.temperature_c - low.temperature_c
+        linearised = 1.0 + ThermalModel().params.leakage_beta * d_temp
+        assert (high.leakage_power_w / low.leakage_power_w) > \
+            linearised * 1.05
+
+    def test_runaway_detected(self):
+        # Hugely resistive package + sensitive leakage: no fixed point.
+        params = ThermalParams(r_thermal_c_per_w=5.0, leakage_beta=0.08,
+                               leakage_ref_w=5.0)
+        model = ThermalModel(params)
+        with pytest.raises(ThermalRunaway):
+            model.steady_state(60.0)
+
+    def test_junction_limit_enforced(self):
+        params = ThermalParams(t_max_c=80.0)
+        model = ThermalModel(params)
+        with pytest.raises(ThermalRunaway):
+            model.steady_state(60.0)  # 40 + 0.8*60 = 88C > 80C
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalModel().steady_state(-1.0)
+
+    @given(st.floats(0.0, 40.0))
+    @settings(max_examples=40)
+    def test_monotone_in_power(self, power):
+        model = ThermalModel()
+        a = model.steady_state(power)
+        b = model.steady_state(power + 5.0)
+        assert b.temperature_c > a.temperature_c
+
+
+class TestTransient:
+    def test_approaches_steady_state(self):
+        model = ThermalModel()
+        steady = model.steady_state(30.0)
+        trace = model.transient(30.0, duration_s=200.0, dt_s=0.05)
+        final = trace[-1][1]
+        assert final == pytest.approx(steady.temperature_c, abs=0.5)
+
+    def test_monotone_warmup_from_ambient(self):
+        model = ThermalModel()
+        trace = model.transient(30.0, duration_s=50.0)
+        temps = [t for _, t in trace]
+        assert all(b >= a - 1e-9 for a, b in zip(temps, temps[1:]))
+
+    def test_cooldown_from_hot(self):
+        model = ThermalModel()
+        trace = model.transient(0.0, duration_s=100.0, initial_c=90.0)
+        assert trace[-1][1] < 45.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel().transient(10.0, duration_s=0)
+
+
+class TestReliabilityCoupling:
+    def test_arrhenius_reference_is_unity(self):
+        assert ThermalModel.arrhenius_acceleration(60.0, 60.0) == \
+            pytest.approx(1.0)
+
+    def test_hotter_fails_faster(self):
+        af_85 = ThermalModel.arrhenius_acceleration(85.0)
+        af_105 = ThermalModel.arrhenius_acceleration(105.0)
+        assert 1.0 < af_85 < af_105
+        # The folk rule: ~2x per 10-15C at Ea ~ 0.7eV.
+        assert 3.0 < af_85 < 10.0
+
+    def test_derated_mtbf(self):
+        model = ThermalModel()
+        nominal = 100_000.0
+        derated = model.derated_mtbf_s(nominal, 85.0)
+        assert derated < nominal / 3
+
+    def test_couples_into_checkpoint_model(self):
+        """The full §5 chain: power -> temperature -> MTBF -> optimal
+        checkpoint interval shrinks and expected runtime grows."""
+        from repro.resilience import daly_interval_s, expected_runtime_s
+
+        model = ThermalModel()
+        cool = model.steady_state(15.0)
+        hot = model.steady_state(60.0)
+        nominal_node_mtbf = 500_000.0
+        mtbf_cool = model.derated_mtbf_s(nominal_node_mtbf,
+                                         cool.temperature_c)
+        mtbf_hot = model.derated_mtbf_s(nominal_node_mtbf,
+                                        hot.temperature_c)
+        assert mtbf_hot < mtbf_cool
+        delta, restart, work = 10.0, 20.0, 10_000.0
+        t_cool = expected_runtime_s(work, daly_interval_s(delta, mtbf_cool),
+                                    delta, restart, mtbf_cool)
+        t_hot = expected_runtime_s(work, daly_interval_s(delta, mtbf_hot),
+                                   delta, restart, mtbf_hot)
+        assert t_hot > t_cool
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel.arrhenius_acceleration(-300.0)
+        with pytest.raises(ValueError):
+            ThermalModel().derated_mtbf_s(0, 80.0)
