@@ -10,11 +10,49 @@ crossover locations, rough factors — never absolute times.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+#: BENCH_<exp>.json perf records land at the repo root — the
+#: machine-readable trajectory optimization PRs are measured against.
+BENCH_RECORD_DIR = Path(__file__).parent.parent
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Append one perf record per executed bench test to BENCH_<exp>.json.
+
+    Records are plain JSON lists (see docs/OBSERVABILITY.md for the
+    schema); ``<exp>`` is the bench module name minus its ``bench_``
+    prefix, so e.g. ``bench_engine_throughput.py`` feeds
+    ``BENCH_engine_throughput.json``.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    module = Path(str(item.fspath)).stem
+    if not module.startswith("bench_"):
+        return
+    from repro.obs import environment_info
+    from repro.obs.manifest import append_json_record
+
+    record = {
+        "schema": "repro-bench-record/1",
+        "experiment": module[len("bench_"):],
+        "test": item.nodeid,
+        "outcome": report.outcome,
+        "wall_seconds": report.duration,
+        "created_unix": time.time(),
+        "created_iso": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": environment_info(),
+    }
+    append_json_record(
+        BENCH_RECORD_DIR / f"BENCH_{module[len('bench_'):]}.json", record
+    )
 
 
 @pytest.fixture

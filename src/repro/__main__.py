@@ -28,6 +28,70 @@ from .config import build, build_parallel, load, save
 from .config.graph import ConfigGraph
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _make_observability(args: argparse.Namespace, target):
+    """Attach the repro.obs instruments requested on the command line.
+
+    Returns ``(telemetry, profiler, chrome, progress)`` — any of which
+    may be None — already attached to ``target``.
+    """
+    telemetry = profiler = chrome = progress = None
+    if args.metrics:
+        from .obs import TelemetryRecorder
+
+        telemetry = TelemetryRecorder(args.metrics, args.manifest)
+        telemetry.attach(target)
+    if args.profile:
+        from .obs import HandlerProfiler
+
+        profiler = HandlerProfiler(target, sample_every=args.profile_sample)
+    if args.trace_chrome:
+        from .obs import ChromeTraceExporter
+
+        chrome = ChromeTraceExporter(args.trace_chrome)
+        chrome.attach(target)
+    if args.progress:
+        from .obs import ProgressReporter
+
+        progress = ProgressReporter(max_time=args.max_time)
+        progress.attach(target)
+    return telemetry, profiler, chrome, progress
+
+
+def _finish_observability(args, result, graph, telemetry, profiler, chrome,
+                          progress) -> None:
+    if progress is not None:
+        progress.detach()
+    if telemetry is not None:
+        invocation = {
+            "argv": ["run", args.config],
+            "max_time": args.max_time,
+            "ranks": args.ranks,
+            "strategy": args.strategy,
+            "backend": args.backend,
+            "queue": args.queue,
+            "seed": args.seed,
+        }
+        telemetry.finalize(result, graph=graph, invocation=invocation)
+        print(f"metrics -> {args.metrics}"
+              + (f"; manifest -> {telemetry.manifest_path}"
+                 if telemetry.manifest_path else ""))
+    if chrome is not None:
+        chrome.close()
+        print(f"chrome trace -> {args.trace_chrome} "
+              f"({len(chrome.events)} events; load in Perfetto)")
+    if profiler is not None:
+        profiler.detach()
+        print(f"profile (hottest component: {profiler.hottest_component()}):")
+        print(profiler.report(top=args.profile_top))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = load(args.config)
     warnings = graph.validate(resolve_types=True)
@@ -37,12 +101,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         psim = build_parallel(graph, args.ranks, strategy=args.strategy,
                               seed=args.seed, queue=args.queue,
                               backend=args.backend)
+        instruments = _make_observability(args, psim)
         result = psim.run(max_time=args.max_time)
+        _finish_observability(args, result, graph, *instruments)
         print(f"parallel run: {result.reason} at {result.end_time} ps; "
-              f"{result.events_executed} events over {result.epochs} epochs "
+              f"{result.events_executed} events "
+              f"({result.events_per_second:,.0f} events/s) "
+              f"over {result.epochs} epochs "
               f"({result.remote_events} crossed ranks, "
-              f"lookahead {result.lookahead} ps)")
+              f"lookahead {result.lookahead} ps, "
+              f"barrier wait {result.barrier_wait_seconds:.3f}s)")
         values = psim.stat_values()
+        if args.stats:
+            for key, stat in sorted(psim.sync_stats().items()):
+                print(f"_engine.{key}: {stat.value():.6g}")
     else:
         sim = build(graph, seed=args.seed, queue=args.queue)
         trace_log = None
@@ -51,11 +123,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             trace_log = EventTraceLog(sim, args.trace,
                                       component_filter=args.trace_filter)
+        instruments = _make_observability(args, sim)
         result = sim.run(max_time=args.max_time)
+        _finish_observability(args, result, graph, *instruments)
         if trace_log is not None:
             trace_log.detach()
+            truncated = (f" (truncated: {trace_log.matched_events} matched, "
+                         f"{trace_log.records_written} recorded)"
+                         if trace_log.truncated else "")
             print(f"trace: {trace_log.matched_events} events "
-                  f"(of {trace_log.total_events}) -> {args.trace}")
+                  f"(of {trace_log.total_events}) -> {args.trace}{truncated}")
         print(f"run: {result.reason} at {result.end_time} ps; "
               f"{result.events_executed} events "
               f"({result.events_per_second:,.0f} events/s)")
@@ -139,6 +216,24 @@ def make_parser() -> argparse.ArgumentParser:
                           "(sequential runs only)")
     run.add_argument("--trace-filter", default="*",
                      help="glob on component/port names for --trace")
+    run.add_argument("--metrics", default=None,
+                     help="write a JSONL telemetry stream to this file "
+                          "(a run manifest lands next to it)")
+    run.add_argument("--manifest", default=None,
+                     help="run-manifest JSON path (default: "
+                          "<metrics>.manifest.json when --metrics is set)")
+    run.add_argument("--profile", action="store_true",
+                     help="profile wall-time per component/handler/event "
+                          "type and print the hot-components table")
+    run.add_argument("--profile-top", type=_positive_int, default=15,
+                     help="rows to show in the profile table")
+    run.add_argument("--profile-sample", type=_positive_int, default=1,
+                     help="time every Nth event (1 = all)")
+    run.add_argument("--trace-chrome", default=None,
+                     help="export handler spans + rank epochs as a "
+                          "Chrome/Perfetto trace-event JSON file")
+    run.add_argument("--progress", action="store_true",
+                     help="print periodic progress/ETA lines to stderr")
     run.set_defaults(func=_cmd_run)
 
     info = sub.add_parser("info", help="summarize a machine description")

@@ -68,6 +68,7 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
 
     psim = ParallelSimulation(num_ranks, seed=seed, queue=queue,
                               backend=backend, verbose=verbose)
+    psim.partition_strategy = strategy
     instances: Dict[str, Component] = {}
     for conf in graph.components():
         cls = registry.resolve(conf.type_name)

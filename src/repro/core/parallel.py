@@ -28,9 +28,10 @@ re-targeted at rank outboxes.
 
 from __future__ import annotations
 
+import time as _wall_time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from . import units
 from .component import Component
@@ -54,6 +55,68 @@ class ParallelRunResult:
     lookahead: SimTime
     wall_seconds: float
     per_rank_events: List[int] = field(default_factory=list)
+    #: wall time spent executing rank epoch windows, summed over ranks
+    exec_seconds: float = 0.0
+    #: wall time ranks spent waiting at the epoch barrier (sum over
+    #: ranks of slowest-rank-time minus own time, per epoch)
+    barrier_wait_seconds: float = 0.0
+    #: wall time spent sorting/delivering cross-rank events
+    exchange_seconds: float = 0.0
+    #: per-rank cumulative barrier-wait seconds
+    per_rank_barrier_wait: List[float] = field(default_factory=list)
+    #: fraction of the theoretical epoch budget (epochs * lookahead)
+    #: the run actually advanced through — low values mean the
+    #: conservative window is forcing many near-empty epochs
+    lookahead_utilization: float = 0.0
+    #: events executed per wall-clock second (engine throughput)
+    events_per_second: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.events_per_second = (
+            self.events_executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (embedded in run manifests)."""
+        return {
+            "reason": self.reason,
+            "end_time_ps": self.end_time,
+            "events_executed": self.events_executed,
+            "epochs": self.epochs,
+            "remote_events": self.remote_events,
+            "lookahead_ps": self.lookahead,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+            "per_rank_events": list(self.per_rank_events),
+            "exec_seconds": self.exec_seconds,
+            "barrier_wait_seconds": self.barrier_wait_seconds,
+            "exchange_seconds": self.exchange_seconds,
+            "per_rank_barrier_wait": list(self.per_rank_barrier_wait),
+            "lookahead_utilization": self.lookahead_utilization,
+        }
+
+
+@dataclass
+class EpochInfo:
+    """One conservative-sync epoch, as seen by epoch observers.
+
+    Passed to callbacks registered via
+    :meth:`ParallelSimulation.add_epoch_observer` — the parallel-engine
+    analogue of the sequential heartbeat hook (telemetry, progress and
+    trace exporters attach here).
+    """
+
+    index: int  #: epoch number within this run (0-based)
+    window_start: SimTime  #: global earliest pending event this epoch
+    window_end: SimTime  #: inclusive end of the safe window
+    exchanged_events: int  #: cross-rank events delivered before the epoch
+    exchange_seconds: float
+    wall_seconds: float  #: wall time of the whole epoch execution phase
+    per_rank_events: List[int]
+    per_rank_wall: List[float]
+    per_rank_barrier_wait: List[float]
+    events_total: int  #: cumulative events executed so far in this run
+    now: SimTime  #: engine sim-time high-water mark after the epoch
 
 
 class _CrossRankLink:
@@ -95,11 +158,29 @@ class ParallelSimulation:
         self.num_ranks = num_ranks
         self.backend = backend
         self.seed = seed
+        self.queue_kind = queue
+        #: partitioner strategy label; set by config.build_parallel for
+        #: run manifests, None for hand-built graphs.
+        self.partition_strategy: Optional[str] = None
         self._sims = [
             Simulation(queue=queue, seed=seed, rank=r, num_ranks=num_ranks,
                        verbose=verbose)
             for r in range(num_ranks)
         ]
+        # Per-rank conservative-sync metrics, kept in each rank's
+        # engine-level StatisticGroup so ParallelSimulation.sync_stats()
+        # can fold them together with Statistic.merge().
+        self._sync_stats = []
+        for sim in self._sims:
+            es = sim.engine_stats
+            self._sync_stats.append({
+                "epochs": es.counter("sync.epochs"),
+                "epoch_events": es.accumulator("sync.epoch_events"),
+                "exec_s": es.accumulator("sync.exec_s"),
+                "barrier_wait_s": es.accumulator("sync.barrier_wait_s"),
+                "remote_sends": es.counter("sync.remote_sends"),
+            })
+        self._epoch_observers: List[Callable[[EpochInfo], None]] = []
         # outboxes[src_rank] = list of (time, priority, link_id, dest_rank,
         #                               send_seq, event)
         self._outboxes: List[List[Tuple[SimTime, int, int, int, int, Event]]] = [
@@ -217,9 +298,11 @@ class ParallelSimulation:
         order (and therefore of the backend).
         """
         pending: List[Tuple[SimTime, int, int, int, int, Event]] = []
-        for outbox in self._outboxes:
-            pending.extend(outbox)
-            outbox.clear()
+        for rank, outbox in enumerate(self._outboxes):
+            if outbox:
+                self._sync_stats[rank]["remote_sends"].add(len(outbox))
+                pending.extend(outbox)
+                outbox.clear()
         if not pending:
             return 0
         pending.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
@@ -240,19 +323,41 @@ class ParallelSimulation:
     # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
+    def add_epoch_observer(self, fn: Callable[[EpochInfo], None]) -> None:
+        """Call ``fn(EpochInfo)`` after every conservative-sync epoch.
+
+        The parallel analogue of :meth:`Simulation.add_heartbeat`:
+        telemetry recorders, progress reporters and trace exporters
+        attach here.  Costs nothing per event, one call per epoch.
+        """
+        if fn not in self._epoch_observers:
+            self._epoch_observers.append(fn)
+
+    def remove_epoch_observer(self, fn: Callable[[EpochInfo], None]) -> None:
+        try:
+            self._epoch_observers.remove(fn)
+        except ValueError:
+            pass
+
     def run(self, max_time: Optional[Union[str, int]] = None,
             max_epochs: Optional[int] = None) -> ParallelRunResult:
         """Run the conservative epoch loop to completion or a limit."""
-        import time as _wall
+        perf = _wall_time.perf_counter
 
         if not self._setup_done:
             self.setup()
         limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
         lookahead = self.lookahead
-        start_wall = _wall.perf_counter()
+        start_wall = perf()
         start_events = [sim.events_executed for sim in self._sims]
         epochs = 0
         reason = "exhausted"
+        exec_seconds = 0.0
+        exchange_seconds = 0.0
+        barrier_wait_total = 0.0
+        per_rank_barrier = [0.0] * self.num_ranks
+        first_window: Optional[SimTime] = None
+        run_events = 0
         if self.backend == "threads" and self._pool is None and self.num_ranks > 1:
             self._pool = ThreadPoolExecutor(max_workers=self.num_ranks)
         try:
@@ -262,7 +367,10 @@ class ParallelSimulation:
                     break
                 # Deliver any cross-rank events first (including sends made
                 # during setup()) so the safe window sees a complete queue.
-                self._exchange()
+                ex_t0 = perf()
+                exchanged = self._exchange()
+                ex_dt = perf() - ex_t0
+                exchange_seconds += ex_dt
                 global_min = self._global_next_time()
                 if global_min == _INF:
                     reason = "exhausted"
@@ -270,12 +378,43 @@ class ParallelSimulation:
                 if limit is not None and global_min > limit:
                     reason = "max_time"
                     break
+                if first_window is None:
+                    first_window = int(global_min)
                 # Safe window: any send made while executing t >= global_min
                 # arrives at >= global_min + lookahead, i.e. after epoch_end.
                 epoch_end = int(global_min) + lookahead - 1
                 if limit is not None:
                     epoch_end = min(epoch_end, limit)
-                self._run_epoch(epoch_end)
+                ep_t0 = perf()
+                per_rank_wall, per_rank_ev = self._run_epoch(epoch_end)
+                ep_dt = perf() - ep_t0
+                exec_seconds += ep_dt
+                slowest = max(per_rank_wall) if per_rank_wall else 0.0
+                run_events += sum(per_rank_ev)
+                for r, stats in enumerate(self._sync_stats):
+                    waited = slowest - per_rank_wall[r]
+                    per_rank_barrier[r] += waited
+                    barrier_wait_total += waited
+                    stats["epochs"].add()
+                    stats["epoch_events"].add(per_rank_ev[r])
+                    stats["exec_s"].add(per_rank_wall[r])
+                    stats["barrier_wait_s"].add(waited)
+                if self._epoch_observers:
+                    info = EpochInfo(
+                        index=epochs,
+                        window_start=int(global_min),
+                        window_end=epoch_end,
+                        exchanged_events=exchanged,
+                        exchange_seconds=ex_dt,
+                        wall_seconds=ep_dt,
+                        per_rank_events=per_rank_ev,
+                        per_rank_wall=per_rank_wall,
+                        per_rank_barrier_wait=[slowest - w for w in per_rank_wall],
+                        events_total=run_events,
+                        now=max(sim.now for sim in self._sims),
+                    )
+                    for fn in self._epoch_observers:
+                        fn(info)
                 epochs += 1
                 if self._primaries_exist() and self._primaries_pending() == 0:
                     reason = "exit"
@@ -288,10 +427,14 @@ class ParallelSimulation:
             if sim.now < end_time:
                 sim.now = end_time
         self.finish()
-        wall = _wall.perf_counter() - start_wall
+        wall = perf() - start_wall
         per_rank = [
             sim.events_executed - s0 for sim, s0 in zip(self._sims, start_events)
         ]
+        utilization = 0.0
+        if epochs and lookahead and first_window is not None:
+            span = max(0, end_time - first_window) + 1
+            utilization = min(1.0, span / (epochs * lookahead))
         return ParallelRunResult(
             reason=reason,
             end_time=end_time,
@@ -301,24 +444,45 @@ class ParallelSimulation:
             lookahead=lookahead,
             wall_seconds=wall,
             per_rank_events=per_rank,
+            exec_seconds=exec_seconds,
+            barrier_wait_seconds=barrier_wait_total,
+            exchange_seconds=exchange_seconds,
+            per_rank_barrier_wait=per_rank_barrier,
+            lookahead_utilization=utilization,
         )
 
-    def _run_epoch(self, epoch_end: SimTime) -> None:
+    def _run_epoch(self, epoch_end: SimTime) -> Tuple[List[float], List[int]]:
+        """Run one epoch window on every rank.
+
+        Returns per-rank (wall seconds, events executed).  Per-rank wall
+        time is measured inside the worker so the threads backend sees
+        true concurrent durations; barrier wait is derived from the
+        spread between the slowest rank and each other rank.
+        """
+        perf = _wall_time.perf_counter
+
+        def timed_step(sim: Simulation) -> Tuple[float, int]:
+            t0 = perf()
+            n = sim.run_step(epoch_end)
+            return perf() - t0, n
+
         if self.backend == "threads" and self._pool is not None:
-            futures = [
-                self._pool.submit(sim.run_step, epoch_end) for sim in self._sims
-            ]
-            for f in futures:
-                f.result()  # re-raise worker exceptions
+            futures = [self._pool.submit(timed_step, sim) for sim in self._sims]
+            timings = [f.result() for f in futures]  # re-raise worker exceptions
         else:
-            for sim in self._sims:
-                sim.run_step(epoch_end)
+            timings = [timed_step(sim) for sim in self._sims]
+        return [t for t, _ in timings], [n for _, n in timings]
 
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, Any]:
-        """Merged statistics from every rank (component names are unique)."""
+    def stats(self, *, include_engine: bool = False) -> Dict[str, Any]:
+        """Merged statistics from every rank (component names are unique).
+
+        ``include_engine=True`` folds the merged per-rank sync metrics
+        in under ``_engine.<name>`` keys; the default leaves them out so
+        component-stat comparisons against a sequential run still hold.
+        """
         merged: Dict[str, Any] = {}
         for sim in self._sims:
             for key, stat in sim.stats().items():
@@ -326,10 +490,31 @@ class ParallelSimulation:
                     merged[key].merge(stat)
                 else:
                     merged[key] = stat
+        if include_engine:
+            for name, stat in self.sync_stats().items():
+                merged[f"_engine.{name}"] = stat
         return merged
 
     def stat_values(self) -> Dict[str, float]:
         return {key: stat.value() for key, stat in self.stats().items()}
+
+    def sync_stats(self) -> Dict[str, Any]:
+        """Conservative-sync metrics merged across ranks.
+
+        Every rank registers the same ``sync.*`` statistic names, so the
+        fold uses :meth:`Statistic.merge` on fresh empty copies (the
+        per-rank collectors are left untouched and re-mergeable).
+        """
+        merged: Dict[str, Any] = {}
+        for sim in self._sims:
+            for name, stat in sim.engine_stats.all().items():
+                if name not in merged:
+                    merged[name] = stat.copy_empty()
+                merged[name].merge(stat)
+        return merged
+
+    def sync_stat_values(self) -> Dict[str, float]:
+        return {key: stat.value() for key, stat in self.sync_stats().items()}
 
     def close(self) -> None:
         if self._pool is not None:

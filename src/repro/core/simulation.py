@@ -28,6 +28,7 @@ from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, CallbackEvent, Event,
                     EventRecord, Handler)
 from .eventqueue import EventQueueBase, make_queue
 from .link import Link, LinkError, Port
+from .statistics import StatisticGroup
 from .units import SimTime
 
 
@@ -50,6 +51,16 @@ class RunResult:
         self.events_per_second = (
             self.events_executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
         )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (embedded in run manifests)."""
+        return {
+            "reason": self.reason,
+            "end_time_ps": self.end_time,
+            "events_executed": self.events_executed,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+        }
 
 
 class Simulation:
@@ -76,6 +87,7 @@ class Simulation:
         self.rank = rank
         self.num_ranks = num_ranks
         self.verbose = verbose
+        self.queue_kind = queue
         self._queue: EventQueueBase = make_queue(queue, **(queue_kwargs or {}))
         self._components: Dict[str, Component] = {}
         self._links: List[Link] = []
@@ -87,9 +99,20 @@ class Simulation:
         self._events_executed = 0
         #: time of the most recently executed event (excludes idle advance)
         self.last_event_time: SimTime = 0
-        #: optional per-event observer: fn(time, handler, event); set via
-        #: set_trace() — None costs nothing in the hot loop.
+        # --- observability dispatch (repro.obs) -----------------------
+        # The hot loop pays a single `self._instr is None` check; the
+        # compiled dispatcher below is rebuilt whenever observers change
+        # and is None when nothing is installed.
+        #: legacy single observer slot (set_trace); folded into dispatch.
         self._trace_fn = None
+        self._trace_observers: List[Any] = []
+        self._span_observers: List[Any] = []
+        self._heartbeats: Dict[Any, int] = {}
+        self._instr = None
+        #: engine-level statistics (parallel-sync metrics etc.) — kept
+        #: separate from component stats so sequential/parallel stat
+        #: equivalence is preserved; see sync_stats().
+        self.engine_stats = StatisticGroup()
         # exit protocol state
         self._primary_components: set = set()
         self._primaries_pending = 0
@@ -264,12 +287,16 @@ class Simulation:
                 record = queue.pop()
                 self.now = record.time
                 self.last_event_time = record.time
-                handler = record.handler
-                if self._trace_fn is not None:
-                    self._trace_fn(record.time, handler, record.event)
-                if handler is not None:
-                    handler(record.event)
+                # Counted before dispatch so heartbeat/telemetry
+                # callbacks observe the event that triggered them.
                 self._events_executed += 1
+                instr = self._instr
+                if instr is not None:
+                    instr(record)
+                else:
+                    handler = record.handler
+                    if handler is not None:
+                        handler(record.event)
                 if self._stop_requested:
                     reason = "stopped"
                     break
@@ -308,24 +335,136 @@ class Simulation:
             record = queue.pop()
             self.now = record.time
             self.last_event_time = record.time
-            if self._trace_fn is not None:
-                self._trace_fn(record.time, record.handler, record.event)
-            if record.handler is not None:
-                record.handler(record.event)
             executed += 1
+            self._events_executed += 1
+            instr = self._instr
+            if instr is not None:
+                instr(record)
+            else:
+                handler = record.handler
+                if handler is not None:
+                    handler(record.event)
         if self.now < until:
             self.now = until
-        self._events_executed += executed
         return executed
 
+    # ------------------------------------------------------------------
+    # observability dispatch (repro.obs attaches through these)
+    # ------------------------------------------------------------------
     def set_trace(self, fn) -> None:
-        """Install a per-event observer ``fn(time, handler, event)``.
+        """Install the legacy per-event observer ``fn(time, handler, event)``.
 
-        Pass ``None`` to remove (the hot loop then pays nothing).  See
+        Pass ``None`` to remove (the hot loop then pays nothing).  For
+        coexisting observers use :meth:`add_trace_observer`; see
         :class:`repro.core.tracelog.EventTraceLog` for a ready-made
         filtering writer.
         """
         self._trace_fn = fn
+        self._rebuild_instr()
+
+    def add_trace_observer(self, fn) -> None:
+        """Add a per-event observer ``fn(time, handler, event)``.
+
+        Called *before* the handler executes.  Any number may coexist
+        (plus the legacy :meth:`set_trace` slot); with none installed
+        the hot loop pays a single ``is None`` check.
+        """
+        if fn not in self._trace_observers:
+            self._trace_observers.append(fn)
+        self._rebuild_instr()
+
+    def remove_trace_observer(self, fn) -> None:
+        try:
+            self._trace_observers.remove(fn)
+        except ValueError:
+            pass
+        self._rebuild_instr()
+
+    def add_span_observer(self, fn) -> None:
+        """Add a span observer ``fn(time, handler, event, wall_seconds)``.
+
+        Called *after* the handler executes with the measured wall-clock
+        duration of that single handler invocation.  The profiler and
+        the Chrome-trace exporter attach here.
+        """
+        if fn not in self._span_observers:
+            self._span_observers.append(fn)
+        self._rebuild_instr()
+
+    def remove_span_observer(self, fn) -> None:
+        try:
+            self._span_observers.remove(fn)
+        except ValueError:
+            pass
+        self._rebuild_instr()
+
+    def add_heartbeat(self, fn, *, every_events: int = 10_000) -> None:
+        """Call ``fn(sim)`` every ``every_events`` executed events.
+
+        Progress reporting and telemetry sampling hang off this; the
+        callback runs inline in the event loop, so it should be cheap
+        (rate-limit expensive work on wall-clock inside the callback).
+        """
+        if every_events < 1:
+            raise SimulationError("every_events must be >= 1")
+        self._heartbeats[fn] = every_events
+        self._rebuild_instr()
+
+    def remove_heartbeat(self, fn) -> None:
+        self._heartbeats.pop(fn, None)
+        self._rebuild_instr()
+
+    @property
+    def observers_installed(self) -> bool:
+        """True when any observer makes the loop run instrumented."""
+        return self._instr is not None
+
+    def _rebuild_instr(self) -> None:
+        """(Re)compile the instrumented event executor.
+
+        Folds the legacy trace slot, added trace observers, span
+        observers and heartbeats into one closure so the hot loop only
+        ever checks a single attribute.  With nothing installed the
+        dispatcher is ``None`` and the loop takes the bare path.
+        """
+        trace_fns: List[Any] = []
+        if self._trace_fn is not None:
+            trace_fns.append(self._trace_fn)
+        trace_fns.extend(self._trace_observers)
+        span_fns = tuple(self._span_observers)
+        heartbeats = tuple(self._heartbeats.items())
+        if not trace_fns and not span_fns and not heartbeats:
+            self._instr = None
+            return
+        traces = tuple(trace_fns)
+        hb_counts = [0] * len(heartbeats)
+        perf = _wall_time.perf_counter
+        sim = self
+
+        def _instr(record) -> None:
+            time = record.time
+            handler = record.handler
+            event = record.event
+            for fn in traces:
+                fn(time, handler, event)
+            if span_fns:
+                t0 = perf()
+                if handler is not None:
+                    handler(event)
+                elapsed = perf() - t0
+                for fn in span_fns:
+                    fn(time, handler, event, elapsed)
+            elif handler is not None:
+                handler(event)
+            for i, (fn, every) in enumerate(heartbeats):
+                n = hb_counts[i] + 1
+                if n >= every:
+                    hb_counts[i] = 0
+                    fn(sim)
+                else:
+                    hb_counts[i] = n
+
+        self._instr = _instr
 
     def next_event_time(self) -> Optional[SimTime]:
         return self._queue.peek_time()
@@ -352,6 +491,15 @@ class Simulation:
     def stat_values(self) -> Dict[str, float]:
         """Headline value of every statistic (for quick assertions)."""
         return {key: stat.value() for key, stat in self.stats().items()}
+
+    def sync_stats(self) -> Dict[str, Any]:
+        """Engine-level statistics (``sync.*`` parallel metrics etc.).
+
+        Kept out of :meth:`stats` so sequential/parallel component-stat
+        equivalence holds; the parallel engine merges these across ranks
+        with the same :meth:`Statistic.merge` machinery.
+        """
+        return self.engine_stats.all()
 
     def stat_table(self) -> str:
         """Human-readable statistics dump."""

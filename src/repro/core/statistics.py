@@ -44,6 +44,14 @@ class Statistic:
     def reset(self) -> None:
         raise NotImplementedError
 
+    def copy_empty(self) -> "Statistic":
+        """A fresh zeroed collector of the same type/name/shape.
+
+        Used to merge same-named collectors from several sources (e.g.
+        per-rank engine metrics) without mutating any of them.
+        """
+        raise NotImplementedError
+
     def _check_merge(self, other: "Statistic") -> None:
         if type(other) is not type(self):
             raise TypeError(f"cannot merge {type(other).__name__} into {type(self).__name__}")
@@ -76,6 +84,9 @@ class Counter(Statistic):
 
     def reset(self) -> None:
         self.count = 0
+
+    def copy_empty(self) -> "Counter":
+        return Counter(self.name)
 
 
 class Accumulator(Statistic):
@@ -143,6 +154,9 @@ class Accumulator(Statistic):
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
 
+    def copy_empty(self) -> "Accumulator":
+        return Accumulator(self.name)
+
 
 class Histogram(Statistic):
     """Fixed-width binned distribution with underflow/overflow bins."""
@@ -184,19 +198,26 @@ class Histogram(Statistic):
         return [self.low + i * self.bin_width for i in range(self.n_bins + 1)]
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile using bin midpoints (under/overflow clamp)."""
+        """Percentile with linear interpolation inside the matched bin.
+
+        Mass in the underflow bin clamps to ``low``; any request landing
+        in (or beyond) the overflow bin returns the top edge
+        ``low + n_bins * bin_width`` — including the all-overflow case —
+        so the result is continuous and monotonic in ``fraction``.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if self.count == 0:
             return 0.0
         target = fraction * self.count
         running = self.underflow
-        if running >= target and self.underflow:
+        if target <= running and self.underflow:
             return self.low
         for i, n in enumerate(self.bins):
+            if n and running + n >= target:
+                within = (target - running) / n
+                return self.low + (i + within) * self.bin_width
             running += n
-            if running >= target:
-                return self.low + (i + 0.5) * self.bin_width
         return self.low + self.n_bins * self.bin_width
 
     def value(self) -> float:
@@ -233,6 +254,9 @@ class Histogram(Statistic):
         self.overflow = 0
         self.count = 0
         self.total = 0.0
+
+    def copy_empty(self) -> "Histogram":
+        return Histogram(self.name, self.low, self.bin_width, self.n_bins)
 
 
 class StatisticGroup:

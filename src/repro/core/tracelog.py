@@ -59,7 +59,10 @@ class EventTraceLog:
         events are recorded.
     max_records:
         Stop recording (but keep counting) beyond this many lines —
-        traces of busy simulations get large fast.
+        traces of busy simulations get large fast.  ``matched_events``
+        keeps counting every filter hit while ``records_written`` stops
+        at the cap; a truncated file sink gets a trailing
+        ``... truncated (N matched, M recorded)`` marker on detach.
     """
 
     def __init__(self, sim: Simulation, sink: Union[str, Path, IO[str], None] = None,
@@ -71,8 +74,12 @@ class EventTraceLog:
         self.max_records = max_records
         self.records: List[Tuple[SimTime, str, str]] = []
         self.total_events = 0
+        #: events that passed the component filter (counted past the cap)
         self.matched_events = 0
+        #: records actually written/stored (capped at ``max_records``)
+        self.records_written = 0
         self._owns_sink = False
+        self._attached = False
         if sink is None:
             self._sink: Optional[IO[str]] = None
         elif isinstance(sink, (str, Path)):
@@ -80,7 +87,12 @@ class EventTraceLog:
             self._owns_sink = True
         else:
             self._sink = sink
-        sim.set_trace(self._observe)
+        sim.add_trace_observer(self._observe)
+        self._attached = True
+
+    @property
+    def truncated(self) -> bool:
+        return self.matched_events > self.records_written
 
     def _observe(self, time: SimTime, handler, event) -> None:
         self.total_events += 1
@@ -88,8 +100,9 @@ class EventTraceLog:
         if not fnmatch.fnmatch(target, self.component_filter):
             return
         self.matched_events += 1
-        if self.matched_events > self.max_records:
+        if self.records_written >= self.max_records:
             return
+        self.records_written += 1
         event_name = type(event).__name__ if event is not None else "-"
         if self._sink is not None:
             self._sink.write(f"{time:>14} {target:<40} {event_name}\n")
@@ -98,8 +111,16 @@ class EventTraceLog:
 
     def detach(self) -> None:
         """Stop observing and flush/close an owned sink."""
-        self.sim.set_trace(None)
+        was_attached = self._attached
+        if was_attached:
+            self.sim.remove_trace_observer(self._observe)
+            self._attached = False
         if self._sink is not None:
+            if was_attached and self.truncated:
+                self._sink.write(
+                    f"... truncated ({self.matched_events} matched, "
+                    f"{self.records_written} recorded)\n"
+                )
             self._sink.flush()
             if self._owns_sink:
                 self._sink.close()

@@ -1,0 +1,46 @@
+"""repro.obs — the observability layer over the PDES engine.
+
+Cross-cutting instrumentation for the simulator itself (as opposed to
+the *simulated machine*, which the statistics system covers):
+
+* :class:`TelemetryRecorder` — JSONL metrics stream + run-manifest JSON
+  for every :meth:`Simulation.run` / :meth:`ParallelSimulation.run`;
+* :class:`HandlerProfiler` — per component/handler/event-type wall-time
+  attribution with a sorted "hot components" report;
+* :class:`ChromeTraceExporter` — handler spans and rank epochs as a
+  Perfetto-loadable ``trace.json``;
+* :class:`ProgressReporter` — periodic events/sec, sim-rate and ETA
+  lines for long runs;
+* :func:`build_manifest` / :func:`graph_hash` / :func:`append_json_record`
+  — the machine-readable perf-record plumbing (also used by the
+  benchmark harness for ``BENCH_<exp>.json`` records).
+
+Everything attaches through the engine's observer dispatch
+(:meth:`Simulation.add_trace_observer` / ``add_span_observer`` /
+``add_heartbeat`` and :meth:`ParallelSimulation.add_epoch_observer`),
+which costs a single ``is None`` check per event when nothing is
+installed.  See ``docs/OBSERVABILITY.md`` for the schemas and usage.
+"""
+
+from .chrome_trace import ChromeTraceExporter
+from .manifest import (MANIFEST_SCHEMA, append_json_record, build_manifest,
+                       environment_info, graph_hash, write_manifest)
+from .profiler import HandlerProfiler, ProfileRow, attribute_event
+from .progress import ProgressReporter
+from .telemetry import METRICS_SCHEMA, TelemetryRecorder
+
+__all__ = [
+    "ChromeTraceExporter",
+    "HandlerProfiler",
+    "MANIFEST_SCHEMA",
+    "METRICS_SCHEMA",
+    "ProfileRow",
+    "ProgressReporter",
+    "TelemetryRecorder",
+    "append_json_record",
+    "attribute_event",
+    "build_manifest",
+    "environment_info",
+    "graph_hash",
+    "write_manifest",
+]

@@ -1,5 +1,6 @@
 """Unit + property tests for statistics collectors."""
 
+import json
 import math
 
 import pytest
@@ -100,6 +101,38 @@ class TestAccumulator:
         assert a.minimum == combined.minimum
         assert a.maximum == combined.maximum
 
+    def test_merge_empty_into_populated_keeps_extrema(self):
+        # Regression: an idle rank's empty accumulator carries the
+        # sentinel +/-inf extrema — merging it must not disturb min/max.
+        a, empty = Accumulator("x"), Accumulator("x")
+        a.add(3.0)
+        a.add(7.0)
+        a.merge(empty)
+        assert a.count == 2
+        assert a.minimum == 3.0
+        assert a.maximum == 7.0
+
+    def test_merge_populated_into_empty(self):
+        a, b = Accumulator("x"), Accumulator("x")
+        b.add(5.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.minimum == 5.0
+        assert a.maximum == 5.0
+
+    def test_merge_empty_into_empty_no_inf_in_as_dict(self):
+        # Regression: the inf sentinels must never leak into the
+        # JSON-facing form (json.dumps rejects Infinity under
+        # allow_nan=False, and manifests embed these dicts).
+        a, b = Accumulator("x"), Accumulator("x")
+        a.merge(b)
+        d = a.as_dict()
+        assert d["min"] is None
+        assert d["max"] is None
+        assert not any(isinstance(v, float) and math.isinf(v)
+                       for v in d.values())
+        json.dumps(d, allow_nan=False)
+
 
 class TestHistogram:
     def test_binning(self):
@@ -140,6 +173,43 @@ class TestHistogram:
         h = Histogram("h")
         with pytest.raises(ValueError):
             h.percentile(1.5)
+
+    def test_percentile_interpolates_within_bin(self):
+        # All mass in one bin: the answer moves through the bin with the
+        # requested fraction instead of snapping to an edge.
+        h = Histogram("h", low=0.0, bin_width=10.0, n_bins=4)
+        h.add(5.0, weight=100)  # bin [0, 10)
+        assert h.percentile(0.25) == pytest.approx(2.5)
+        assert h.percentile(0.5) == pytest.approx(5.0)
+        assert h.percentile(1.0) == pytest.approx(10.0)
+
+    def test_percentile_interpolates_across_bins(self):
+        h = Histogram("h", low=0.0, bin_width=10.0, n_bins=4)
+        h.add(5.0, weight=10)   # [0, 10)
+        h.add(15.0, weight=30)  # [10, 20)
+        # p50: 20 of 40 -> 10 into the 30-strong second bin.
+        assert h.percentile(0.5) == pytest.approx(10.0 + (10 / 30) * 10.0)
+
+    def test_percentile_all_overflow_returns_top_edge(self):
+        # Regression: every sample above the binned range used to fall
+        # off the end of the scan; the top edge is the defined answer.
+        h = Histogram("h", low=0.0, bin_width=10.0, n_bins=4)
+        h.add(1000.0, weight=7)
+        assert h.percentile(0.5) == 40.0
+        assert h.percentile(0.99) == 40.0
+
+    def test_percentile_all_underflow_clamps_to_low(self):
+        h = Histogram("h", low=10.0, bin_width=1.0, n_bins=4)
+        h.add(-5.0, weight=3)
+        assert h.percentile(0.5) == 10.0
+
+    def test_percentile_monotonic_in_fraction(self):
+        h = Histogram("h", low=0.0, bin_width=5.0, n_bins=8)
+        for v in (-1, 2, 2, 7, 12, 17, 22, 39, 99):
+            h.add(v)
+        fractions = [i / 20 for i in range(21)]
+        values = [h.percentile(f) for f in fractions]
+        assert values == sorted(values)
 
     def test_merge_compatible(self):
         a = Histogram("h", 0.0, 1.0, 4)
@@ -201,3 +271,31 @@ class TestStatisticGroup:
         d = g.all()
         d.clear()
         assert len(g) == 1
+
+
+class TestCopyEmpty:
+    """copy_empty() is what lets cross-rank merges build fresh targets."""
+
+    def test_counter(self):
+        c = Counter("c")
+        c.add(5)
+        fresh = c.copy_empty()
+        assert fresh.name == "c" and fresh.count == 0
+        fresh.merge(c)
+        assert fresh.count == 5 and c.count == 5
+
+    def test_accumulator(self):
+        a = Accumulator("a")
+        a.add(1.0)
+        fresh = a.copy_empty()
+        assert fresh.count == 0
+        assert math.isinf(fresh.minimum)
+
+    def test_histogram_preserves_binning(self):
+        h = Histogram("h", low=2.0, bin_width=3.0, n_bins=5)
+        h.add(4.0)
+        fresh = h.copy_empty()
+        assert (fresh.low, fresh.bin_width, fresh.n_bins) == (2.0, 3.0, 5)
+        assert fresh.count == 0
+        fresh.merge(h)  # compatible by construction
+        assert fresh.count == 1

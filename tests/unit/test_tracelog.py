@@ -106,6 +106,51 @@ class TestEventTraceLog:
             EventTraceLog(sim, max_records=0)
 
 
+class TestTruncation:
+    def test_counts_keep_running_past_cap(self):
+        sim, src, sink = _machine(count=10)
+        log = EventTraceLog(sim, max_records=4)
+        sim.run()
+        # 10 timer callbacks + 10 deliveries matched; only 4 recorded.
+        assert log.matched_events == 20
+        assert log.records_written == 4
+        assert len(log.records) == 4
+        assert log.truncated
+
+    def test_not_truncated_below_cap(self):
+        sim, src, sink = _machine(count=2)
+        log = EventTraceLog(sim, max_records=100)
+        sim.run()
+        assert not log.truncated
+        assert log.matched_events == log.records_written == 4
+
+    def test_stream_sink_gets_trailing_marker(self):
+        sim, src, sink = _machine(count=10)
+        buffer = io.StringIO()
+        log = EventTraceLog(sim, buffer, max_records=3)
+        sim.run()
+        log.detach()
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 4  # 3 records + the marker
+        assert lines[-1] == "... truncated (20 matched, 3 recorded)"
+
+    def test_marker_written_once_on_double_detach(self):
+        sim, src, sink = _machine(count=10)
+        buffer = io.StringIO()
+        log = EventTraceLog(sim, buffer, max_records=3)
+        sim.run()
+        log.detach()
+        log.detach()
+        assert buffer.getvalue().count("... truncated") == 1
+
+    def test_untruncated_file_has_no_marker(self, tmp_path):
+        sim, src, sink = _machine(count=3)
+        path = tmp_path / "trace.log"
+        with EventTraceLog(sim, path):
+            sim.run()
+        assert "truncated" not in path.read_text()
+
+
 class TestCliTrace:
     def test_run_with_trace_flag(self, tmp_path, capsys):
         from repro.__main__ import main
