@@ -13,6 +13,9 @@ torus):
   the smallest cut-link latency.
 """
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import ResultTable
@@ -22,6 +25,13 @@ from repro.miniapps import build_app_machine
 
 N_RANKS_APP = 16
 SIM_RANKS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def machine():
@@ -150,9 +160,9 @@ def test_eng2_lookahead_drives_epoch_count(benchmark, report, save_csv):
         assert result.epochs >= 1
 
 
-@pytest.mark.parametrize("backend", ["serial", "threads"])
+@pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
 def test_eng2_backend_wall_time(benchmark, backend, report):
-    """Wall-time of the two execution backends (GIL caveat recorded)."""
+    """Wall-time of the three execution backends (GIL caveat recorded)."""
 
     def run():
         psim = build_parallel(machine(), SIM_RANKS, strategy="bfs",
@@ -165,3 +175,128 @@ def test_eng2_backend_wall_time(benchmark, backend, report):
     report(f"ENG-2 backend={backend}: {result.events_executed} events in "
            f"{result.wall_seconds:.3f}s wall, {result.epochs} epochs")
     assert result.reason == "exit"
+
+
+def test_eng2_processes_backend_equivalence(benchmark, report):
+    """Acceptance gate for the processes backend: bit-identical stats
+    to the serial reference on the ENG-2 machine at 4 ranks."""
+
+    def run():
+        serial = build_parallel(machine(), SIM_RANKS, strategy="bfs", seed=2)
+        serial_result = serial.run()
+        procs = build_parallel(machine(), SIM_RANKS, strategy="bfs", seed=2,
+                               backend="processes")
+        procs_result = procs.run()
+        return serial, serial_result, procs, procs_result
+
+    serial, serial_result, procs, procs_result = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert serial_result.reason == "exit"
+    assert procs_result.reason == "exit"
+    assert procs_result.end_time == serial_result.end_time
+    assert procs_result.events_executed == serial_result.events_executed
+    assert procs_result.epochs == serial_result.epochs
+    assert procs_result.remote_events == serial_result.remote_events
+    assert procs.stat_values() == serial.stat_values()
+    report(f"ENG-2 processes==serial: {procs_result.events_executed} events, "
+           f"{len(procs.stat_values())} statistics identical")
+
+
+def _heavy_compute_machine(psim, *, ticks=30, work=40_000):
+    """One compute-bound component per rank plus a high-latency ring.
+
+    Per-event work dominates and the ring's 1 ms latency makes the
+    conservative window huge, so the run is a few fat epochs — the
+    workload shape where a multi-process backend can actually show
+    wall-clock scaling.
+    """
+    from repro.core import Component, Event, Params
+
+    class HeavyWorker(Component):
+        def __init__(self, sim, name, params=None):
+            super().__init__(sim, name, params)
+            self.ticks = self.params.find_int("ticks", 10)
+            self.work = self.params.find_int("work", 1000)
+            self.done = self.stats.counter("done")
+            self.checksum = self.stats.accumulator("checksum")
+            self.set_handler("in", self.on_event)
+
+        def setup(self):
+            self.schedule(1000, self._tick)
+
+        def _tick(self, _):
+            acc = 0
+            for i in range(self.work):
+                acc += i * i
+            self.checksum.add(acc % 1_000_003)
+            self.done.add()
+            if self.done.count < self.ticks:
+                self.schedule(1000, self._tick)
+
+        def on_event(self, event):
+            pass
+
+    workers = [
+        HeavyWorker(psim.rank_sim(r), f"w{r}",
+                    Params({"ticks": ticks, "work": work}))
+        for r in range(psim.num_ranks)
+    ]
+    for r in range(psim.num_ranks):
+        psim.connect(workers[r], "ring_out",
+                     workers[(r + 1) % psim.num_ranks], "in", latency="1ms")
+    return workers
+
+
+def test_eng2_processes_speedup(benchmark, report):
+    """Wall-clock scaling of the processes backend on a compute-bound
+    4-rank design, recorded to BENCH_engine_parallel.json.
+
+    The speedup is always *recorded*; it is only *asserted* > 1 when
+    the host actually has multiple usable cores (CI runners do, some
+    containers pin to one).
+    """
+    from repro.core import ParallelSimulation
+    from repro.obs import environment_info
+    from repro.obs.manifest import append_json_record
+
+    def run_backend(backend):
+        psim = ParallelSimulation(SIM_RANKS, seed=3, backend=backend)
+        _heavy_compute_machine(psim)
+        result = psim.run()
+        assert result.reason == "exhausted"
+        return psim.stat_values(), result
+
+    def run():
+        serial_stats, serial_result = run_backend("serial")
+        procs_stats, procs_result = run_backend("processes")
+        assert procs_stats == serial_stats
+        return serial_result, procs_result
+
+    serial_result, procs_result = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    cpus = _usable_cpus()
+    speedup = serial_result.wall_seconds / procs_result.wall_seconds
+    append_json_record(
+        Path(__file__).parent.parent / "BENCH_engine_parallel.json",
+        {
+            "schema": "repro-bench-record/1",
+            "experiment": "engine_parallel",
+            "test": "eng2_processes_speedup",
+            "kind": "backend_speedup",
+            "ranks": SIM_RANKS,
+            "usable_cpus": cpus,
+            "serial_wall_seconds": serial_result.wall_seconds,
+            "processes_wall_seconds": procs_result.wall_seconds,
+            "speedup": speedup,
+            "epochs": procs_result.epochs,
+            "events": procs_result.events_executed,
+            "environment": environment_info(),
+        },
+    )
+    report(f"ENG-2 processes speedup over serial at {SIM_RANKS} ranks: "
+           f"{speedup:.2f}x ({cpus} usable CPUs)")
+    if cpus >= 2:
+        assert speedup > 1.0, (
+            f"processes backend slower than serial on a {cpus}-core host: "
+            f"{speedup:.2f}x"
+        )

@@ -9,12 +9,17 @@
 * ``topo``                  — generate a topology config (torus,
   fattree, dragonfly, crossbar) and write it as JSON, ready to be
   decorated with endpoints.
+* ``sweep``                 — run the paper's design-space study
+  (workload x issue width x memory technology) on a job pool, with
+  optional per-point result caching.
 
 Examples::
 
     python -m repro topo --kind torus --dims 4x4x2 --locals 2 -o net.json
     python -m repro info net.json
     python -m repro run machine.json --max-time 1ms --ranks 4 --strategy bfs
+    python -m repro run machine.json --ranks 4 --backend processes
+    python -m repro sweep --workloads hpccg --backend processes --jobs 4
 """
 
 from __future__ import annotations
@@ -150,6 +155,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .dse import (PAPER_TECHNOLOGIES, PAPER_WIDTHS, PAPER_WORKLOADS,
+                      sweep)
+
+    workloads = args.workloads or list(PAPER_WORKLOADS)
+    widths = args.widths or list(PAPER_WIDTHS)
+    technologies = args.technologies or list(PAPER_TECHNOLOGIES)
+    result = sweep(workloads, widths, technologies,
+                   backend=args.backend, jobs=args.jobs,
+                   cache_dir=args.cache_dir,
+                   instructions=args.instructions, seed=args.seed)
+    print(f"{len(result.points)} design points "
+          f"({len(workloads)} workloads x {len(widths)} widths x "
+          f"{len(technologies)} technologies)")
+    header = (f"{'point':<28} {'runtime_ms':>10} {'power_w':>8} "
+              f"{'perf/W':>12} {'perf/$':>12}")
+    print(header)
+    for (wl, w, tech), p in result.points.items():
+        print(f"{wl + '/w' + str(w) + '/' + tech:<28} "
+              f"{p.runtime_ps / 1e9:>10.3f} {p.total_power_w:>8.2f} "
+              f"{p.perf_per_watt:>12.3e} {p.perf_per_dollar:>12.3e}")
+    for wl in workloads:
+        best = result.best("perf_per_watt", workload=wl)
+        print(f"best perf/W for {wl}: {best.name}")
+    if args.output:
+        import dataclasses as _dc
+        import json as _json
+
+        payload = [dict(workload=wl, issue_width=w, technology=tech,
+                        **_dc.asdict(p))
+                   for (wl, w, tech), p in result.points.items()]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"design points written to {args.output}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     graph = load(args.config)
     print(graph.summary())
@@ -204,7 +246,9 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--strategy", default="linear",
                      choices=["linear", "round_robin", "bfs", "kl"])
     run.add_argument("--backend", default="serial",
-                     choices=["serial", "threads"])
+                     choices=["serial", "threads", "processes"],
+                     help="execution substrate for --ranks > 1 "
+                          "(processes = one forked worker per rank)")
     run.add_argument("--queue", default="heap", choices=["heap", "binned"])
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--stats", action="store_true",
@@ -235,6 +279,29 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--progress", action="store_true",
                      help="print periodic progress/ETA lines to stderr")
     run.set_defaults(func=_cmd_run)
+
+    swp = sub.add_parser("sweep", help="run the design-space study")
+    swp.add_argument("--workloads", nargs="+", default=None,
+                     help="miniapp workloads (default: the paper's pair)")
+    swp.add_argument("--widths", nargs="+", type=int, default=None,
+                     help="issue widths (default: 1 2 4 8)")
+    swp.add_argument("--technologies", nargs="+", default=None,
+                     help="memory technologies (default: the paper's trio)")
+    swp.add_argument("--instructions", type=_positive_int, default=2_000_000,
+                     help="instructions simulated per design point")
+    swp.add_argument("--seed", type=int, default=1)
+    swp.add_argument("--backend", default="serial",
+                     choices=["serial", "threads", "processes"],
+                     help="job-pool substrate for evaluating points")
+    swp.add_argument("--jobs", type=_positive_int, default=None,
+                     help="pool width (default: usable CPU count)")
+    swp.add_argument("--cache-dir", default=None,
+                     help="cache per-point results here, keyed by the "
+                          "config-graph hash (reruns load instead of "
+                          "simulating)")
+    swp.add_argument("-o", "--output", default=None,
+                     help="write the design-point grid to a JSON file")
+    swp.set_defaults(func=_cmd_sweep)
 
     info = sub.add_parser("info", help="summarize a machine description")
     info.add_argument("config")

@@ -52,6 +52,10 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
     Components carrying a ``rank`` pin are honoured; the partitioner
     decides placement for the rest (pins are applied on top of the
     strategy's assignment, so heavy pinning can unbalance ranks).
+
+    ``backend`` selects the execution substrate (``serial`` /
+    ``threads`` / ``processes``) and is passed straight through to
+    :class:`~repro.core.parallel.ParallelSimulation`.
     """
     graph.validate(resolve_types=True)
     nodes, edges, weights = graph.partition_inputs()

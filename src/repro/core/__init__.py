@@ -8,18 +8,22 @@ latency-bearing links.  Everything in :mod:`repro.processor`,
 :mod:`repro.miniapps` is built on these primitives.
 """
 
+from .backends import (BACKENDS, ExecutionBackend, JobPool, RankStep,
+                       default_jobs, make_backend, make_job_pool)
 from .clock import Clock
 from .component import Component, stable_seed
 from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, PRIORITY_FINAL,
                     PRIORITY_STOP, PRIORITY_SYNC, CallbackEvent, Event,
                     NullEvent)
 from .eventqueue import (BinnedEventQueue, HeapEventQueue, make_queue)
+from .kernel import RunContext, kernel_run, kernel_step
 from .link import Link, LinkError, Port
 from .params import ParamError, Params
 from .parallel import ParallelRunResult, ParallelSimulation
 from .partition import PartitionEdge, PartitionResult, partition
 from .registry import register, registered_types, resolve
 from .simulation import RunResult, Simulation, SimulationError
+from .sync import ConservativeSync, SyncStrategy
 from .statistics import Accumulator, Counter, Histogram, Statistic, StatisticGroup
 from .tracelog import EventTraceLog, describe_handler
 from .units import (SimTime, UnitError, bytes_time, format_bytes, format_time,
@@ -28,15 +32,19 @@ from .units import (SimTime, UnitError, bytes_time, format_bytes, format_time,
 
 __all__ = [
     "Accumulator",
+    "BACKENDS",
     "BinnedEventQueue",
     "CallbackEvent",
     "Clock",
     "Component",
+    "ConservativeSync",
     "Counter",
     "Event",
     "EventTraceLog",
+    "ExecutionBackend",
     "HeapEventQueue",
     "Histogram",
+    "JobPool",
     "Link",
     "LinkError",
     "NullEvent",
@@ -51,18 +59,26 @@ __all__ = [
     "PRIORITY_FINAL",
     "PRIORITY_STOP",
     "PRIORITY_SYNC",
+    "RankStep",
+    "RunContext",
     "RunResult",
     "SimTime",
     "Simulation",
     "SimulationError",
     "Statistic",
     "StatisticGroup",
+    "SyncStrategy",
     "UnitError",
     "bytes_time",
+    "default_jobs",
     "describe_handler",
     "format_bytes",
     "format_time",
     "freq_to_period",
+    "kernel_run",
+    "kernel_step",
+    "make_backend",
+    "make_job_pool",
     "make_queue",
     "parse_bandwidth",
     "parse_freq_hz",

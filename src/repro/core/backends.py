@@ -1,0 +1,525 @@
+"""Layer 3: execution backends — where each rank's kernel loop runs.
+
+An :class:`ExecutionBackend` executes one conservative-sync epoch on
+every rank of a :class:`~repro.core.parallel.ParallelSimulation` and
+reports a :class:`RankStep` per rank.  Three substrates are provided:
+
+* :class:`SerialBackend`    — ranks step one after another in the
+  calling thread.  Zero concurrency, 100% determinism; the reference
+  backend used by the equivalence tests.
+* :class:`ThreadsBackend`   — ranks step concurrently in a thread pool.
+  Deterministic (the exchange is globally sorted), but the CPython GIL
+  means this demonstrates *protocol* scaling, not wall-clock scaling.
+* :class:`ProcessesBackend` — true multi-process PDES: one forked
+  worker per rank, exchanging serialized event batches over pipes.
+  This is the backend that scales past the GIL.  Requirements and
+  caveats:
+
+  - the ``fork`` start method (Linux/macOS); workers inherit the fully
+    wired per-rank simulations, so nothing but events and statistics
+    ever crosses the process boundary;
+  - events sent over cross-rank links must be picklable (slotted
+    payload-only events are; events carrying live object references
+    are not, and raise a descriptive error);
+  - per-event observers (trace/span/heartbeat) degrade gracefully:
+    they are detached inside the workers, while parent-side epoch
+    observers — telemetry, progress, Chrome trace — keep working;
+  - parent-side component *objects* are not synchronized back, but
+    their registered statistics are (adopted in ``finalize()``), so
+    ``stat_values()`` equivalence holds across all backends.
+
+The same substrate names power :class:`JobPool`, the coarse-grained
+variant used by :func:`repro.dse.sweep` to evaluate independent design
+points in parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _wall_time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from .kernel import harvest_stats, kernel_step
+from .simulation import SimulationError
+from .sync import OutboxEntry
+from .units import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .parallel import ParallelSimulation
+    from .simulation import Simulation
+
+
+@dataclass
+class RankStep:
+    """What one rank reports after executing one epoch window."""
+
+    wall_seconds: float
+    events: int
+    #: cross-rank sends made during this window (undelivered)
+    outbox: List[OutboxEntry]
+    #: earliest event still queued on this rank, or None when drained
+    next_time: Optional[SimTime]
+    #: primary components on this rank still holding the run open
+    primaries_pending: int
+    last_event_time: SimTime
+    now: SimTime
+
+
+def deliver_cross_rank(psim: "ParallelSimulation", rank: int,
+                       entries: Sequence[OutboxEntry]) -> None:
+    """Push exchanged entries into ``rank``'s queue, in the given order.
+
+    Entries arrive pre-sorted on the global deterministic key (see
+    :meth:`~repro.core.sync.ConservativeSync.exchange`); the local queue
+    assigns fresh sequence numbers in that order, which keeps
+    tie-breaking backend independent.  Destination ports are resolved
+    from the link id, so this works identically in-process and inside a
+    forked worker (which inherited the same cross-link table).
+    """
+    queue = psim._sims[rank]._queue
+    cross = psim._cross_links
+    for when, priority, link_id, dest_rank, _seq, event in entries:
+        link = cross[link_id]
+        port = link.port_b if dest_rank == link.rank_b else link.port_a
+        queue.push(when, priority, port.deliver, event)
+
+
+def _timed_step(sim: "Simulation", epoch_end: SimTime) -> RankStep:
+    """Run one rank's kernel window and package the result.
+
+    Wall time is measured inside the worker so concurrent backends see
+    true per-rank durations; the outbox is drained by the caller (it
+    lives on the ParallelSimulation, per source rank).
+    """
+    perf = _wall_time.perf_counter
+    t0 = perf()
+    events = kernel_step(sim, epoch_end)
+    wall = perf() - t0
+    return RankStep(wall_seconds=wall, events=events, outbox=[],
+                    next_time=sim.next_event_time(),
+                    primaries_pending=sim.primaries_pending,
+                    last_event_time=sim.last_event_time, now=sim.now)
+
+
+class ExecutionBackend:
+    """Interface: execute epoch windows for every rank of a parallel run."""
+
+    name = "base"
+
+    def __init__(self, psim: "ParallelSimulation"):
+        self.psim = psim
+
+    def start(self) -> None:
+        """Acquire execution resources (pools, workers).  Idempotent."""
+
+    def initial_next_times(self) -> List[Optional[SimTime]]:
+        """Per-rank earliest queued event before the first epoch."""
+        return [sim.next_event_time() for sim in self.psim._sims]
+
+    def step(self, epoch_end: SimTime,
+             deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        """Deliver this epoch's exchanged events, run every rank through
+        ``epoch_end`` (inclusive), and report per-rank results."""
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Synchronize any out-of-process rank state back to the parent.
+
+        Called once after a run's epoch loop completes normally; a
+        no-op for in-process backends."""
+
+    def close(self) -> None:
+        """Release execution resources.  Safe to call repeatedly."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Ranks step one after another in the calling thread (reference)."""
+
+    name = "serial"
+
+    def step(self, epoch_end: SimTime,
+             deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        psim = self.psim
+        for rank, entries in enumerate(deliveries):
+            if entries:
+                deliver_cross_rank(psim, rank, entries)
+        steps = []
+        for rank, sim in enumerate(psim._sims):
+            result = _timed_step(sim, epoch_end)
+            outbox = psim._outboxes[rank]
+            if outbox:
+                result.outbox = list(outbox)
+                outbox.clear()
+            steps.append(result)
+        return steps
+
+
+class ThreadsBackend(ExecutionBackend):
+    """Ranks step concurrently in a thread pool (protocol scaling only).
+
+    The CPython GIL serialises handler execution, so this demonstrates
+    the sync protocol rather than wall-clock speedup; epoch counts and
+    exchanged-event counts are identical to the serial backend.
+    """
+
+    name = "threads"
+
+    def __init__(self, psim: "ParallelSimulation"):
+        super().__init__(psim)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        if self._pool is None and self.psim.num_ranks > 1:
+            self._pool = ThreadPoolExecutor(max_workers=self.psim.num_ranks)
+
+    def step(self, epoch_end: SimTime,
+             deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        psim = self.psim
+        # Deliveries and outbox drains stay in the calling thread; only
+        # the kernel windows run concurrently.
+        for rank, entries in enumerate(deliveries):
+            if entries:
+                deliver_cross_rank(psim, rank, entries)
+        if self._pool is None:
+            steps = [_timed_step(sim, epoch_end) for sim in psim._sims]
+        else:
+            futures = [self._pool.submit(_timed_step, sim, epoch_end)
+                       for sim in psim._sims]
+            steps = [f.result() for f in futures]  # re-raise worker exceptions
+        for rank, result in enumerate(steps):
+            outbox = psim._outboxes[rank]
+            if outbox:
+                result.outbox = list(outbox)
+                outbox.clear()
+        return steps
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessesBackend(ExecutionBackend):
+    """One forked worker process per rank, event batches over pipes.
+
+    The parent process runs the sync strategy and the epoch loop; each
+    worker owns one rank's :class:`Simulation` (inherited fully wired
+    via fork) and runs its kernel windows on command.  Only exchanged
+    events, step metadata and the final statistics harvest cross the
+    process boundary.
+    """
+
+    name = "processes"
+
+    def __init__(self, psim: "ParallelSimulation"):
+        super().__init__(psim)
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise SimulationError(
+                "the 'processes' backend requires the fork start method "
+                "(Linux/macOS); use backend='threads' or 'serial' here"
+            )
+        self._ctx = mp.get_context("fork")
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+
+    def start(self) -> None:
+        if self._procs:
+            return
+        # Fork AFTER setup(): workers inherit wired graphs, queued
+        # setup events and registered primaries.  The parent keeps the
+        # setup-time outbox entries (workers clear their copies).
+        for rank in range(self.psim.num_ranks):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(self.psim, rank, child_conn),
+                name=f"repro-rank{rank}", daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def step(self, epoch_end: SimTime,
+             deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        for conn, entries in zip(self._conns, deliveries):
+            conn.send(("step", epoch_end, entries))
+        return [self._recv(rank) for rank in range(self.psim.num_ranks)]
+
+    def finalize(self) -> None:
+        """Adopt worker-side results into the parent-side simulations.
+
+        Workers run ``finish()`` (so component finish hooks see their
+        true final state) and ship their statistic collectors back; the
+        parent copies collector state into its own objects in place, so
+        existing references (``component.stats``, merged harvests)
+        observe the worker's results.  Component attributes other than
+        statistics are *not* synchronized — use stats, that's what they
+        are for.
+        """
+        if not self._procs:
+            return
+        for conn in self._conns:
+            conn.send(("finish",))
+        for rank in range(self.psim.num_ranks):
+            payload = self._recv(rank)
+            sim = self.psim._sims[rank]
+            sim.now = payload["now"]
+            sim.last_event_time = payload["last_event_time"]
+            sim._events_executed = payload["events_executed"]
+            sim._primaries_pending = payload["primaries_pending"]
+            # comp.finish() already ran worker-side with live state;
+            # running it again on the stale parent copy would corrupt
+            # the adopted statistics.
+            sim._finished = True
+            for comp_name, stats in payload["stats"].items():
+                group = sim._components[comp_name].stats.all()
+                for stat_name, remote in stats.items():
+                    _adopt_stat(group[stat_name], remote)
+
+    def _recv(self, rank: int):
+        try:
+            msg = self._conns[rank].recv()
+        except (EOFError, OSError) as exc:
+            raise SimulationError(
+                f"rank {rank} worker process died unexpectedly"
+            ) from exc
+        if msg[0] == "error":
+            raise msg[1]
+        return msg[1]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        self._procs = []
+        self._conns = []
+
+
+def _adopt_stat(local, remote) -> None:
+    """Copy a worker statistic's state into the parent's collector.
+
+    In-place slot copy (not object replacement) so references held by
+    the parent component — ``self.received`` and friends — observe the
+    adopted values too.
+    """
+    if type(local) is not type(remote):
+        raise SimulationError(
+            f"statistic {local.name!r}: worker returned "
+            f"{type(remote).__name__}, parent holds {type(local).__name__}"
+        )
+    for klass in type(remote).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(remote, slot):
+                setattr(local, slot, getattr(remote, slot))
+
+
+def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
+    """Per-rank worker loop (runs in a forked child process)."""
+    import traceback
+
+    sim = psim._sims[rank]
+    # Per-event observers cannot usefully cross the process boundary
+    # (their sinks — files, aggregation dicts — live in the parent);
+    # detach them so the kernel loop takes the bare path.  Epoch-level
+    # observability stays fully functional parent-side.
+    sim._trace_fn = None
+    sim._trace_observers = []
+    sim._span_observers = []
+    sim._heartbeats = {}
+    sim._rebuild_instr()
+    # Setup-time sends were captured by the parent at fork; drop the
+    # inherited copies so they are not delivered twice.
+    for outbox in psim._outboxes:
+        outbox.clear()
+
+    def send_error(exc: BaseException) -> None:
+        try:
+            conn.send(("error", exc))
+        except Exception:  # unpicklable exception: ship the traceback text
+            conn.send(("error", SimulationError(
+                f"rank {rank} worker failed:\n{traceback.format_exc()}"
+            )))
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            cmd = msg[0]
+            if cmd == "step":
+                _, epoch_end, entries = msg
+                try:
+                    deliver_cross_rank(psim, rank, entries)
+                    result = _timed_step(sim, epoch_end)
+                except Exception as exc:
+                    send_error(exc)
+                    continue
+                outbox = psim._outboxes[rank]
+                if outbox:
+                    result.outbox = list(outbox)
+                    outbox.clear()
+                try:
+                    conn.send(("ok", result))
+                except Exception as exc:
+                    send_error(SimulationError(
+                        f"rank {rank}: a cross-rank event is not "
+                        f"serializable (events crossing ranks under the "
+                        f"processes backend must be picklable): {exc}"
+                    ))
+            elif cmd == "finish":
+                try:
+                    sim.finish()
+                    payload = {
+                        "stats": harvest_stats(sim),
+                        "events_executed": sim._events_executed,
+                        "now": sim.now,
+                        "last_event_time": sim.last_event_time,
+                        "primaries_pending": sim.primaries_pending,
+                    }
+                    conn.send(("ok", payload))
+                except Exception as exc:
+                    send_error(exc)
+            elif cmd == "close":
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+#: Registry used by ParallelSimulation(backend="...") and the CLI.
+BACKENDS: Dict[str, Callable[["ParallelSimulation"], ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "threads": ThreadsBackend,
+    "processes": ProcessesBackend,
+}
+
+
+def make_backend(name: str, psim: "ParallelSimulation") -> ExecutionBackend:
+    """Instantiate an execution backend by name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; options: {sorted(BACKENDS)}"
+        ) from None
+    return factory(psim)
+
+
+# ----------------------------------------------------------------------
+# Coarse-grained job pools (the dse.sweep substrate)
+# ----------------------------------------------------------------------
+
+def default_jobs() -> int:
+    """Usable CPU count (affinity-aware), >= 1."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class JobPool:
+    """Evaluate independent jobs on one of the engine's substrates.
+
+    The coarse-grained sibling of :class:`ExecutionBackend`: where a
+    backend parallelises ranks *within* one simulation, a job pool
+    parallelises *whole simulations* (design-space sweep points).  The
+    substrate names match (``serial`` / ``threads`` / ``processes``),
+    and ``processes`` is again the one that scales past the GIL.
+    """
+
+    name = "base"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """``[fn(x) for x in items]`` on this pool's substrate, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "JobPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialJobPool(JobPool):
+    name = "serial"
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class ThreadsJobPool(JobPool):
+    name = "threads"
+
+    def __init__(self, jobs: int):
+        self._pool = ThreadPoolExecutor(max_workers=jobs)
+
+    def map(self, fn, items):
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessesJobPool(JobPool):
+    """Fork-based process pool; jobs and results must be picklable."""
+
+    name = "processes"
+
+    def __init__(self, jobs: int):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise SimulationError(
+                "the 'processes' job pool requires the fork start method"
+            )
+        self._pool = mp.get_context("fork").Pool(processes=jobs)
+
+    def map(self, fn, items):
+        return self._pool.map(fn, list(items))
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+def make_job_pool(backend: str = "serial",
+                  jobs: Optional[int] = None) -> JobPool:
+    """Instantiate a job pool by substrate name.
+
+    ``jobs`` defaults to the usable CPU count; the serial pool ignores
+    it.  One job per design point is the intended granularity.
+    """
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend == "serial" or jobs == 1 and backend != "processes":
+        return SerialJobPool()
+    if backend == "threads":
+        return ThreadsJobPool(jobs)
+    if backend == "processes":
+        return ProcessesJobPool(jobs)
+    raise ValueError(
+        f"unknown job-pool backend {backend!r}; options: "
+        f"{sorted(BACKENDS)}"
+    )

@@ -1,0 +1,188 @@
+"""Layer 1: the kernel event loop.
+
+Every execution path in the engine — ``Simulation.run`` for sequential
+runs, ``Simulation.run_step`` for a conservative-sync epoch window, and
+the per-rank workers of the execution backends
+(:mod:`repro.core.backends`) — drives the *same* pop/dispatch loop
+defined here.  The loop itself is policy-free: limits, the exit
+protocol, observability dispatch and the final statistics harvest are
+threaded in through a :class:`RunContext`, so the sequential engine,
+the threaded epoch step and a forked per-rank worker all execute
+events identically.
+
+Layering (see docs/ARCHITECTURE.md):
+
+* **kernel** (this module) — pop the next :class:`EventRecord`, advance
+  ``now``, dispatch through the compiled observability slot.
+* **SyncStrategy** (:mod:`repro.core.sync`) — decides *how far* each
+  rank may run (epoch windows, lookahead, cross-rank exchange).
+* **ExecutionBackend** (:mod:`repro.core.backends`) — decides *where*
+  each rank's kernel loop executes (inline, thread pool, forked
+  process).
+"""
+
+from __future__ import annotations
+
+import time as _wall_time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
+
+from . import units
+from .units import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulation import RunResult, Simulation
+
+
+@dataclass
+class RunContext:
+    """Everything one kernel-loop invocation needs, in one place.
+
+    Threads run identity (seed, queue kind, rank), limits, the exit
+    protocol and the post-run statistics harvest uniformly through the
+    sequential engine, the per-rank epoch step and the process-backend
+    workers, so none of them grow private variations of the loop.
+    """
+
+    #: base seed of the owning simulation (component streams key off it)
+    seed: int = 1
+    #: pending-event-set implementation name ("heap" / "binned")
+    queue_kind: str = "heap"
+    rank: int = 0
+    num_ranks: int = 1
+    #: inclusive simulated-time limit in ps (events *at* the limit run)
+    limit: Optional[SimTime] = None
+    max_events: Optional[int] = None
+    #: disable the primary-component exit protocol (drain mode)
+    ignore_exit: bool = False
+    #: call ``sim.finish()`` when the loop ends on a terminal reason
+    finalize: bool = True
+    #: optional stats harvest hook, called with the simulation after a
+    #: finalized run — the process backend ships its result across the
+    #: rank boundary, the sequential engine ignores it.
+    harvest: Optional[Callable[["Simulation"], Any]] = None
+
+    @classmethod
+    def for_sim(cls, sim: "Simulation", *,
+                max_time: Optional[Union[str, int]] = None,
+                max_events: Optional[int] = None,
+                ignore_exit: bool = False,
+                finalize: bool = True,
+                harvest: Optional[Callable[["Simulation"], Any]] = None,
+                ) -> "RunContext":
+        """Build the context for a run of ``sim``, parsing ``max_time``."""
+        limit = (units.parse_time(max_time, default_unit="ps")
+                 if max_time is not None else None)
+        return cls(seed=sim.seed, queue_kind=sim.queue_kind, rank=sim.rank,
+                   num_ranks=sim.num_ranks, limit=limit,
+                   max_events=max_events, ignore_exit=ignore_exit,
+                   finalize=finalize, harvest=harvest)
+
+
+def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
+    """Run ``sim``'s queue to exhaustion, exit, or a context limit.
+
+    This is the full-service loop behind :meth:`Simulation.run`; the
+    stop reason is one of ``exhausted``, ``exit``, ``max_time``,
+    ``max_events`` or ``stopped``.
+    """
+    from .simulation import RunResult, SimulationError
+
+    if sim._running:
+        raise SimulationError("run() re-entered")
+    if not sim._setup_done:
+        sim.setup()
+    limit = ctx.limit
+    sim._running = True
+    sim._stop_requested = False
+    reason = "exhausted"
+    start_wall = _wall_time.perf_counter()
+    start_events = sim._events_executed
+    queue = sim._queue
+    try:
+        while queue:
+            next_time = queue.peek_time()
+            if limit is not None and next_time is not None and next_time > limit:
+                reason = "max_time"
+                sim.now = limit
+                break
+            record = queue.pop()
+            sim.now = record.time
+            sim.last_event_time = record.time
+            # Counted before dispatch so heartbeat/telemetry
+            # callbacks observe the event that triggered them.
+            sim._events_executed += 1
+            instr = sim._instr
+            if instr is not None:
+                instr(record)
+            else:
+                handler = record.handler
+                if handler is not None:
+                    handler(record.event)
+            if sim._stop_requested:
+                reason = "stopped"
+                break
+            if (not ctx.ignore_exit and sim._primary_components
+                    and sim._primaries_pending == 0):
+                reason = "exit"
+                break
+            if ctx.max_events is not None and \
+                    sim._events_executed - start_events >= ctx.max_events:
+                reason = "max_events"
+                break
+    finally:
+        sim._running = False
+    wall = _wall_time.perf_counter() - start_wall
+    if ctx.finalize and reason in ("exhausted", "exit", "stopped", "max_time"):
+        sim.finish()
+        if ctx.harvest is not None:
+            ctx.harvest(sim)
+    return RunResult(
+        reason=reason,
+        end_time=sim.now,
+        events_executed=sim._events_executed - start_events,
+        wall_seconds=wall,
+    )
+
+
+def kernel_step(sim: "Simulation", until: SimTime) -> int:
+    """Execute all events with ``time <= until`` (one epoch window).
+
+    The epoch-window variant of the kernel loop behind
+    :meth:`Simulation.run_step` and every execution backend's per-rank
+    step.  Does not honour max_time or the exit protocol — the sync
+    strategy coordinates those globally.  Returns the number of events
+    executed; afterwards ``sim.now == max(until, last event time)``.
+    """
+    queue = sim._queue
+    executed = 0
+    while queue:
+        next_time = queue.peek_time()
+        if next_time is None or next_time > until:
+            break
+        record = queue.pop()
+        sim.now = record.time
+        sim.last_event_time = record.time
+        executed += 1
+        sim._events_executed += 1
+        instr = sim._instr
+        if instr is not None:
+            instr(record)
+        else:
+            handler = record.handler
+            if handler is not None:
+                handler(record.event)
+    if sim.now < until:
+        sim.now = until
+    return executed
+
+
+def harvest_stats(sim: "Simulation") -> Dict[str, Dict[str, Any]]:
+    """Per-component statistic objects, keyed ``component -> stat name``.
+
+    The uniform stats-harvest shape carried by :class:`RunContext` and
+    shipped across the rank boundary by the process backend (statistic
+    collectors are plain slotted objects, so they pickle cleanly).
+    """
+    return {name: dict(comp.stats.all())
+            for name, comp in sim._components.items()}

@@ -7,37 +7,42 @@ that crosses a rank boundary), every rank may safely simulate
 ``lookahead = L_min`` past the globally earliest pending event before
 exchanging cross-rank events and re-synchronising.
 
-PySST reproduces that protocol faithfully.  Two execution backends are
-provided:
+PySST reproduces that protocol faithfully, split across three explicit
+layers (see docs/ARCHITECTURE.md):
 
-* ``serial``  — ranks execute their epoch windows one after another in
-  the calling thread.  Zero concurrency, 100% determinism; this is the
-  reference backend used by the equivalence tests.
-* ``threads`` — ranks execute each epoch concurrently in a thread pool.
-  Determinism is preserved (event exchange is sorted), but the CPython
-  GIL means this demonstrates *protocol* scaling, not wall-clock
-  scaling — exactly the "PDES core far too slow in Python" caveat in
-  DESIGN.md.  Epoch counts, exchanged-event counts and lookahead
-  sensitivity (the quantities benchmarked by ENG-2) are backend
-  independent.
+* the **kernel loop** (:mod:`repro.core.kernel`) executes one rank's
+  events inside a window;
+* the **sync strategy** (:mod:`repro.core.sync`) computes epoch windows
+  and orders the cross-rank exchange deterministically;
+* the **execution backend** (:mod:`repro.core.backends`) decides where
+  the per-rank kernels run: ``serial`` (reference, calling thread),
+  ``threads`` (GIL-bound, protocol scaling only) or ``processes``
+  (forked per-rank workers exchanging serialized event batches over
+  pipes — true multi-core scaling).
 
-The per-rank sub-simulations are ordinary :class:`Simulation` objects;
-cross-rank links are ordinary :class:`Link` objects whose endpoints are
-re-targeted at rank outboxes.
+:class:`ParallelSimulation` composes the three: it owns the per-rank
+:class:`Simulation` objects and the cross-rank link table, drives the
+epoch loop, and folds per-rank results into engine statistics and
+epoch observers.  The per-rank sub-simulations are ordinary
+:class:`Simulation` objects; cross-rank links are ordinary
+:class:`Link` objects whose endpoints are re-targeted at rank outboxes.
 """
 
 from __future__ import annotations
 
 import time as _wall_time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from . import units
+from .backends import BACKENDS, ExecutionBackend, RankStep, make_backend
 from .component import Component
 from .event import Event, EventRecord
 from .link import Link, LinkError, Port
 from .simulation import Simulation, SimulationError
+from .sync import ConservativeSync
 from .units import SimTime
 
 _INF = float("inf")
@@ -153,8 +158,10 @@ class ParallelSimulation:
                  backend: str = "serial", verbose: bool = False):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
-        if backend not in ("serial", "threads"):
-            raise ValueError(f"unknown backend {backend!r}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; options: {sorted(BACKENDS)}"
+            )
         self.num_ranks = num_ranks
         self.backend = backend
         self.seed = seed
@@ -162,8 +169,14 @@ class ParallelSimulation:
         #: partitioner strategy label; set by config.build_parallel for
         #: run manifests, None for hand-built graphs.
         self.partition_strategy: Optional[str] = None
+        # Every rank shares the base seed (component streams key off it,
+        # which is what makes sequential/parallel statistics identical)
+        # but receives a distinct engine-level stream via seed-sequence
+        # spawn — see Simulation.engine_rng.
+        rank_seeds = np.random.SeedSequence(seed).spawn(num_ranks)
         self._sims = [
             Simulation(queue=queue, seed=seed, rank=r, num_ranks=num_ranks,
+                       rank_seed=int(rank_seeds[r].generate_state(1)[0]),
                        verbose=verbose)
             for r in range(num_ranks)
         ]
@@ -189,9 +202,15 @@ class ParallelSimulation:
         self._send_seq = [0] * num_ranks
         self._cross_links: Dict[int, _CrossRankLink] = {}
         self._next_link_id = 0
-        self._lookahead: Optional[SimTime] = None
+        #: epoch-window / exchange policy (layer 2)
+        self._sync = ConservativeSync()
+        #: execution substrate (layer 3); created per run(), closed in
+        #: its finally block so failed runs never leak pools/workers.
+        self._backend: Optional[ExecutionBackend] = None
         self._setup_done = False
-        self._pool: Optional[ThreadPoolExecutor] = None
+        #: set when a processes-backend run stopped on a limit: the
+        #: worker queues died with the workers, so resuming is invalid.
+        self._unresumable: Optional[str] = None
         # counters for ENG-2
         self.total_epochs = 0
         self.total_remote_events = 0
@@ -234,8 +253,7 @@ class ParallelSimulation:
         end_a, end_b = link.endpoints
         end_a.set_remote(self._make_remote_sender(rank_a, rank_b, link_id))
         end_b.set_remote(self._make_remote_sender(rank_b, rank_a, link_id))
-        if self._lookahead is None or lat < self._lookahead:
-            self._lookahead = lat
+        self._sync.note_cross_link(lat)
 
     def _make_remote_sender(self, src_rank: int, dest_rank: int, link_id: int):
         outbox = self._outboxes[src_rank]
@@ -253,8 +271,14 @@ class ParallelSimulation:
 
         With no cross-rank links the ranks are independent and the
         window is unbounded (represented as a large constant).
+        Delegates to the sync strategy, which owns the bound.
         """
-        return self._lookahead if self._lookahead is not None else units.PS_PER_SEC
+        return self._sync.lookahead
+
+    @property
+    def sync_strategy(self) -> ConservativeSync:
+        """The epoch-window/exchange policy object (layer 2)."""
+        return self._sync
 
     @property
     def cross_link_count(self) -> int:
@@ -277,42 +301,14 @@ class ParallelSimulation:
     # ------------------------------------------------------------------
     # epoch machinery
     # ------------------------------------------------------------------
-    def _global_next_time(self) -> float:
-        """Earliest pending work anywhere: queued events or undelivered sends."""
-        lowest: float = _INF
-        for sim in self._sims:
-            t = sim.next_event_time()
-            if t is not None and t < lowest:
-                lowest = t
-        for outbox in self._outboxes:
-            for entry in outbox:
-                if entry[0] < lowest:
-                    lowest = entry[0]
-        return lowest
-
-    def _exchange(self) -> int:
-        """Deliver all outbox events to their destination rank queues.
-
-        Deliveries are sorted on a global deterministic key so that the
-        receiving queue's tie-breaking is independent of rank execution
-        order (and therefore of the backend).
-        """
-        pending: List[Tuple[SimTime, int, int, int, int, Event]] = []
+    def _drain_outboxes(self) -> None:
+        """Hand undelivered outbox entries (setup-time sends) to the
+        sync strategy, recording per-rank remote-send statistics."""
         for rank, outbox in enumerate(self._outboxes):
             if outbox:
                 self._sync_stats[rank]["remote_sends"].add(len(outbox))
-                pending.extend(outbox)
+                self._sync.add_pending(list(outbox))
                 outbox.clear()
-        if not pending:
-            return 0
-        pending.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
-        for when, priority, link_id, dest_rank, _seq, event in pending:
-            cross = self._cross_links[link_id]
-            dest_port = cross.port_b if dest_rank == cross.rank_b else cross.port_a
-            dest_sim = self._sims[dest_rank]
-            dest_sim._queue.push(when, priority, dest_port.deliver, event)
-        self.total_remote_events += len(pending)
-        return len(pending)
 
     def _primaries_exist(self) -> bool:
         return any(sim._primary_components for sim in self._sims)
@@ -341,13 +337,31 @@ class ParallelSimulation:
 
     def run(self, max_time: Optional[Union[str, int]] = None,
             max_epochs: Optional[int] = None) -> ParallelRunResult:
-        """Run the conservative epoch loop to completion or a limit."""
+        """Run the conservative epoch loop to completion or a limit.
+
+        Orchestrates the three layers: the sync strategy computes each
+        safe window and orders the exchange, the execution backend runs
+        every rank's kernel through the window, and this loop folds the
+        per-rank :class:`~repro.core.backends.RankStep` results into
+        engine statistics, epoch observers and the final result.  The
+        backend is created per run and closed in a ``finally`` block,
+        so a model exception mid-epoch can never leak a thread pool or
+        worker processes.
+        """
         perf = _wall_time.perf_counter
 
+        if self._unresumable:
+            raise SimulationError(
+                f"cannot resume a processes-backend run stopped on "
+                f"{self._unresumable!r}: per-rank queues died with the "
+                f"worker processes.  Run to completion, or use the "
+                f"'serial'/'threads' backend for resumable limited runs."
+            )
         if not self._setup_done:
             self.setup()
         limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
-        lookahead = self.lookahead
+        sync = self._sync
+        lookahead = sync.lookahead
         start_wall = perf()
         start_events = [sim.events_executed for sim in self._sims]
         epochs = 0
@@ -358,69 +372,85 @@ class ParallelSimulation:
         per_rank_barrier = [0.0] * self.num_ranks
         first_window: Optional[SimTime] = None
         run_events = 0
-        if self.backend == "threads" and self._pool is None and self.num_ranks > 1:
-            self._pool = ThreadPoolExecutor(max_workers=self.num_ranks)
+        backend = make_backend(self.backend, self)
+        self._backend = backend
         try:
-            while True:
-                if max_epochs is not None and epochs >= max_epochs:
-                    reason = "max_epochs"
-                    break
-                # Deliver any cross-rank events first (including sends made
-                # during setup()) so the safe window sees a complete queue.
-                ex_t0 = perf()
-                exchanged = self._exchange()
-                ex_dt = perf() - ex_t0
-                exchange_seconds += ex_dt
-                global_min = self._global_next_time()
-                if global_min == _INF:
-                    reason = "exhausted"
-                    break
-                if limit is not None and global_min > limit:
-                    reason = "max_time"
-                    break
-                if first_window is None:
-                    first_window = int(global_min)
-                # Safe window: any send made while executing t >= global_min
-                # arrives at >= global_min + lookahead, i.e. after epoch_end.
-                epoch_end = int(global_min) + lookahead - 1
-                if limit is not None:
-                    epoch_end = min(epoch_end, limit)
-                ep_t0 = perf()
-                per_rank_wall, per_rank_ev = self._run_epoch(epoch_end)
-                ep_dt = perf() - ep_t0
-                exec_seconds += ep_dt
-                slowest = max(per_rank_wall) if per_rank_wall else 0.0
-                run_events += sum(per_rank_ev)
-                for r, stats in enumerate(self._sync_stats):
-                    waited = slowest - per_rank_wall[r]
-                    per_rank_barrier[r] += waited
-                    barrier_wait_total += waited
-                    stats["epochs"].add()
-                    stats["epoch_events"].add(per_rank_ev[r])
-                    stats["exec_s"].add(per_rank_wall[r])
-                    stats["barrier_wait_s"].add(waited)
-                if self._epoch_observers:
-                    info = EpochInfo(
-                        index=epochs,
-                        window_start=int(global_min),
-                        window_end=epoch_end,
-                        exchanged_events=exchanged,
-                        exchange_seconds=ex_dt,
-                        wall_seconds=ep_dt,
-                        per_rank_events=per_rank_ev,
-                        per_rank_wall=per_rank_wall,
-                        per_rank_barrier_wait=[slowest - w for w in per_rank_wall],
-                        events_total=run_events,
-                        now=max(sim.now for sim in self._sims),
-                    )
-                    for fn in self._epoch_observers:
-                        fn(info)
-                epochs += 1
-                if self._primaries_exist() and self._primaries_pending() == 0:
-                    reason = "exit"
-                    break
+            backend.start()
+            # Adopt sends made during setup() (t=0) and refresh the
+            # per-rank horizon so the first safe window sees everything.
+            self._drain_outboxes()
+            sync.next_times = backend.initial_next_times()
+            try:
+                while True:
+                    if max_epochs is not None and epochs >= max_epochs:
+                        reason = "max_epochs"
+                        break
+                    global_min = sync.global_min()
+                    if global_min == _INF:
+                        reason = "exhausted"
+                        break
+                    if limit is not None and global_min > limit:
+                        reason = "max_time"
+                        break
+                    if first_window is None:
+                        first_window = int(global_min)
+                    ex_t0 = perf()
+                    deliveries, exchanged = sync.exchange(self.num_ranks)
+                    ex_dt = perf() - ex_t0
+                    exchange_seconds += ex_dt
+                    self.total_remote_events += exchanged
+                    epoch_end = sync.window_end(global_min, limit)
+                    ep_t0 = perf()
+                    steps = backend.step(epoch_end, deliveries)
+                    ep_dt = perf() - ep_t0
+                    exec_seconds += ep_dt
+                    sync.absorb(steps)
+                    per_rank_wall = [s.wall_seconds for s in steps]
+                    per_rank_ev = [s.events for s in steps]
+                    slowest = max(per_rank_wall) if per_rank_wall else 0.0
+                    run_events += sum(per_rank_ev)
+                    for r, stats in enumerate(self._sync_stats):
+                        waited = slowest - per_rank_wall[r]
+                        per_rank_barrier[r] += waited
+                        barrier_wait_total += waited
+                        stats["epochs"].add()
+                        stats["epoch_events"].add(per_rank_ev[r])
+                        stats["exec_s"].add(per_rank_wall[r])
+                        stats["barrier_wait_s"].add(waited)
+                        if steps[r].outbox:
+                            stats["remote_sends"].add(len(steps[r].outbox))
+                    if self._epoch_observers:
+                        info = EpochInfo(
+                            index=epochs,
+                            window_start=int(global_min),
+                            window_end=epoch_end,
+                            exchanged_events=exchanged,
+                            exchange_seconds=ex_dt,
+                            wall_seconds=ep_dt,
+                            per_rank_events=per_rank_ev,
+                            per_rank_wall=per_rank_wall,
+                            per_rank_barrier_wait=[slowest - w for w in per_rank_wall],
+                            events_total=run_events,
+                            now=max(s.now for s in steps),
+                        )
+                        for fn in self._epoch_observers:
+                            fn(info)
+                    epochs += 1
+                    if (self._primaries_exist()
+                            and sum(s.primaries_pending for s in steps) == 0):
+                        reason = "exit"
+                        break
+            finally:
+                self.total_epochs += epochs
+            # Success path: pull out-of-process rank state (statistics,
+            # clocks, event counts) back into the parent simulations.
+            backend.finalize()
+            if backend.name == "processes" and reason in ("max_time", "max_epochs"):
+                self._unresumable = reason
         finally:
-            self.total_epochs += epochs
+            # Never leak the execution substrate, even when a model
+            # exception unwinds the epoch loop mid-run.
+            self.close()
         # Report the time of the last real event; align rank clocks to it.
         end_time = max(sim.last_event_time for sim in self._sims)
         for sim in self._sims:
@@ -450,28 +480,6 @@ class ParallelSimulation:
             per_rank_barrier_wait=per_rank_barrier,
             lookahead_utilization=utilization,
         )
-
-    def _run_epoch(self, epoch_end: SimTime) -> Tuple[List[float], List[int]]:
-        """Run one epoch window on every rank.
-
-        Returns per-rank (wall seconds, events executed).  Per-rank wall
-        time is measured inside the worker so the threads backend sees
-        true concurrent durations; barrier wait is derived from the
-        spread between the slowest rank and each other rank.
-        """
-        perf = _wall_time.perf_counter
-
-        def timed_step(sim: Simulation) -> Tuple[float, int]:
-            t0 = perf()
-            n = sim.run_step(epoch_end)
-            return perf() - t0, n
-
-        if self.backend == "threads" and self._pool is not None:
-            futures = [self._pool.submit(timed_step, sim) for sim in self._sims]
-            timings = [f.result() for f in futures]  # re-raise worker exceptions
-        else:
-            timings = [timed_step(sim) for sim in self._sims]
-        return [t for t, _ in timings], [n for _, n in timings]
 
     # ------------------------------------------------------------------
     # statistics
@@ -517,9 +525,19 @@ class ParallelSimulation:
         return {key: stat.value() for key, stat in self.sync_stats().items()}
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the execution substrate (pool / worker processes)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    @property
+    def _pool(self):
+        """Back-compat shim for code that poked the old thread pool.
+
+        The pool now lives on the threads execution backend; outside a
+        run (or under other backends) there is none and this is None.
+        """
+        return getattr(self._backend, "_pool", None)
 
     def __enter__(self) -> "ParallelSimulation":
         return self

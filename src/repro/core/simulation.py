@@ -21,6 +21,8 @@ import time as _wall_time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
+import numpy as np
+
 from . import units
 from .clock import Clock, ClockHandler
 from .component import Component
@@ -75,17 +77,33 @@ class Simulation:
         Base seed for all per-component random streams.
     rank, num_ranks:
         Identity within a parallel run; ``(0, 1)`` for sequential.
+    rank_seed:
+        Seed of this rank's *engine-level* random stream
+        (:attr:`engine_rng`).  Defaults to the ``rank``-th child of
+        ``numpy.random.SeedSequence(seed).spawn(num_ranks)``, so every
+        rank of a parallel run draws a distinct, collision-free stream.
+        Component streams are unaffected — they key off the base
+        ``seed`` and the component name (see
+        :func:`~repro.core.component.stable_seed`), which is what keeps
+        sequential and parallel statistics bit-identical.
     verbose:
         Enables :meth:`Component.debug` tracing.
     """
 
     def __init__(self, *, queue: str = "heap", seed: int = 1, rank: int = 0,
-                 num_ranks: int = 1, verbose: bool = False,
+                 num_ranks: int = 1, rank_seed: Optional[int] = None,
+                 verbose: bool = False,
                  queue_kwargs: Optional[Dict[str, Any]] = None):
         self.now: SimTime = 0
         self.seed = seed
         self.rank = rank
         self.num_ranks = num_ranks
+        if rank_seed is None:
+            children = np.random.SeedSequence(seed).spawn(max(num_ranks, rank + 1))
+            rank_seed = int(children[rank].generate_state(1)[0])
+        #: distinct per-rank engine RNG seed (seed-sequence spawn)
+        self.rank_seed = rank_seed
+        self._engine_rng: Optional[np.random.Generator] = None
         self.verbose = verbose
         self.queue_kind = queue
         self._queue: EventQueueBase = make_queue(queue, **(queue_kwargs or {}))
@@ -265,88 +283,28 @@ class Simulation:
         ``ignore_exit`` disables the primary-component exit protocol —
         useful to *drain* in-flight events after an exit-terminated run
         (e.g. messages still travelling when the last sender finished).
+
+        The loop itself lives in :func:`repro.core.kernel.kernel_run`;
+        this method only assembles the :class:`~repro.core.kernel.RunContext`.
         """
-        if self._running:
-            raise SimulationError("run() re-entered")
-        if not self._setup_done:
-            self.setup()
-        limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
-        self._running = True
-        self._stop_requested = False
-        reason = "exhausted"
-        start_wall = _wall_time.perf_counter()
-        start_events = self._events_executed
-        queue = self._queue
-        try:
-            while queue:
-                next_time = queue.peek_time()
-                if limit is not None and next_time is not None and next_time > limit:
-                    reason = "max_time"
-                    self.now = limit
-                    break
-                record = queue.pop()
-                self.now = record.time
-                self.last_event_time = record.time
-                # Counted before dispatch so heartbeat/telemetry
-                # callbacks observe the event that triggered them.
-                self._events_executed += 1
-                instr = self._instr
-                if instr is not None:
-                    instr(record)
-                else:
-                    handler = record.handler
-                    if handler is not None:
-                        handler(record.event)
-                if self._stop_requested:
-                    reason = "stopped"
-                    break
-                if (not ignore_exit and self._primary_components
-                        and self._primaries_pending == 0):
-                    reason = "exit"
-                    break
-                if max_events is not None and \
-                        self._events_executed - start_events >= max_events:
-                    reason = "max_events"
-                    break
-        finally:
-            self._running = False
-        wall = _wall_time.perf_counter() - start_wall
-        if finalize and reason in ("exhausted", "exit", "stopped", "max_time"):
-            self.finish()
-        return RunResult(
-            reason=reason,
-            end_time=self.now,
-            events_executed=self._events_executed - start_events,
-            wall_seconds=wall,
-        )
+        from .kernel import RunContext, kernel_run
+
+        ctx = RunContext.for_sim(self, max_time=max_time,
+                                 max_events=max_events,
+                                 ignore_exit=ignore_exit, finalize=finalize)
+        return kernel_run(self, ctx)
 
     def run_step(self, until: SimTime) -> int:
         """Execute all events with ``time <= until`` (parallel-engine epoch).
 
-        Does not honour max_time/exit protocol — the parallel engine
+        Does not honour max_time/exit protocol — the sync strategy
         coordinates those globally.  Returns the number of events run.
+        Delegates to :func:`repro.core.kernel.kernel_step`, the same
+        loop every execution backend drives per rank.
         """
-        queue = self._queue
-        executed = 0
-        while queue:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > until:
-                break
-            record = queue.pop()
-            self.now = record.time
-            self.last_event_time = record.time
-            executed += 1
-            self._events_executed += 1
-            instr = self._instr
-            if instr is not None:
-                instr(record)
-            else:
-                handler = record.handler
-                if handler is not None:
-                    handler(record.event)
-        if self.now < until:
-            self.now = until
-        return executed
+        from .kernel import kernel_step
+
+        return kernel_step(self, until)
 
     # ------------------------------------------------------------------
     # observability dispatch (repro.obs attaches through these)
@@ -468,6 +426,22 @@ class Simulation:
 
     def next_event_time(self) -> Optional[SimTime]:
         return self._queue.peek_time()
+
+    @property
+    def engine_rng(self) -> np.random.Generator:
+        """Engine-level random stream, distinct per parallel rank.
+
+        Seeded from :attr:`rank_seed` (a seed-sequence spawn of the base
+        seed), so rank streams never collide even though every rank
+        shares the base ``seed``.  Use this for engine/infrastructure
+        randomness (sampling, jitter, future optimistic sync); model
+        randomness belongs on :attr:`Component.rng`, whose
+        component-keyed seeding is what keeps sequential and parallel
+        statistics identical.
+        """
+        if self._engine_rng is None:
+            self._engine_rng = np.random.default_rng(self.rank_seed)
+        return self._engine_rng
 
     @property
     def events_executed(self) -> int:

@@ -1,0 +1,160 @@
+"""Layer 2: synchronization strategies for the parallel engine.
+
+A :class:`SyncStrategy` is the *policy* half of
+:class:`~repro.core.parallel.ParallelSimulation` — it decides when
+ranks may run and how far, while an
+:class:`~repro.core.backends.ExecutionBackend` decides where the rank
+kernels execute.  Extracting it from the engine's run loop makes
+conservative sync a replaceable object instead of inlined control flow
+(an optimistic / time-warp strategy would slot in here without touching
+the backends).
+
+The only strategy currently implemented is :class:`ConservativeSync`,
+SST's barrier-epoch protocol:
+
+* **lookahead** — the smallest latency of any cross-rank link.  An
+  event executed at ``t >= gmin`` cannot affect another rank before
+  ``t + lookahead``, so every rank may run through
+  ``gmin + lookahead - 1`` without coordination.
+* **exchange** — cross-rank sends accumulate as outbox entries
+  ``(time, priority, link_id, dest_rank, send_seq, event)``; before
+  each epoch they are sorted on the global deterministic key
+  ``(time, priority, link_id, send_seq)`` and split per destination
+  rank, so the receiving queue's tie-breaking is independent of rank
+  execution order — and therefore of the execution backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from . import units
+from .units import SimTime
+
+_INF = float("inf")
+
+#: One cross-rank send in flight:
+#: ``(time, priority, link_id, dest_rank, send_seq, event)``.
+OutboxEntry = Tuple[SimTime, int, int, int, int, Any]
+
+
+class SyncStrategy:
+    """Interface: epoch-window policy for a multi-rank simulation."""
+
+    name = "base"
+
+    #: conservative window width (ps); engines expose this as .lookahead
+    lookahead: SimTime
+
+    def note_cross_link(self, latency: SimTime) -> None:
+        """Observe a new rank-crossing link of the given latency."""
+        raise NotImplementedError
+
+    def add_pending(self, entries: List[OutboxEntry]) -> None:
+        """Queue cross-rank sends awaiting delivery."""
+        raise NotImplementedError
+
+    def global_min(self) -> float:
+        """Earliest pending work anywhere (``inf`` when idle)."""
+        raise NotImplementedError
+
+    def window_end(self, global_min: SimTime,
+                   limit: Optional[SimTime]) -> SimTime:
+        """Inclusive end of the next safe window."""
+        raise NotImplementedError
+
+    def exchange(self, num_ranks: int) -> Tuple[List[List[OutboxEntry]], int]:
+        """Sort pending sends and split them per destination rank."""
+        raise NotImplementedError
+
+
+class ConservativeSync(SyncStrategy):
+    """SST's conservative barrier-epoch protocol as a policy object.
+
+    Owns the pieces ``ParallelSimulation.run`` used to inline: the
+    lookahead bound, the set of in-flight cross-rank sends, the global
+    earliest-work computation and the deterministic exchange ordering.
+    The engine's run loop asks this object for the next window and
+    feeds back each epoch's :class:`~repro.core.backends.RankStep`
+    results via :meth:`absorb`.
+    """
+
+    name = "conservative"
+
+    def __init__(self) -> None:
+        self._lookahead: Optional[SimTime] = None
+        #: undelivered cross-rank sends (setup-time sends land here
+        #: before the first epoch; epoch outboxes via absorb()).
+        self.pending: List[OutboxEntry] = []
+        #: per-rank earliest queued event, refreshed each epoch.
+        self.next_times: List[Optional[SimTime]] = []
+
+    # ------------------------------------------------------------------
+    # lookahead
+    # ------------------------------------------------------------------
+    def note_cross_link(self, latency: SimTime) -> None:
+        if self._lookahead is None or latency < self._lookahead:
+            self._lookahead = latency
+
+    @property
+    def lookahead(self) -> SimTime:
+        """Conservative sync window: min latency among cross-rank links.
+
+        With no cross-rank links the ranks are independent and the
+        window is unbounded (represented as a large constant).
+        """
+        return self._lookahead if self._lookahead is not None else units.PS_PER_SEC
+
+    # ------------------------------------------------------------------
+    # epoch-window computation
+    # ------------------------------------------------------------------
+    def add_pending(self, entries: List[OutboxEntry]) -> None:
+        self.pending.extend(entries)
+
+    def global_min(self) -> float:
+        """Earliest pending work anywhere: queued events or undelivered sends."""
+        lowest: float = _INF
+        for t in self.next_times:
+            if t is not None and t < lowest:
+                lowest = t
+        for entry in self.pending:
+            if entry[0] < lowest:
+                lowest = entry[0]
+        return lowest
+
+    def window_end(self, global_min: SimTime,
+                   limit: Optional[SimTime]) -> SimTime:
+        # Safe window: any send made while executing t >= global_min
+        # arrives at >= global_min + lookahead, i.e. after the window.
+        end = int(global_min) + self.lookahead - 1
+        if limit is not None:
+            end = min(end, limit)
+        return end
+
+    # ------------------------------------------------------------------
+    # cross-rank exchange
+    # ------------------------------------------------------------------
+    def exchange(self, num_ranks: int) -> Tuple[List[List[OutboxEntry]], int]:
+        """Deterministically order pending sends, split per destination.
+
+        Entries stay sorted on the global ``(time, priority, link_id,
+        send_seq)`` key inside each destination list, so the receiving
+        queue assigns local sequence numbers in a backend-independent
+        order.
+        """
+        deliveries: List[List[OutboxEntry]] = [[] for _ in range(num_ranks)]
+        if not self.pending:
+            return deliveries, 0
+        self.pending.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
+        for entry in self.pending:
+            deliveries[entry[3]].append(entry)
+        exchanged = len(self.pending)
+        self.pending = []
+        return deliveries, exchanged
+
+    def absorb(self, steps) -> None:
+        """Fold one epoch's per-rank results back into the policy state."""
+        self.next_times = [step.next_time for step in steps]
+        for step in steps:
+            if step.outbox:
+                self.pending.extend(step.outbox)

@@ -16,10 +16,15 @@ and wafer-cost models into a :class:`~repro.power.energy.DesignPoint`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .config import ConfigGraph, build
+from .core.backends import make_job_pool
 from .core.units import SimTime
 from .power import CorePowerParams, DesignPoint, WaferParams, evaluate_design_point
 
@@ -117,17 +122,101 @@ class SweepResult:
         return base.runtime_ps / here.runtime_ps - 1.0
 
 
+#: defaults mirrored from run_design_point, used to normalise cache keys
+_GRAPH_DEFAULTS = {"instructions": 2_000_000, "n_cores": 1,
+                   "clock": "2GHz", "channels": 1}
+
+
+def _point_cache_key(workload: str, width: int, technology: str,
+                     point_kwargs: Dict) -> str:
+    """Stable cache key for one design point.
+
+    The graph part is the config-graph hash (component types, params,
+    links — anything that changes the simulated machine changes the
+    key); the eval part covers inputs that affect the outcome without
+    appearing in the graph: the seed and the power/cost model
+    parameters.
+    """
+    from .obs.manifest import graph_hash
+
+    graph_args = {k: point_kwargs.get(k, d) for k, d in _GRAPH_DEFAULTS.items()}
+    graph = design_point_graph(workload, issue_width=width,
+                               technology=technology, **graph_args)
+    eval_part = {
+        "seed": point_kwargs.get("seed", 1),
+        "memory_gb": point_kwargs.get("memory_gb", 4.0),
+        "core_params": dataclasses.asdict(
+            point_kwargs.get("core_params", CorePowerParams())),
+        "wafer": dataclasses.asdict(
+            point_kwargs.get("wafer", WaferParams())),
+    }
+    blob = json.dumps({"graph": graph_hash(graph), "eval": eval_part},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def _sweep_eval(spec) -> DesignPoint:
+    """Evaluate one sweep point (module-level so it pickles for the
+    processes job pool)."""
+    workload, width, technology, point_kwargs = spec
+    return run_design_point(workload, issue_width=width,
+                            technology=technology, **point_kwargs)
+
+
 def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
           widths: Sequence[int] = PAPER_WIDTHS,
           technologies: Sequence[str] = PAPER_TECHNOLOGIES,
+          *, backend: str = "serial", jobs: Optional[int] = None,
+          cache_dir: Optional[Union[str, Path]] = None,
           **point_kwargs) -> SweepResult:
-    """Run the full cartesian design-space sweep."""
+    """Run the full cartesian design-space sweep.
+
+    Points are independent simulations, so the sweep rides the engine's
+    job-pool layer: ``backend`` selects the substrate (``serial`` /
+    ``threads`` / ``processes``; processes is the one that scales past
+    the GIL) and ``jobs`` bounds its width (default: usable CPU count).
+
+    ``cache_dir`` enables per-point result caching keyed by the
+    config-graph hash plus the non-graph evaluation inputs (seed,
+    memory size, power/cost parameters): cached points are loaded
+    instead of re-simulated, freshly evaluated points are written back.
+    Cache files are read and written only in the calling process.
+    """
+    keys = [(wl, w, t) for wl in workloads for w in widths
+            for t in technologies]
     result = SweepResult()
-    for workload in workloads:
-        for width in widths:
-            for technology in technologies:
-                result.points[(workload, width, technology)] = run_design_point(
-                    workload, issue_width=width, technology=technology,
-                    **point_kwargs,
+    todo: List[Tuple[str, int, str]] = []
+    cache = Path(cache_dir) if cache_dir is not None else None
+    cache_keys: Dict[Tuple[str, int, str], str] = {}
+    if cache is not None:
+        cache.mkdir(parents=True, exist_ok=True)
+        for key in keys:
+            ck = _point_cache_key(*key, point_kwargs)
+            cache_keys[key] = ck
+            path = cache / f"{ck}.json"
+            if path.exists():
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                    result.points[key] = DesignPoint(**data)
+                    continue
+                except (ValueError, TypeError):
+                    pass  # corrupt or stale entry: fall through, re-evaluate
+            todo.append(key)
+    else:
+        todo = list(keys)
+    if todo:
+        specs = [(wl, w, t, point_kwargs) for (wl, w, t) in todo]
+        with make_job_pool(backend, jobs) as pool:
+            points = pool.map(_sweep_eval, specs)
+        for key, point in zip(todo, points):
+            result.points[key] = point
+            if cache is not None:
+                path = cache / f"{cache_keys[key]}.json"
+                path.write_text(
+                    json.dumps(dataclasses.asdict(point), indent=2,
+                               sort_keys=True),
+                    encoding="utf-8",
                 )
+    # Restore the declared grid order (cache hits landed first).
+    result.points = {key: result.points[key] for key in keys}
     return result

@@ -1,0 +1,207 @@
+"""Tests for the engine's layered execution stack.
+
+Covers the three execution backends (serial / threads / processes) and
+the coarse-grained job pools: stat equivalence on the same partitioned
+graph, worker error propagation, resource cleanup on failure, and the
+per-rank engine RNG streams.
+"""
+
+import pytest
+
+from repro.config import ConfigGraph, build, build_parallel
+from repro.core import (Component, Event, Params, ParallelSimulation,
+                        Simulation, SimulationError)
+from repro.core.backends import (BACKENDS, JobPool, default_jobs,
+                                 make_backend, make_job_pool)
+from tests.conftest import PingPong, Sink, Source
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+class UnpicklableEvent(Event):
+    """Carries a live callable — cannot cross a process boundary."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self):
+        self.fn = lambda: None
+
+
+class Relay(Component):
+    """Sends one unpicklable event on its out port at t=1ns."""
+
+    def setup(self):
+        self.schedule(1000, self._fire)
+
+    def _fire(self, _):
+        self.send("out", UnpicklableEvent())
+
+
+def paper_style_graph():
+    """A partitionable config graph: two source->sink flows."""
+    graph = ConfigGraph("backend-equivalence")
+    for i in range(2):
+        graph.component(f"src{i}", "testlib.Source",
+                        {"count": 20, "period": "2ns"})
+        graph.component(f"sink{i}", "testlib.Sink", {})
+        graph.link(f"src{i}", "out", f"sink{i}", "in", latency="5ns")
+    graph.component("ping", "testlib.PingPong",
+                    {"initiator": True, "n_round_trips": 30})
+    graph.component("pong", "testlib.PingPong", {})
+    graph.link("ping", "io", "pong", "io", latency="7ns")
+    return graph
+
+
+class TestBackendEquivalence:
+    def test_stat_values_identical_across_backends(self):
+        """The load-bearing property of the backend layer: the same
+        partitioned graph yields bit-identical statistics on every
+        execution substrate."""
+        graph = paper_style_graph()
+        seq = build(graph, seed=9)
+        seq.run()
+        reference = seq.stat_values()
+
+        for backend in ALL_BACKENDS:
+            psim = build_parallel(graph, 3, strategy="round_robin",
+                                  seed=9, backend=backend)
+            psim.run()
+            assert psim.stat_values() == reference, backend
+
+    def test_run_results_identical_across_backends(self):
+        results = {}
+        for backend in ALL_BACKENDS:
+            psim = build_parallel(paper_style_graph(), 2, seed=9,
+                                  backend=backend)
+            res = psim.run()
+            results[backend] = (res.reason, res.end_time,
+                                res.events_executed, res.epochs,
+                                res.remote_events)
+        assert len(set(results.values())) == 1, results
+
+    def test_make_backend_unknown_raises(self):
+        psim = ParallelSimulation(2)
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu", psim)
+
+
+class TestProcessesBackend:
+    def test_exception_propagates(self):
+        class Exploder(Component):
+            def setup(self):
+                self.schedule(1000, self._boom)
+
+            def _boom(self, _):
+                raise RuntimeError("model bug")
+
+        psim = ParallelSimulation(2, seed=1, backend="processes")
+        Exploder(psim.rank_sim(0), "x")
+        Sink(psim.rank_sim(1), "s")
+        with pytest.raises(RuntimeError, match="model bug"):
+            psim.run()
+        assert psim._backend is None  # workers reaped despite the failure
+
+    def test_unpicklable_cross_rank_event_raises(self):
+        psim = ParallelSimulation(2, seed=1, backend="processes")
+        relay = Relay(psim.rank_sim(0), "relay")
+        sink = Sink(psim.rank_sim(1), "sink")
+        psim.connect(relay, "out", sink, "in", latency="3ns")
+        with pytest.raises(SimulationError, match="not serializable"):
+            psim.run()
+
+    def test_resume_after_limit_raises(self):
+        psim = ParallelSimulation(2, seed=1, backend="processes")
+        a = PingPong(psim.rank_sim(0), "ping",
+                     Params({"initiator": True, "n_round_trips": 10**6}))
+        b = PingPong(psim.rank_sim(1), "pong", Params({}))
+        psim.connect(a, "io", b, "io", latency="5ns")
+        result = psim.run(max_epochs=3)
+        assert result.reason == "max_epochs"
+        with pytest.raises(SimulationError, match="cannot resume"):
+            psim.run()
+
+    def test_threads_backend_resumes_after_limit(self):
+        psim = ParallelSimulation(2, seed=1, backend="threads")
+        a = PingPong(psim.rank_sim(0), "ping",
+                     Params({"initiator": True, "n_round_trips": 12}))
+        b = PingPong(psim.rank_sim(1), "pong", Params({}))
+        psim.connect(a, "io", b, "io", latency="5ns")
+        first = psim.run(max_epochs=3)
+        assert first.reason == "max_epochs"
+        second = psim.run()
+        assert second.reason == "exit"
+        assert a.received.count == 12
+
+
+class TestCleanupOnFailure:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_failed_run_releases_backend(self, backend):
+        """Satellite fix: run() must close its execution substrate even
+        when a model exception unwinds the epoch loop."""
+
+        class Exploder(Component):
+            def setup(self):
+                self.schedule(1000, self._boom)
+
+            def _boom(self, _):
+                raise RuntimeError("model bug")
+
+        psim = ParallelSimulation(2, seed=1, backend=backend)
+        Exploder(psim.rank_sim(0), "x")
+        Sink(psim.rank_sim(1), "s")
+        with pytest.raises(RuntimeError, match="model bug"):
+            psim.run()
+        assert psim._backend is None
+        assert psim._pool is None
+
+
+class TestRankSeeds:
+    def test_engine_rng_streams_distinct_per_rank(self):
+        psim = ParallelSimulation(4, seed=11)
+        seeds = [psim.rank_sim(r).rank_seed for r in range(4)]
+        assert len(set(seeds)) == 4
+        draws = [psim.rank_sim(r).engine_rng.random() for r in range(4)]
+        assert len(set(draws)) == 4
+
+    def test_rank_seeds_deterministic(self):
+        a = ParallelSimulation(3, seed=11)
+        b = ParallelSimulation(3, seed=11)
+        assert ([a.rank_sim(r).rank_seed for r in range(3)]
+                == [b.rank_sim(r).rank_seed for r in range(3)])
+        c = ParallelSimulation(3, seed=12)
+        assert ([a.rank_sim(r).rank_seed for r in range(3)]
+                != [c.rank_sim(r).rank_seed for r in range(3)])
+
+    def test_base_seed_shared_for_component_streams(self):
+        """Component RNG streams key off the *base* seed, which is what
+        keeps sequential and parallel statistics identical."""
+        psim = ParallelSimulation(2, seed=5)
+        assert psim.rank_sim(0).seed == 5
+        assert psim.rank_sim(1).seed == 5
+        assert psim.rank_sim(0).rank_seed != psim.rank_sim(1).rank_seed
+
+
+def _square(x):
+    return x * x
+
+
+class TestJobPools:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_map_preserves_order(self, backend):
+        with make_job_pool(backend, jobs=2) as pool:
+            assert pool.map(_square, range(8)) == [x * x for x in range(8)]
+
+    def test_serial_fallback_for_single_job(self):
+        pool = make_job_pool("threads", jobs=1)
+        assert pool.name == "serial"
+
+    def test_unknown_pool_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown job-pool backend"):
+            make_job_pool("gpu", jobs=2)
+
+    def test_invalid_jobs_raises(self):
+        with pytest.raises(ValueError, match="jobs must be"):
+            make_job_pool("serial", jobs=0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1

@@ -82,3 +82,59 @@ class TestSweep:
         assert set(PAPER_TECHNOLOGIES) == {"DDR2-800", "DDR3-1066", "GDDR5"}
         assert tuple(PAPER_WIDTHS) == (1, 2, 4, 8)
         assert set(PAPER_WORKLOADS) == {"hpccg", "lulesh"}
+
+
+class TestParallelSweep:
+    GRID = dict(workloads=["hpccg"], widths=[1, 4],
+                technologies=["DDR3-1066", "GDDR5"])
+
+    def test_job_pool_backends_match_serial(self):
+        serial = sweep(instructions=200_000, **self.GRID)
+        for backend in ("threads", "processes"):
+            pooled = sweep(instructions=200_000, backend=backend, jobs=2,
+                           **self.GRID)
+            assert list(pooled.points) == list(serial.points)
+            assert pooled.points == serial.points, backend
+
+    def test_cache_roundtrip(self, tmp_path):
+        cold = sweep(instructions=200_000, cache_dir=tmp_path, **self.GRID)
+        assert len(list(tmp_path.glob("*.json"))) == 4
+        warm = sweep(instructions=200_000, cache_dir=tmp_path, **self.GRID)
+        assert warm.points == cold.points
+
+    def test_cache_actually_used(self, tmp_path, monkeypatch):
+        """The warm pass must not re-simulate: poison the evaluator."""
+        import repro.dse as dse_mod
+
+        sweep(instructions=200_000, cache_dir=tmp_path, **self.GRID)
+
+        def explode(spec):
+            raise AssertionError("cache miss: point was re-simulated")
+
+        monkeypatch.setattr(dse_mod, "_sweep_eval", explode)
+        warm = sweep(instructions=200_000, cache_dir=tmp_path, **self.GRID)
+        assert len(warm.points) == 4
+
+    def test_cache_keys_distinguish_configs(self, tmp_path):
+        """Changing graph inputs or the seed must miss the cache."""
+        sweep(workloads=["hpccg"], widths=[1], technologies=["GDDR5"],
+              instructions=200_000, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        sweep(workloads=["hpccg"], widths=[1], technologies=["GDDR5"],
+              instructions=300_000, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        sweep(workloads=["hpccg"], widths=[1], technologies=["GDDR5"],
+              instructions=200_000, seed=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_corrupt_cache_entry_reevaluated(self, tmp_path):
+        ref = sweep(workloads=["hpccg"], widths=[1], technologies=["GDDR5"],
+                    instructions=200_000, cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json", encoding="utf-8")
+        again = sweep(workloads=["hpccg"], widths=[1],
+                      technologies=["GDDR5"], instructions=200_000,
+                      cache_dir=tmp_path)
+        assert again.points == ref.points
+        import json
+        json.loads(entry.read_text(encoding="utf-8"))  # rewritten intact

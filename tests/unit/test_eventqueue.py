@@ -75,6 +75,38 @@ class TestBasics:
         assert queue.pop().seq == 999
 
 
+class TestPushRecord:
+    """Records arriving from another rank carry foreign sequence numbers;
+    the local counter must stay ahead so later local pushes sort after
+    them (the cross-rank delivery path of the parallel engine)."""
+
+    def test_counter_advances_past_foreign_seq(self, queue):
+        queue.push_record(EventRecord(100, 50, 7, None, None))
+        local = queue.push(100, 50, None, None)
+        assert local.seq == 8
+        popped = [queue.pop().seq for _ in range(2)]
+        assert popped == [7, 8]
+
+    def test_lower_foreign_seq_keeps_counter(self, queue):
+        first = queue.push(100, 50, None, None)
+        assert first.seq == 0
+        queue.push_record(EventRecord(100, 50, 0, None, None))
+        nxt = queue.push(100, 50, None, None)
+        assert nxt.seq == 1  # foreign seq 0 did not rewind the counter
+
+    def test_interleaved_foreign_batches_stay_ordered(self, queue):
+        # Two foreign batches around a local push, all at one timestamp:
+        # pops must follow seq order regardless of arrival order.
+        queue.push_record(EventRecord(200, 50, 3, None, None))
+        queue.push_record(EventRecord(200, 50, 4, None, None))
+        local = queue.push(200, 50, None, None)
+        assert local.seq == 5
+        queue.push_record(EventRecord(200, 50, 10, None, None))
+        assert [queue.pop().seq for _ in range(4)] == [3, 4, 5, 10]
+        later = queue.push(200, 50, None, None)
+        assert later.seq == 11
+
+
 class TestBinnedSpecifics:
     def test_overflow_beyond_horizon(self):
         q = BinnedEventQueue(bin_width=10, n_bins=4)  # horizon = 40ps

@@ -47,7 +47,7 @@ def build_chain(host, rank_of, n_stages, n_tokens, latency="5ns"):
 
 
 class TestEquivalence:
-    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
     @pytest.mark.parametrize("num_ranks", [1, 2, 4])
     def test_pingpong_matches_sequential(self, backend, num_ranks, make_pingpong):
         seq = Simulation(seed=3)
@@ -67,7 +67,7 @@ class TestEquivalence:
         assert psim.stat_values() == seq.stat_values()
         assert par_result.events_executed == seq_result.events_executed
 
-    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
     def test_chain_across_four_ranks(self, backend):
         n_stages, n_tokens = 6, 15
         seq_sink = build_chain(Simulation(seed=2), lambda i: 0, n_stages, n_tokens)
@@ -79,8 +79,11 @@ class TestEquivalence:
         psim.run()
         psim.close()
 
-        assert par_sink.arrival_times == seq_sink.arrival_times
         assert psim.stat_values() == seq_sim.stat_values()
+        if backend != "processes":
+            # Plain component attributes stay worker-side under the
+            # processes backend; only statistics are synchronized back.
+            assert par_sink.arrival_times == seq_sink.arrival_times
 
     def test_rank_placement_does_not_change_results(self):
         baselines = None
