@@ -247,6 +247,72 @@ def _heavy_compute_machine(psim, *, ticks=30, work=40_000):
     return workers
 
 
+def test_eng2_rank_telemetry_overhead(benchmark, tmp_path, report):
+    """Rank-local telemetry cost on the processes backend, recorded to
+    BENCH_engine_parallel.json.
+
+    Runs the compute-bound 4-rank design bare and again with a
+    TelemetryRecorder + HandlerProfiler attached (per-rank shards,
+    worker-side span buckets), then checks the instrumented run still
+    produced complete artifacts.  The overhead ratio is recorded, not
+    asserted — shard IO cost is host-dependent — but the artifact
+    completeness is the regression gate.
+    """
+    from repro.core import ParallelSimulation
+    from repro.obs import HandlerProfiler, TelemetryRecorder, environment_info
+    from repro.obs.manifest import append_json_record
+    from repro.obs.merge import find_rank_shards
+
+    metrics = tmp_path / "eng2-rank.jsonl"
+
+    def run_once(instrumented):
+        psim = ParallelSimulation(SIM_RANKS, seed=3, backend="processes")
+        _heavy_compute_machine(psim)
+        telemetry = profiler = None
+        if instrumented:
+            telemetry = TelemetryRecorder(metrics).attach(psim)
+            profiler = HandlerProfiler(psim)
+        result = psim.run()
+        assert result.reason == "exhausted"
+        if instrumented:
+            telemetry.finalize(result)
+            profiler.detach()
+        return result, profiler
+
+    def run():
+        bare, _ = run_once(False)
+        instrumented, profiler = run_once(True)
+        return bare, instrumented, profiler
+
+    bare, instrumented, profiler = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    shards = find_rank_shards(metrics)
+    assert sorted(shards) == list(range(SIM_RANKS))
+    assert sum(row.count for row in profiler.rows()) == \
+        instrumented.events_executed
+    assert {row.rank for row in profiler.rows()} == set(range(SIM_RANKS))
+    overhead = (instrumented.wall_seconds / bare.wall_seconds
+                if bare.wall_seconds else 1.0)
+    append_json_record(
+        Path(__file__).parent.parent / "BENCH_engine_parallel.json",
+        {
+            "schema": "repro-bench-record/1",
+            "experiment": "engine_parallel",
+            "test": "eng2_rank_telemetry_overhead",
+            "kind": "rank_telemetry_overhead",
+            "ranks": SIM_RANKS,
+            "bare_wall_seconds": bare.wall_seconds,
+            "instrumented_wall_seconds": instrumented.wall_seconds,
+            "overhead_ratio": overhead,
+            "rank_shards": len(shards),
+            "events": instrumented.events_executed,
+            "environment": environment_info(),
+        },
+    )
+    report(f"ENG-2 rank telemetry at {SIM_RANKS} ranks: "
+           f"{overhead:.2f}x wall overhead, {len(shards)} shards")
+
+
 def test_eng2_processes_speedup(benchmark, report):
     """Wall-clock scaling of the processes backend on a compute-bound
     4-rank design, recorded to BENCH_engine_parallel.json.

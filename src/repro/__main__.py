@@ -12,6 +12,10 @@
 * ``sweep``                 — run the paper's design-space study
   (workload x issue width x memory technology) on a job pool, with
   optional per-point result caching.
+* ``obs``                   — post-hoc telemetry tools: merge per-rank
+  streams into one Perfetto trace (``obs merge``), diagnose sync/load
+  imbalance (``obs imbalance``), or summarize a run's artifacts
+  (``obs report``).
 
 Examples::
 
@@ -20,6 +24,8 @@ Examples::
     python -m repro run machine.json --max-time 1ms --ranks 4 --strategy bfs
     python -m repro run machine.json --ranks 4 --backend processes
     python -m repro sweep --workloads hpccg --backend processes --jobs 4
+    python -m repro run net.json --ranks 4 --backend processes --metrics m.jsonl
+    python -m repro obs merge m.jsonl && python -m repro obs imbalance m.jsonl
 """
 
 from __future__ import annotations
@@ -232,6 +238,81 @@ def _cmd_topo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.merge import RunArtifacts, merge_to_file, merge_trace
+
+    if args.obs_command == "merge":
+        out = merge_to_file(args.metrics, args.output)
+        artifacts = RunArtifacts(args.metrics)
+        spans = sum(1 for records in artifacts.rank_records.values()
+                    for r in records if r.get("kind") == "span")
+        print(f"merged trace -> {out} "
+              f"({artifacts.num_ranks} rank lanes + sync lane, "
+              f"{len(artifacts.epochs)} epochs, "
+              f"{len(artifacts.shards)} shards, {spans} handler spans; "
+              f"load in Perfetto)")
+        return 0
+
+    if args.obs_command == "imbalance":
+        from .obs.imbalance import analyze_artifacts
+
+        report = analyze_artifacts(RunArtifacts(args.metrics))
+        print(report.report(top=args.top))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(report.as_dict(), fh, indent=2)
+            print(f"imbalance report -> {args.json}")
+        return 0
+
+    if args.obs_command == "report":
+        from .obs.imbalance import analyze_artifacts
+
+        artifacts = RunArtifacts(args.metrics)
+        start = artifacts.run_start
+        end = artifacts.run_end or {}
+        run = end.get("run", {})
+        print(f"metrics stream: {artifacts.metrics_path} "
+              f"({len(artifacts.main)} parent records)")
+        print(f"backend: {artifacts.backend}  ranks: {artifacts.num_ranks}  "
+              f"mode: {start.get('mode', '?')}  "
+              f"schema: {start.get('schema', '?')}")
+        sync = artifacts.sync_info
+        if sync:
+            print(f"sync: {sync.get('strategy')} "
+                  f"(lookahead {sync.get('lookahead_ps')} ps)")
+        if run:
+            events = run.get("events_executed", 0)
+            wall = run.get("wall_seconds") or 0
+            rate = events / wall if wall else 0.0
+            print(f"run: {run.get('reason')} at {run.get('end_time_ps')} ps; "
+                  f"{events} events in {wall:.3f}s ({rate:,.0f} events/s)")
+        if artifacts.shards:
+            print("rank shards:")
+            for rank, shard in sorted(artifacts.shards.items()):
+                count = len(artifacts.rank_records.get(rank, []))
+                print(f"  rank {rank}: {shard} ({count} records)")
+        elif artifacts.rank_records:
+            inline = sum(len(v) for v in artifacts.rank_records.values())
+            print(f"rank records: {inline} (inline, shipped over pipes)")
+        epochs = artifacts.epochs
+        if epochs:
+            report = analyze_artifacts(artifacts)
+            critical = report.critical_rank
+            print(f"epochs: {len(epochs)}  "
+                  f"imbalance factor: {report.imbalance_factor:.3f}  "
+                  f"events skew: {report.events_skew:.3f}"
+                  + (f"  critical rank: {critical.rank}" if critical else ""))
+        manifest = artifacts.metrics_path.with_name(
+            artifacts.metrics_path.name + ".manifest.json")
+        if manifest.exists():
+            print(f"manifest: {manifest}")
+        return 0
+
+    raise AssertionError(args.obs_command)  # pragma: no cover
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.split("\n\n")[0])
@@ -322,6 +403,32 @@ def make_parser() -> argparse.ArgumentParser:
     topo.add_argument("--globals", dest="globals_", type=int, default=2)
     topo.add_argument("--ports", type=int, default=8, help="crossbar ports")
     topo.set_defaults(func=_cmd_topo)
+
+    obs = sub.add_parser("obs", help="post-hoc telemetry tools for "
+                                     "recorded runs (--metrics streams)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    merge = obs_sub.add_parser(
+        "merge", help="merge per-rank telemetry shards into one "
+                      "Perfetto trace (rank lanes + sync lane)")
+    merge.add_argument("metrics", help="the run's JSONL metrics stream; "
+                                       "rank shards are found next to it")
+    merge.add_argument("-o", "--output", default=None,
+                       help="merged trace path "
+                            "(default: <metrics>.trace.json)")
+    merge.set_defaults(func=_cmd_obs)
+    imb = obs_sub.add_parser(
+        "imbalance", help="diagnose sync/load imbalance: straggler "
+                          "attribution, busy vs barrier, events skew")
+    imb.add_argument("metrics")
+    imb.add_argument("--top", type=_positive_int, default=5,
+                     help="worst epochs to list")
+    imb.add_argument("--json", default=None,
+                     help="also write the full report as JSON here")
+    imb.set_defaults(func=_cmd_obs)
+    rep = obs_sub.add_parser(
+        "report", help="summarize a recorded run's artifacts")
+    rep.add_argument("metrics")
+    rep.set_defaults(func=_cmd_obs)
     return parser
 
 

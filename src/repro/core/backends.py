@@ -21,9 +21,17 @@ reports a :class:`RankStep` per rank.  Three substrates are provided:
   - events sent over cross-rank links must be picklable (slotted
     payload-only events are; events carrying live object references
     are not, and raise a descriptive error);
-  - per-event observers (trace/span/heartbeat) degrade gracefully:
-    they are detached inside the workers, while parent-side epoch
-    observers — telemetry, progress, Chrome trace — keep working;
+  - per-event observers (trace/span/heartbeat) are detached inside the
+    workers, but observability survives the boundary through the
+    rank-local plan (``psim.rank_plan``, duck-typed — see
+    :mod:`repro.obs.rank_stream`): workers re-attach a lightweight
+    recorder that writes per-rank JSONL shards or ships bounded record
+    batches back over the pipes, and profiler buckets plus rank
+    counters harvest back at ``finalize()``.  Observers no plan entry
+    covers raise a one-time :class:`RankObservabilityWarning` instead
+    of being silently dropped.  Parent-side epoch observers —
+    telemetry, progress, Chrome trace epoch lanes — keep working
+    regardless;
   - parent-side component *objects* are not synchronized back, but
     their registered statistics are (adopted in ``finalize()``), so
     ``stat_values()`` equivalence holds across all backends.
@@ -37,11 +45,12 @@ from __future__ import annotations
 
 import os
 import time as _wall_time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
-from .kernel import harvest_stats, kernel_step
+from .kernel import harvest_engine_stats, harvest_stats, kernel_step
 from .simulation import SimulationError
 from .sync import OutboxEntry
 from .units import SimTime
@@ -49,6 +58,29 @@ from .units import SimTime
 if TYPE_CHECKING:  # pragma: no cover
     from .parallel import ParallelSimulation
     from .simulation import Simulation
+
+
+class RankObservabilityWarning(UserWarning):
+    """A per-event observer was detached at the process-fork boundary.
+
+    Raised (once per unique observer set) by :class:`ProcessesBackend`
+    when a rank simulation carries trace/span/heartbeat observers that
+    no rank-local plan covers: their sinks live in the parent process,
+    so inside the forked worker they would silently record into memory
+    that dies with the worker.  Attach through ``repro.obs`` (profiler,
+    telemetry with a metrics path) to get rank-local re-attachment, and
+    use ``python -m repro obs merge`` on the per-rank shards for the
+    merged post-hoc view.
+    """
+
+
+def _describe_observer(fn: Any) -> str:
+    """Human-readable identity of an observer callback for warnings."""
+    qual = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", None)
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        return f"{type(owner).__name__}.{getattr(fn, '__name__', qual)}"
+    return qual or repr(fn)
 
 
 @dataclass
@@ -65,6 +97,10 @@ class RankStep:
     primaries_pending: int
     last_event_time: SimTime
     now: SimTime
+    #: bounded batch of rank-local telemetry records riding the pipe
+    #: alongside the step result (processes backend, shard-less mode);
+    #: drained by the parent before the step reaches the sync strategy.
+    obs_records: Optional[List[Dict[str, Any]]] = None
 
 
 def deliver_cross_rank(psim: "ParallelSimulation", rank: int,
@@ -229,6 +265,7 @@ class ProcessesBackend(ExecutionBackend):
     def start(self) -> None:
         if self._procs:
             return
+        self._warn_uncovered_observers()
         # Fork AFTER setup(): workers inherit wired graphs, queued
         # setup events and registered primaries.  The parent keeps the
         # setup-time outbox entries (workers clear their copies).
@@ -243,11 +280,61 @@ class ProcessesBackend(ExecutionBackend):
             self._procs.append(proc)
             self._conns.append(parent_conn)
 
+    def _warn_uncovered_observers(self) -> None:
+        """Satellite guard: detaching an observer must not be silent.
+
+        Workers strip every per-event observer at the fork boundary.
+        Observers attached through ``repro.obs`` carry a
+        ``__rank_local__`` marker ("profile" re-attaches always; "span"
+        re-attaches when the rank plan has a record sink) and keep
+        working rank-locally; anything else is about to lose its data,
+        so name it in a structured one-time warning.
+        """
+        plan = getattr(self.psim, "rank_plan", None)
+        span_sink = bool(plan is not None
+                         and getattr(plan, "has_record_sink", False))
+        doomed: List[str] = []
+        for rank, sim in enumerate(self.psim._sims):
+            candidates: List[Any] = []
+            if sim._trace_fn is not None:
+                candidates.append(sim._trace_fn)
+            candidates.extend(sim._trace_observers)
+            candidates.extend(sim._span_observers)
+            candidates.extend(sim._heartbeats)
+            for fn in candidates:
+                marker = getattr(fn, "__rank_local__", None)
+                if marker == "profile" or (marker == "span" and span_sink):
+                    continue
+                doomed.append(f"rank {rank}: {_describe_observer(fn)}")
+        if doomed:
+            warnings.warn(
+                "processes backend: detaching per-event observers that "
+                "cannot be re-attached rank-locally — "
+                + "; ".join(sorted(set(doomed)))
+                + ".  Their sinks live in the parent process and would "
+                "record into memory that dies with the workers.  Attach "
+                "a TelemetryRecorder with a metrics path to capture "
+                "per-rank JSONL shards instead, then merge post-hoc "
+                "with 'python -m repro obs merge <metrics.jsonl>'.",
+                RankObservabilityWarning,
+                stacklevel=3,
+            )
+
     def step(self, epoch_end: SimTime,
              deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
         for conn, entries in zip(self._conns, deliveries):
             conn.send(("step", epoch_end, entries))
-        return [self._recv(rank) for rank in range(self.psim.num_ranks)]
+        steps = [self._recv(rank) for rank in range(self.psim.num_ranks)]
+        plan = getattr(self.psim, "rank_plan", None)
+        if plan is not None:
+            # Bounded rank-local record batches ride the pipe alongside
+            # the step results (shard-less mode); hand them to the plan
+            # before the sync strategy ever sees the steps.
+            for rank, step in enumerate(steps):
+                if step.obs_records:
+                    plan.deliver(rank, step.obs_records)
+                    step.obs_records = None
+        return steps
 
     def finalize(self) -> None:
         """Adopt worker-side results into the parent-side simulations.
@@ -279,6 +366,18 @@ class ProcessesBackend(ExecutionBackend):
                 group = sim._components[comp_name].stats.all()
                 for stat_name, remote in stats.items():
                     _adopt_stat(group[stat_name], remote)
+            # Engine stats are adopted *additively only*: names the
+            # parent already tracks (sync.* — maintained parent-side
+            # during the epoch loop) keep their live values; names only
+            # the worker registered (obs.* rank-telemetry counters) are
+            # adopted wholesale so harvest_stats-style merging sees
+            # them.  _register returns the existing collector untouched
+            # when the name is taken, which is exactly that rule.
+            for name, remote in (payload.get("engine_stats") or {}).items():
+                sim.engine_stats._register(name, remote)
+            plan = getattr(self.psim, "rank_plan", None)
+            if plan is not None:
+                plan.absorb(rank, payload.get("obs"))
 
     def _recv(self, rank: int):
         try:
@@ -335,13 +434,28 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
     sim = psim._sims[rank]
     # Per-event observers cannot usefully cross the process boundary
     # (their sinks — files, aggregation dicts — live in the parent);
-    # detach them so the kernel loop takes the bare path.  Epoch-level
-    # observability stays fully functional parent-side.
+    # detach them so the kernel loop takes the bare path.  The parent
+    # warned about any observer the rank plan does not cover.
     sim._trace_fn = None
     sim._trace_observers = []
     sim._span_observers = []
     sim._heartbeats = {}
     sim._rebuild_instr()
+    # Re-attach the rank-local recorder the plan describes (JSONL shard
+    # or pipe batches, span buckets, heartbeats).  Observability must
+    # never kill a worker: creation failures degrade to a bare rank.
+    recorder = None
+    plan = getattr(psim, "rank_plan", None)
+    if plan is not None:
+        try:
+            recorder = plan.worker_recorder(psim, rank)
+        except Exception:  # pragma: no cover - defensive
+            import sys
+            import traceback as _tb
+            print(f"repro: rank {rank} telemetry recorder failed to "
+                  f"start; continuing without it:\n{_tb.format_exc()}",
+                  file=sys.stderr)
+            recorder = None
     # Setup-time sends were captured by the parent at fork; drop the
     # inherited copies so they are not delivered twice.
     for outbox in psim._outboxes:
@@ -374,6 +488,11 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                 if outbox:
                     result.outbox = list(outbox)
                     outbox.clear()
+                if recorder is not None:
+                    try:
+                        recorder.on_step(result, epoch_end)
+                    except Exception:  # pragma: no cover - defensive
+                        recorder = None
                 try:
                     conn.send(("ok", result))
                 except Exception as exc:
@@ -385,8 +504,17 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
             elif cmd == "finish":
                 try:
                     sim.finish()
+                    obs_payload = None
+                    if recorder is not None:
+                        try:
+                            obs_payload = recorder.finish()
+                        except Exception:  # pragma: no cover - defensive
+                            obs_payload = None
+                        recorder = None
                     payload = {
                         "stats": harvest_stats(sim),
+                        "engine_stats": harvest_engine_stats(sim),
+                        "obs": obs_payload,
                         "events_executed": sim._events_executed,
                         "now": sim.now,
                         "last_event_time": sim.last_event_time,

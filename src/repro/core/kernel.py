@@ -186,3 +186,17 @@ def harvest_stats(sim: "Simulation") -> Dict[str, Dict[str, Any]]:
     """
     return {name: dict(comp.stats.all())
             for name, comp in sim._components.items()}
+
+
+def harvest_engine_stats(sim: "Simulation") -> Dict[str, Any]:
+    """Engine-level statistics (``sync.*``, ``obs.*``) in harvest shape.
+
+    The engine-stats companion to :func:`harvest_stats`: a flat
+    ``name -> Statistic`` dict of ``sim.engine_stats``.  The process
+    backend ships this across the rank boundary so worker-registered
+    collectors (e.g. the rank-local telemetry counters) survive the
+    worker's death; parent-side the adoption is *additive only* — names
+    the parent already tracks (the ``sync.*`` metrics it maintains
+    itself) are never overwritten by the worker's stale copies.
+    """
+    return dict(sim.engine_stats.all())

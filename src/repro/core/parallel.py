@@ -207,6 +207,14 @@ class ParallelSimulation:
         #: execution substrate (layer 3); created per run(), closed in
         #: its finally block so failed runs never leak pools/workers.
         self._backend: Optional[ExecutionBackend] = None
+        #: rank-local observability plan (duck-typed; in practice a
+        #: :class:`repro.obs.rank_stream.RankStreamPlan`).  Instruments
+        #: that know how to survive the process boundary register here;
+        #: the processes backend re-attaches a rank-local recorder from
+        #: it inside every forked worker and harvests results back at
+        #: finalize.  None = nothing to re-attach (per-event observers
+        #: are then detached with a RankObservabilityWarning).
+        self.rank_plan: Optional[Any] = None
         self._setup_done = False
         #: set when a processes-backend run stopped on a limit: the
         #: worker queues died with the workers, so resuming is invalid.

@@ -26,7 +26,7 @@ SST's barrier-epoch protocol:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import units
 from .units import SimTime
@@ -49,6 +49,16 @@ class SyncStrategy:
     def note_cross_link(self, latency: SimTime) -> None:
         """Observe a new rank-crossing link of the given latency."""
         raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """Self-description embedded in telemetry streams and manifests.
+
+        Post-hoc tools (``python -m repro obs``) read this back from run
+        artifacts to label sync lanes and normalize epoch windows, so
+        the keys are part of the telemetry schema: ``strategy`` and
+        ``lookahead_ps`` are always present; strategies may add more.
+        """
+        return {"strategy": self.name, "lookahead_ps": self.lookahead}
 
     def add_pending(self, entries: List[OutboxEntry]) -> None:
         """Queue cross-rank sends awaiting delivery."""

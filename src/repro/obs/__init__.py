@@ -13,7 +13,17 @@ the *simulated machine*, which the statistics system covers):
   lines for long runs;
 * :func:`build_manifest` / :func:`graph_hash` / :func:`append_json_record`
   — the machine-readable perf-record plumbing (also used by the
-  benchmark harness for ``BENCH_<exp>.json`` records).
+  benchmark harness for ``BENCH_<exp>.json`` records);
+* :class:`RankStreamPlan` / :class:`RankRecorder`
+  (:mod:`repro.obs.rank_stream`) — per-rank telemetry that survives the
+  process boundary of the ``processes`` execution backend, writing one
+  JSONL shard per rank (``<metrics>.rank<k>``);
+* :func:`merge_trace` / :func:`merge_to_file` (:mod:`repro.obs.merge`)
+  — stitch per-rank streams into one Perfetto trace with one lane per
+  rank plus a sync lane;
+* :func:`analyze` (:mod:`repro.obs.imbalance`) — post-hoc sync/load
+  diagnostics: straggler attribution, busy-vs-barrier wall time,
+  events-per-rank skew (``python -m repro obs imbalance``).
 
 Everything attaches through the engine's observer dispatch
 (:meth:`Simulation.add_trace_observer` / ``add_span_observer`` /
@@ -22,25 +32,44 @@ which costs a single ``is None`` check per event when nothing is
 installed.  See ``docs/OBSERVABILITY.md`` for the schemas and usage.
 """
 
-from .chrome_trace import ChromeTraceExporter
+from ..core.backends import RankObservabilityWarning
+from .chrome_trace import ChromeTraceExporter, build_trace_dict
+from .imbalance import ImbalanceReport, RankSummary, analyze
 from .manifest import (MANIFEST_SCHEMA, append_json_record, build_manifest,
                        environment_info, graph_hash, write_manifest)
+from .merge import RunArtifacts, find_rank_shards, merge_to_file, merge_trace
 from .profiler import HandlerProfiler, ProfileRow, attribute_event
 from .progress import ProgressReporter
+from .rank_stream import (RANK_STREAM_SCHEMA, RankRecorder, RankStreamPlan,
+                          ensure_rank_plan, rank_shard_path)
 from .telemetry import METRICS_SCHEMA, TelemetryRecorder
 
 __all__ = [
     "ChromeTraceExporter",
     "HandlerProfiler",
+    "ImbalanceReport",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
     "ProfileRow",
     "ProgressReporter",
+    "RANK_STREAM_SCHEMA",
+    "RankObservabilityWarning",
+    "RankRecorder",
+    "RankStreamPlan",
+    "RankSummary",
+    "RunArtifacts",
     "TelemetryRecorder",
+    "analyze",
     "append_json_record",
     "attribute_event",
     "build_manifest",
+    "build_trace_dict",
+    "ensure_rank_plan",
     "environment_info",
+    "find_rank_shards",
     "graph_hash",
+    "merge_to_file",
+    "merge_trace",
+    "rank_shard_path",
     "write_manifest",
 ]

@@ -33,6 +33,29 @@ from ..core.simulation import Simulation
 from .profiler import attribute_event
 
 
+def build_trace_dict(events: List[Dict[str, Any]], *,
+                     dropped_events: int = 0,
+                     exporter: str = "repro.obs.chrome_trace",
+                     extra: Union[Dict[str, Any], None] = None) -> Dict[str, Any]:
+    """Wrap trace events in the Trace Event JSON envelope.
+
+    Shared by the live :class:`ChromeTraceExporter` and the post-hoc
+    cross-rank merge (:mod:`repro.obs.merge`), so both produce files the
+    Perfetto UI loads identically.
+    """
+    other: Dict[str, Any] = {
+        "exporter": exporter,
+        "dropped_events": dropped_events,
+    }
+    if extra:
+        other.update(extra)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
 class ChromeTraceExporter:
     """Collect handler/epoch spans and write a ``trace.json``.
 
@@ -63,6 +86,7 @@ class ChromeTraceExporter:
         self._t0 = _wall_time.perf_counter()
         self._observers: List[Tuple[Simulation, Any]] = []
         self._epoch_target: Union[ParallelSimulation, None] = None
+        self._plan = None
         self._tids: Dict[Tuple[int, str], int] = {}
         self._named_pids: set = set()
 
@@ -75,10 +99,20 @@ class ChromeTraceExporter:
             self._epoch_target = target
             target.add_epoch_observer(self._on_epoch)
             sims = [target.rank_sim(r) for r in range(target.num_ranks)]
+            # Under the processes backend the in-process span observers
+            # below never fire in the parent; ask the rank plan to write
+            # span records rank-locally instead (shards, or pipe batches
+            # routed back through add_remote_span).
+            from .rank_stream import ensure_rank_plan
+            self._plan = ensure_rank_plan(target)
+            self._plan.register_exporter(self)
         else:
             sims = [target]
         for sim in sims:
             fn = self._make_span_observer(sim.rank)
+            # Rank-local coverage exists only when the plan has a record
+            # sink — checked at fork time by the processes backend.
+            fn.__rank_local__ = "span"
             self._observers.append((sim, fn))
             sim.add_span_observer(fn)
         return self
@@ -90,6 +124,9 @@ class ChromeTraceExporter:
         if self._epoch_target is not None:
             self._epoch_target.remove_epoch_observer(self._on_epoch)
             self._epoch_target = None
+        if self._plan is not None:
+            self._plan.unregister_exporter(self)
+            self._plan = None
 
     # ------------------------------------------------------------------
     # collection
@@ -167,18 +204,42 @@ class ChromeTraceExporter:
             if serial:
                 offset += wall * 1e6
 
+    def add_remote_span(self, record: Dict[str, Any]) -> None:
+        """Convert one pipe-shipped rank-stream ``span`` record into a
+        trace event.
+
+        Rank workers stamp spans with raw ``perf_counter`` readings
+        (``mono_s``) — CLOCK_MONOTONIC, system-wide on Linux — so
+        subtracting this exporter's own ``_t0`` puts them on the same
+        timeline as the parent's epoch spans.
+        """
+        dur_us = float(record.get("dur_us", 0.0))
+        if dur_us < self.min_duration_us:
+            return
+        if self._span_count >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._span_count += 1
+        rank = int(record.get("rank", 0))
+        component = record.get("component", "<unknown>")
+        event_type = record.get("event", "-")
+        self.events.append({
+            "ph": "X",
+            "name": f"{component}.{record.get('handler', '?')}",
+            "cat": event_type,
+            "ts": (float(record["mono_s"]) - self._t0) * 1e6,
+            "dur": dur_us,
+            "pid": rank,
+            "tid": self._tid(rank, component),
+            "args": {"sim_ps": record.get("sim_ps"), "event": event_type},
+        })
+
     # ------------------------------------------------------------------
     # output
     # ------------------------------------------------------------------
     def trace_dict(self) -> Dict[str, Any]:
-        return {
-            "traceEvents": list(self.events),
-            "displayTimeUnit": "ms",
-            "otherData": {
-                "exporter": "repro.obs.chrome_trace",
-                "dropped_events": self.dropped_events,
-            },
-        }
+        return build_trace_dict(list(self.events),
+                                dropped_events=self.dropped_events)
 
     def close(self) -> Union[Path, None]:
         """Detach and write ``trace.json``; returns the path written."""

@@ -1,0 +1,251 @@
+"""Sync and load-imbalance diagnostics for parallel runs.
+
+Conservative barrier-epoch sync runs at the pace of the slowest rank:
+every epoch, each rank's barrier wait is exactly the gap between its
+own execution time and the epoch's critical (bounding) rank.  This
+module turns a run's telemetry stream into the partitioning-feedback
+report that raw per-rank statistics don't give:
+
+* **straggler attribution** — which rank bounded each epoch, and how
+  much wall time the other ranks spent waiting on it;
+* **busy vs. barrier** — per rank, execution time against time lost at
+  the barrier, with the run-level imbalance factor
+  (max busy / mean busy; 1.0 = perfectly balanced);
+* **skew** — events-per-rank spread, the "is the partition itself
+  lopsided or just unlucky" signal.
+
+Works post-hoc on any run recorded with ``--metrics`` (all three
+execution backends emit the same parent ``epoch`` records), via
+:func:`analyze` / ``python -m repro obs imbalance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .merge import RunArtifacts
+
+
+@dataclass
+class EpochAttribution:
+    """One epoch's critical-path attribution."""
+
+    epoch: int
+    bounding_rank: int
+    #: the bounding rank's execution wall time (== epoch critical path)
+    bound_wall_s: float
+    #: wall time all other ranks spent waiting on the bounding rank
+    waited_s: float
+    events: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "bounding_rank": self.bounding_rank,
+            "bound_wall_s": self.bound_wall_s,
+            "waited_s": self.waited_s,
+            "events": self.events,
+        }
+
+
+@dataclass
+class RankSummary:
+    """One rank's run-level busy/wait/load totals."""
+
+    rank: int
+    busy_s: float = 0.0
+    barrier_s: float = 0.0
+    events: int = 0
+    epochs_bounded: int = 0
+
+    @property
+    def barrier_fraction(self) -> float:
+        total = self.busy_s + self.barrier_s
+        return self.barrier_s / total if total > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "busy_s": self.busy_s,
+            "barrier_s": self.barrier_s,
+            "barrier_fraction": self.barrier_fraction,
+            "events": self.events,
+            "epochs_bounded": self.epochs_bounded,
+        }
+
+
+@dataclass
+class ImbalanceReport:
+    """The full diagnosis of one run's sync/load behaviour."""
+
+    backend: str
+    num_ranks: int
+    epochs: int
+    sync: Dict[str, Any]
+    ranks: List[RankSummary]
+    attributions: List[EpochAttribution]
+    exchange_s: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def imbalance_factor(self) -> float:
+        """max rank busy time / mean rank busy time (1.0 = balanced)."""
+        busy = [r.busy_s for r in self.ranks]
+        if not busy or not any(busy):
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    @property
+    def events_skew(self) -> float:
+        """max events/rank / mean events/rank (1.0 = even partition)."""
+        counts = [r.events for r in self.ranks]
+        if not counts or not any(counts):
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean > 0 else 1.0
+
+    @property
+    def total_barrier_s(self) -> float:
+        return sum(r.barrier_s for r in self.ranks)
+
+    @property
+    def critical_rank(self) -> Optional[RankSummary]:
+        """The rank that bounded the most epochs (None when no epochs)."""
+        if not self.ranks or not self.attributions:
+            return None
+        return max(self.ranks, key=lambda r: (r.epochs_bounded, r.busy_s))
+
+    def as_dict(self) -> Dict[str, Any]:
+        critical = self.critical_rank
+        return {
+            "backend": self.backend,
+            "ranks": self.num_ranks,
+            "epochs": self.epochs,
+            "sync": self.sync,
+            "imbalance_factor": self.imbalance_factor,
+            "events_skew": self.events_skew,
+            "total_barrier_s": self.total_barrier_s,
+            "exchange_s": self.exchange_s,
+            "critical_rank": critical.rank if critical else None,
+            "per_rank": [r.as_dict() for r in self.ranks],
+            "per_epoch": [a.as_dict() for a in self.attributions],
+            "notes": list(self.notes),
+        }
+
+    # ------------------------------------------------------------------
+    # text report
+    # ------------------------------------------------------------------
+    def report(self, top: int = 5) -> str:
+        lines: List[str] = []
+        sync_desc = self.sync.get("strategy", "?")
+        lookahead = self.sync.get("lookahead_ps")
+        lines.append(
+            f"run: backend={self.backend} ranks={self.num_ranks} "
+            f"epochs={self.epochs} sync={sync_desc}"
+            + (f" lookahead={lookahead}ps" if lookahead is not None else "")
+        )
+        lines.append(
+            f"imbalance factor: {self.imbalance_factor:.3f}   "
+            f"events skew: {self.events_skew:.3f}   "
+            f"barrier total: {self.total_barrier_s * 1e3:.2f} ms   "
+            f"exchange total: {self.exchange_s * 1e3:.2f} ms"
+        )
+        critical = self.critical_rank
+        if critical is not None:
+            lines.append(
+                f"critical rank: {critical.rank} "
+                f"(bounded {critical.epochs_bounded}/{self.epochs} epochs, "
+                f"busy {critical.busy_s * 1e3:.2f} ms)"
+            )
+        lines.append("")
+        header = (f"{'rank':>4} {'busy ms':>10} {'barrier ms':>11} "
+                  f"{'barrier %':>9} {'events':>10} {'bounded':>8}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for summary in self.ranks:
+            lines.append(
+                f"{summary.rank:>4} {summary.busy_s * 1e3:>10.2f} "
+                f"{summary.barrier_s * 1e3:>11.2f} "
+                f"{summary.barrier_fraction:>9.1%} "
+                f"{summary.events:>10} {summary.epochs_bounded:>8}"
+            )
+        stragglers = sorted(self.attributions,
+                            key=lambda a: a.waited_s, reverse=True)[:top]
+        if stragglers:
+            lines.append("")
+            lines.append(f"worst epochs (by wall time others spent waiting, "
+                         f"top {len(stragglers)}):")
+            for attribution in stragglers:
+                lines.append(
+                    f"  epoch {attribution.epoch:>5}: rank "
+                    f"{attribution.bounding_rank} bound "
+                    f"{attribution.bound_wall_s * 1e3:.3f} ms, others waited "
+                    f"{attribution.waited_s * 1e3:.3f} ms "
+                    f"({attribution.events} events)"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def analyze_artifacts(artifacts: RunArtifacts) -> ImbalanceReport:
+    """Diagnose sync/load imbalance from a loaded run's telemetry."""
+    epochs = artifacts.epochs
+    num_ranks = artifacts.num_ranks
+    summaries = [RankSummary(rank=r) for r in range(num_ranks)]
+    attributions: List[EpochAttribution] = []
+    exchange_s = 0.0
+    notes: List[str] = []
+    for epoch in epochs:
+        walls = [float(w) for w in (epoch.get("per_rank_wall_s") or [])]
+        waits = [float(w) for w in
+                 (epoch.get("per_rank_barrier_wait_s") or [])]
+        events = epoch.get("per_rank_events") or []
+        exchange_s += float(epoch.get("exchange_s", 0.0))
+        if not walls:
+            continue
+        bounding = max(range(len(walls)), key=lambda r: walls[r])
+        for rank, wall in enumerate(walls):
+            if rank >= num_ranks:
+                continue
+            summaries[rank].busy_s += wall
+            if rank < len(waits):
+                summaries[rank].barrier_s += waits[rank]
+            if rank < len(events):
+                summaries[rank].events += int(events[rank])
+        summaries[bounding].epochs_bounded += 1
+        attributions.append(EpochAttribution(
+            epoch=int(epoch.get("epoch", len(attributions))),
+            bounding_rank=bounding,
+            bound_wall_s=walls[bounding],
+            waited_s=sum(waits) if waits else 0.0,
+            events=int(epoch.get("events", sum(int(e) for e in events))),
+        ))
+    if not epochs:
+        notes.append("stream has no epoch records — was this a parallel "
+                     "run recorded with --metrics?")
+    elif epochs and "per_rank_wall_s" not in epochs[0]:
+        notes.append("stream predates per-rank wall fields; barrier waits "
+                     "only (re-record with a current build for full "
+                     "attribution)")
+    return ImbalanceReport(
+        backend=artifacts.backend,
+        num_ranks=num_ranks,
+        epochs=len(epochs),
+        sync=artifacts.sync_info,
+        ranks=summaries,
+        attributions=attributions,
+        exchange_s=exchange_s,
+        notes=notes,
+    )
+
+
+def analyze(metrics_path: Union[str, Path]) -> ImbalanceReport:
+    """Load a run's metrics stream and diagnose its imbalance."""
+    return analyze_artifacts(RunArtifacts(Path(metrics_path)))

@@ -51,7 +51,8 @@ def environment_info() -> Dict[str, Any]:
 
 def build_manifest(target: Union[Simulation, ParallelSimulation], result,
                    *, graph=None, invocation: Any = None,
-                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                   extra: Optional[Dict[str, Any]] = None,
+                   telemetry: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Assemble the run manifest for a finished run.
 
     Parameters
@@ -68,6 +69,11 @@ def build_manifest(target: Union[Simulation, ParallelSimulation], result,
         an argv list, sweep-point parameters, ...); stored verbatim.
     extra:
         Caller extras merged in under ``"extra"``.
+    telemetry:
+        The owning recorder's stream inventory (backend, rank count,
+        per-rank shard paths, harvested rank summaries); stored under
+        ``"telemetry"`` so post-hoc tools can locate every artifact of
+        the run from the manifest alone.
     """
     parallel = isinstance(target, ParallelSimulation)
     if parallel:
@@ -81,6 +87,7 @@ def build_manifest(target: Union[Simulation, ParallelSimulation], result,
             "partitioner": target.partition_strategy,
             "lookahead_ps": target.lookahead,
             "cross_rank_links": target.cross_link_count,
+            "sync": target.sync_strategy.describe(),
         }
         components = sum(len(sim.components) for sim in sims)
         links = sum(len(sim.links) for sim in sims) + target.cross_link_count
@@ -115,6 +122,8 @@ def build_manifest(target: Union[Simulation, ParallelSimulation], result,
         "run": result.as_dict(),
         "sync": sync,
     }
+    if telemetry:
+        manifest["telemetry"] = dict(telemetry)
     if invocation:
         manifest["invocation"] = (dict(invocation)
                                   if isinstance(invocation, dict)

@@ -1,0 +1,324 @@
+"""Cross-rank trace merge: per-rank telemetry shards → one Perfetto trace.
+
+A ``--backend processes`` run with ``--metrics out.jsonl`` leaves
+behind the parent stream plus one rank-local shard per worker
+(``out.jsonl.rank<k>``, written by :mod:`repro.obs.rank_stream`).  Each
+stream is self-consistent but none shows the whole run.  This module
+stitches them into a single Chrome Trace Event file:
+
+* **one lane (pid) per rank** — epoch-execution spans from the rank's
+  own ``rank_epoch`` records (true worker-side wall windows, not the
+  parent's estimate), per-component handler spans when the run recorded
+  them, and a ``queued``/``events`` counter track from the heartbeat
+  samples;
+* **one sync lane** (pid = number of ranks) — the parent's view of the
+  run: conservative-sync epoch windows (labelled with the simulated-time
+  window and lookahead), the cross-rank exchange preceding each window,
+  and per-rank barrier waits in the span args.
+
+All rank streams stamp wall-clock fields with raw ``perf_counter``
+readings (``mono_s``) — CLOCK_MONOTONIC is system-wide on Linux, so the
+streams share a timebase; the merge subtracts the minimum ``mono_s``
+seen anywhere so the merged trace starts at t=0.
+
+Runs without shards (serial/threads backends, or shard-less pipe mode
+where rank records land inline in the parent stream) still merge: rank
+lanes are synthesized from the parent's ``per_rank_wall_s`` when no
+rank-local epoch records exist.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .chrome_trace import build_trace_dict
+
+_RANK_KINDS = ("rank_start", "rank_epoch", "rank_sample", "span", "rank_end")
+
+
+def load_stream(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load one JSONL telemetry stream, skipping unparseable lines."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def find_rank_shards(metrics_path: Union[str, Path]) -> Dict[int, Path]:
+    """Per-rank shard files next to a metrics stream, keyed by rank."""
+    base = Path(metrics_path)
+    shards: Dict[int, Path] = {}
+    for candidate in sorted(base.parent.glob(base.name + ".rank*")):
+        suffix = candidate.name[len(base.name) + len(".rank"):]
+        try:
+            rank = int(suffix)
+        except ValueError:
+            continue
+        shards[rank] = candidate
+    return shards
+
+
+class RunArtifacts:
+    """Everything one run left on disk, loaded and split by origin.
+
+    ``main`` is the parent stream (``run_start``/``sample``/``epoch``/
+    ``run_end``); ``rank_records`` maps each rank to its rank-stream
+    records, whether they came from a shard file or arrived inline over
+    the pipes in shard-less mode.
+    """
+
+    def __init__(self, metrics_path: Union[str, Path]):
+        self.metrics_path = Path(metrics_path)
+        if not self.metrics_path.exists():
+            raise FileNotFoundError(f"metrics stream not found: {metrics_path}")
+        self.main: List[Dict[str, Any]] = []
+        self.rank_records: Dict[int, List[Dict[str, Any]]] = {}
+        for record in load_stream(self.metrics_path):
+            if record.get("kind") in _RANK_KINDS:
+                rank = int(record.get("rank", 0))
+                self.rank_records.setdefault(rank, []).append(record)
+            else:
+                self.main.append(record)
+        self.shards = find_rank_shards(self.metrics_path)
+        for rank, shard in self.shards.items():
+            self.rank_records.setdefault(rank, []).extend(load_stream(shard))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def run_start(self) -> Dict[str, Any]:
+        for record in self.main:
+            if record.get("kind") == "run_start":
+                return record
+        return {}
+
+    @property
+    def run_end(self) -> Optional[Dict[str, Any]]:
+        for record in self.main:
+            if record.get("kind") == "run_end":
+                return record
+        return None
+
+    @property
+    def epochs(self) -> List[Dict[str, Any]]:
+        return [r for r in self.main if r.get("kind") == "epoch"]
+
+    @property
+    def num_ranks(self) -> int:
+        start = self.run_start
+        ranks = int(start.get("ranks", 0) or 0)
+        if self.rank_records:
+            ranks = max(ranks, max(self.rank_records) + 1)
+        for epoch in self.epochs[:1]:
+            ranks = max(ranks, len(epoch.get("per_rank_events") or []))
+        return max(ranks, 1)
+
+    @property
+    def backend(self) -> str:
+        return str(self.run_start.get("backend", "unknown"))
+
+    @property
+    def sync_info(self) -> Dict[str, Any]:
+        info = self.run_start.get("sync")
+        return dict(info) if isinstance(info, dict) else {}
+
+    def time_zero(self) -> float:
+        """Earliest monotonic stamp anywhere — the merged trace's t=0."""
+        lowest: Optional[float] = None
+        for records in [self.main, *self.rank_records.values()]:
+            for record in records:
+                mono = record.get("mono_s")
+                if mono is None:
+                    continue
+                mono = float(mono)
+                # rank_epoch/epoch stamps are window *starts* already;
+                # span stamps are starts too, so min() is correct.
+                if lowest is None or mono < lowest:
+                    lowest = mono
+        return lowest if lowest is not None else 0.0
+
+
+def merge_trace(artifacts: RunArtifacts) -> Dict[str, Any]:
+    """Build the merged Trace Event dict: rank lanes plus a sync lane."""
+    num_ranks = artifacts.num_ranks
+    t0 = artifacts.time_zero()
+    events: List[Dict[str, Any]] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    named: set = set()
+
+    def us(mono: float) -> float:
+        return (float(mono) - t0) * 1e6
+
+    def tid(pid: int, label: str, pid_name: str) -> int:
+        key = (pid, label)
+        slot = tids.get(key)
+        if slot is None:
+            slot = len(tids) + 1
+            tids[key] = slot
+            if pid not in named:
+                named.add(pid)
+                events.append({"ph": "M", "name": "process_name",
+                               "pid": pid, "tid": 0,
+                               "args": {"name": pid_name}})
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": pid, "tid": slot,
+                           "args": {"name": label}})
+        return slot
+
+    # ------------------------------------------------------------ ranks
+    ranks_with_epochs: set = set()
+    for rank in sorted(artifacts.rank_records):
+        lane = f"rank {rank}"
+        for record in artifacts.rank_records[rank]:
+            kind = record.get("kind")
+            if kind == "rank_epoch":
+                ranks_with_epochs.add(rank)
+                events.append({
+                    "ph": "X",
+                    "name": f"epoch {record.get('epoch')}",
+                    "cat": "epoch",
+                    "ts": us(record["mono_s"]),
+                    "dur": float(record.get("wall_s", 0.0)) * 1e6,
+                    "pid": rank,
+                    "tid": tid(rank, "[engine] epochs", lane),
+                    "args": {"events": record.get("events"),
+                             "sent": record.get("sent"),
+                             "window_end_ps": record.get("window_end_ps"),
+                             "sim_ps": record.get("sim_ps")},
+                })
+            elif kind == "span":
+                component = record.get("component", "<unknown>")
+                events.append({
+                    "ph": "X",
+                    "name": f"{component}.{record.get('handler', '?')}",
+                    "cat": record.get("event", "-"),
+                    "ts": us(record["mono_s"]),
+                    "dur": float(record.get("dur_us", 0.0)),
+                    "pid": rank,
+                    "tid": tid(rank, component, lane),
+                    "args": {"sim_ps": record.get("sim_ps")},
+                })
+            elif kind == "rank_sample":
+                tid(rank, "[engine] epochs", lane)  # ensure pid named
+                events.append({
+                    "ph": "C",
+                    "name": "engine",
+                    "ts": us(record["mono_s"]),
+                    "pid": rank,
+                    "tid": 0,
+                    "args": {"queued": record.get("queued", 0)},
+                })
+
+    # Ranks with no rank-local epoch records (serial/threads backends,
+    # missing shard): synthesize their epoch lane from the parent's
+    # per-rank walls so every rank still gets a lane.
+    parent_epochs = artifacts.epochs
+    for rank in range(num_ranks):
+        if rank in ranks_with_epochs:
+            continue
+        lane = f"rank {rank}"
+        for epoch in parent_epochs:
+            mono = epoch.get("mono_s")
+            walls = epoch.get("per_rank_wall_s") or []
+            if mono is None or rank >= len(walls):
+                continue
+            window = epoch.get("window_ps") or [None, None]
+            epoch_wall = float(epoch.get("epoch_wall_s", 0.0))
+            events.append({
+                "ph": "X",
+                "name": f"epoch {epoch.get('epoch')}",
+                "cat": "epoch",
+                "ts": us(float(mono) - epoch_wall),
+                "dur": float(walls[rank]) * 1e6,
+                "pid": rank,
+                "tid": tid(rank, "[engine] epochs (parent view)", lane),
+                "args": {
+                    "events": (epoch.get("per_rank_events") or [None] * num_ranks)[rank],
+                    "window_ps": window,
+                    "synthesized": True,
+                },
+            })
+
+    # ------------------------------------------------------------- sync
+    sync_pid = num_ranks
+    sync_info = artifacts.sync_info
+    lookahead = sync_info.get("lookahead_ps")
+    strategy = sync_info.get("strategy", "sync")
+    for epoch in parent_epochs:
+        mono = epoch.get("mono_s")
+        if mono is None:
+            continue
+        epoch_wall = float(epoch.get("epoch_wall_s", 0.0))
+        exchange_s = float(epoch.get("exchange_s", 0.0))
+        window = epoch.get("window_ps") or [None, None]
+        start = float(mono) - epoch_wall
+        barriers = epoch.get("per_rank_barrier_wait_s") or []
+        events.append({
+            "ph": "X",
+            "name": f"epoch {epoch.get('epoch')} "
+                    f"[{window[0]}-{window[1]}ps]",
+            "cat": "sync",
+            "ts": us(start),
+            "dur": epoch_wall * 1e6,
+            "pid": sync_pid,
+            "tid": tid(sync_pid, f"[{strategy}] epoch windows", "sync"),
+            "args": {
+                "window_ps": window,
+                "lookahead_ps": lookahead,
+                "events": epoch.get("events"),
+                "exchanged": epoch.get("exchanged"),
+                "per_rank_barrier_wait_s": barriers,
+                "max_barrier_wait_s": max(barriers) if barriers else 0.0,
+            },
+        })
+        if exchange_s > 0.0:
+            events.append({
+                "ph": "X",
+                "name": f"exchange ({epoch.get('exchanged', 0)} events)",
+                "cat": "sync",
+                "ts": us(start - exchange_s),
+                "dur": exchange_s * 1e6,
+                "pid": sync_pid,
+                "tid": tid(sync_pid, "[sync] exchange", "sync"),
+                "args": {"exchanged": epoch.get("exchanged")},
+            })
+
+    events.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)))
+    return build_trace_dict(
+        events,
+        exporter="repro.obs.merge",
+        extra={
+            "metrics": str(artifacts.metrics_path),
+            "backend": artifacts.backend,
+            "ranks": num_ranks,
+            "rank_shards": {str(r): str(p)
+                            for r, p in sorted(artifacts.shards.items())},
+            "sync": sync_info,
+        },
+    )
+
+
+def merge_to_file(metrics_path: Union[str, Path],
+                  out_path: Union[str, Path, None] = None) -> Path:
+    """Merge a run's streams and write ``<metrics>.trace.json``."""
+    artifacts = RunArtifacts(metrics_path)
+    trace = merge_trace(artifacts)
+    if out_path is None:
+        base = Path(metrics_path)
+        out_path = base.with_name(base.name + ".trace.json")
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(trace) + "\n", encoding="utf-8")
+    return out_path

@@ -105,12 +105,21 @@ class HandlerProfiler:
         # (rank, component, handler, event_type) -> [count, timed, wall]
         self._buckets: Dict[Tuple[int, str, str, str], List[float]] = {}
         self._observers = []
+        self._plan = None
         if isinstance(target, ParallelSimulation):
             sims = [target.rank_sim(r) for r in range(target.num_ranks)]
+            # Register on the rank plan so a processes-backend run
+            # rebuilds the buckets rank-locally and harvests them back
+            # (the in-process observers below then never fire there).
+            from .rank_stream import ensure_rank_plan
+            self._plan = ensure_rank_plan(target)
+            self._plan.register_profiler(self)
         else:
             sims = [target]
         for sim in sims:
             fn = self._make_observer(sim.rank)
+            # Covered rank-locally in forked workers — don't warn on it.
+            fn.__rank_local__ = "profile"
             self._observers.append((sim, fn))
             sim.add_span_observer(fn)
 
@@ -140,6 +149,28 @@ class HandlerProfiler:
         for sim, fn in self._observers:
             sim.remove_span_observer(fn)
         self._observers = []
+        if self._plan is not None:
+            self._plan.unregister_profiler(self)
+            self._plan = None
+
+    def absorb_remote_buckets(self, rank: int, buckets: Dict[Tuple[str, str, str],
+                                                             List[float]]) -> None:
+        """Merge a worker's rank-local ``(component, handler, event type)``
+        buckets, harvested over the process boundary, into this profiler.
+
+        Workers time every matched event (no sampling stride), so counts
+        and timed counts arrive equal; merging keeps scaling correct.
+        """
+        for (component, label, event_type), (count, timed, wall) in \
+                buckets.items():
+            key = (rank, component, label, event_type)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = [0, 0, 0.0]
+                self._buckets[key] = bucket
+            bucket[0] += count
+            bucket[1] += timed
+            bucket[2] += wall
 
     # ------------------------------------------------------------------
     # results

@@ -62,17 +62,20 @@ class TelemetryRecorder:
         self.manifest: Optional[Dict[str, Any]] = None
         self._owns_sink = False
         self._sink: Optional[IO[str]] = None
+        self._path: Optional[Path] = None
         if isinstance(metrics_path, (str, Path)):
             path = Path(metrics_path)
             path.parent.mkdir(parents=True, exist_ok=True)
             self._sink = open(path, "w", encoding="utf-8")
             self._owns_sink = True
+            self._path = path
             if manifest_path is None:
                 manifest_path = path.with_name(path.name + ".manifest.json")
         elif metrics_path is not None:
             self._sink = metrics_path
         self.manifest_path = Path(manifest_path) if manifest_path is not None else None
         self._target: Union[Simulation, ParallelSimulation, None] = None
+        self._plan = None
         self._t0 = 0.0
         self._last_wall = 0.0
         self._last_events = 0
@@ -88,22 +91,35 @@ class TelemetryRecorder:
         self._target = target
         self._t0 = _wall_time.perf_counter()
         self._last_wall = 0.0
+        record: Dict[str, Any] = {
+            "kind": "run_start",
+            "schema": METRICS_SCHEMA,
+            "mono_s": self._t0,
+            "created_unix": _wall_time.time(),
+        }
         if isinstance(target, ParallelSimulation):
             target.add_epoch_observer(self._on_epoch)
-            mode = "parallel"
-            ranks = target.num_ranks
+            record["mode"] = "parallel"
+            record["ranks"] = target.num_ranks
+            record["backend"] = target.backend
+            record["sync"] = target.sync_strategy.describe()
+            # Join the rank plan so processes-backend workers write
+            # per-rank shards next to the stream (or, with no file
+            # sink, ship their records back over the pipes).
+            from .rank_stream import ensure_rank_plan
+            self._plan = ensure_rank_plan(target)
+            if self._path is not None:
+                self._plan.metrics_base = self._path
+            else:
+                self._plan.register_recorder(self)
+            self._plan.heartbeat_every = self.sample_every_events
         else:
             target.add_heartbeat(self._on_heartbeat,
                                  every_events=self.sample_every_events)
-            mode = "sequential"
-            ranks = 1
-        self._emit({
-            "kind": "run_start",
-            "schema": METRICS_SCHEMA,
-            "mode": mode,
-            "ranks": ranks,
-            "created_unix": _wall_time.time(),
-        })
+            record["mode"] = "sequential"
+            record["ranks"] = 1
+            record["backend"] = "serial"
+        self._emit(record)
         return self
 
     def detach(self) -> None:
@@ -113,6 +129,11 @@ class TelemetryRecorder:
             target.remove_epoch_observer(self._on_epoch)
         elif isinstance(target, Simulation):
             target.remove_heartbeat(self._on_heartbeat)
+        if self._plan is not None:
+            # Shard paths stay on the plan (post-hoc merge reads them);
+            # only the live pipe-record routing is torn down.
+            self._plan.unregister_recorder(self)
+            self._plan = None
 
     # ------------------------------------------------------------------
     # stream records
@@ -123,6 +144,16 @@ class TelemetryRecorder:
             self._sink.flush()
         else:
             self.records.append(record)
+
+    def emit_record(self, record: Dict[str, Any]) -> None:
+        """Append an externally produced record to this stream.
+
+        The delivery path for rank-local records shipped over the
+        processes backend's pipes when the recorder has no file sink
+        (:meth:`RankStreamPlan.deliver` routes them here); they appear
+        inline in ``records`` alongside the parent's own samples.
+        """
+        self._emit(record)
 
     def _on_heartbeat(self, sim: Simulation) -> None:
         wall = _wall_time.perf_counter() - self._t0
@@ -152,6 +183,7 @@ class TelemetryRecorder:
         self._emit({
             "kind": "epoch",
             "wall_s": wall,
+            "mono_s": self._t0 + wall,
             "epoch": info.index,
             "window_ps": [info.window_start, info.window_end],
             "sim_ps": info.now,
@@ -160,6 +192,7 @@ class TelemetryRecorder:
             "exchange_s": info.exchange_seconds,
             "epoch_wall_s": info.wall_seconds,
             "per_rank_events": info.per_rank_events,
+            "per_rank_wall_s": info.per_rank_wall,
             "per_rank_barrier_wait_s": info.per_rank_barrier_wait,
         })
         self._last_wall = wall
@@ -178,7 +211,8 @@ class TelemetryRecorder:
         if target is None:
             raise RuntimeError("TelemetryRecorder is not attached")
         manifest = build_manifest(target, result, graph=graph,
-                                  invocation=invocation, extra=extra)
+                                  invocation=invocation, extra=extra,
+                                  telemetry=self._telemetry_info(target))
         self._emit({
             "kind": "run_end",
             "wall_s": _wall_time.perf_counter() - self._t0,
@@ -192,6 +226,28 @@ class TelemetryRecorder:
             self._sink = None
         self.manifest = manifest
         return manifest
+
+    def _telemetry_info(self, target) -> Dict[str, Any]:
+        """The manifest's ``telemetry`` section: where the stream went,
+        which backend produced it, and any per-rank shard inventory."""
+        info: Dict[str, Any] = {
+            "schema": METRICS_SCHEMA,
+            "metrics": str(self._path) if self._path is not None else None,
+            "backend": (target.backend
+                        if isinstance(target, ParallelSimulation) else "serial"),
+            "ranks": (target.num_ranks
+                      if isinstance(target, ParallelSimulation) else 1),
+        }
+        if self._plan is not None:
+            shards = [p for p in self._plan.shard_paths(info["ranks"])
+                      if Path(p).exists()]
+            info["rank_shards"] = shards
+            if self._plan.rank_reports:
+                info["rank_records"] = {
+                    str(rank): report for rank, report in
+                    sorted(self._plan.rank_reports.items())
+                }
+        return info
 
     def __enter__(self) -> "TelemetryRecorder":
         return self

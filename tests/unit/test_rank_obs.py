@@ -1,0 +1,290 @@
+"""Tests for rank-local telemetry: per-rank streams, cross-rank trace
+merge, and sync/load-imbalance diagnostics.
+
+The load-bearing property: observability output is equivalent across
+all three execution backends.  The processes backend cannot share
+memory with the parent, so its coverage flows through the rank plan
+(per-rank JSONL shards or pipe batches, harvested profile buckets) —
+these tests pin that the numbers coming back match what the in-process
+backends record directly.
+"""
+
+import json
+import warnings as _warnings
+
+import pytest
+
+from repro.config import ConfigGraph, build_parallel, save
+from repro.core.backends import BACKENDS, RankObservabilityWarning
+from repro.obs import (ChromeTraceExporter, HandlerProfiler,
+                       TelemetryRecorder, analyze)
+from repro.obs.merge import RunArtifacts, find_rank_shards, merge_trace
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def traffic_graph(rounds=40, count=30):
+    """A partitionable graph with cross-rank traffic on every backend."""
+    graph = ConfigGraph("rank-obs")
+    for i in range(2):
+        graph.component(f"src{i}", "testlib.Source",
+                        {"count": count, "period": "2ns"})
+        graph.component(f"sink{i}", "testlib.Sink", {})
+        graph.link(f"src{i}", "out", f"sink{i}", "in", latency="5ns")
+    graph.component("ping", "testlib.PingPong",
+                    {"initiator": True, "n_round_trips": rounds})
+    graph.component("pong", "testlib.PingPong", {})
+    graph.link("ping", "io", "pong", "io", latency="7ns")
+    return graph
+
+
+def run_with_metrics(tmp_path, backend, *, name="m.jsonl", seed=9,
+                     ranks=2, sample_every=5, profile=False, chrome=False):
+    """One instrumented parallel run; returns (metrics_path, extras)."""
+    psim = build_parallel(traffic_graph(), ranks, strategy="round_robin",
+                          seed=seed, backend=backend)
+    metrics = tmp_path / name
+    telemetry = TelemetryRecorder(metrics, sample_every_events=sample_every)
+    telemetry.attach(psim)
+    profiler = HandlerProfiler(psim) if profile else None
+    exporter = ChromeTraceExporter() if chrome else None
+    if exporter is not None:
+        exporter.attach(psim)
+    result = psim.run()
+    manifest = telemetry.finalize(result)
+    if exporter is not None:
+        exporter.detach()
+    return metrics, {"result": result, "manifest": manifest,
+                     "profiler": profiler, "exporter": exporter,
+                     "psim": psim}
+
+
+class TestRankShards:
+    def test_processes_run_writes_one_shard_per_rank(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "processes")
+        shards = find_rank_shards(metrics)
+        assert sorted(shards) == [0, 1]
+        for rank, shard in shards.items():
+            records = [json.loads(line) for line in
+                       shard.read_text().splitlines()]
+            kinds = [r["kind"] for r in records]
+            assert kinds[0] == "rank_start"
+            assert kinds[-1] == "rank_end"
+            assert "rank_epoch" in kinds
+            assert all(r["rank"] == rank for r in records)
+        start = records[0]
+        assert start["schema"] == "repro-rank-stream/1"
+        assert start["backend"] == "processes"
+        assert start["ranks"] == 2
+
+    def test_shard_epoch_events_match_run_totals(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "processes")
+        total = 0
+        for shard in find_rank_shards(metrics).values():
+            for line in shard.read_text().splitlines():
+                record = json.loads(line)
+                if record["kind"] == "rank_epoch":
+                    total += record["events"]
+        assert total == extras["result"].events_executed
+
+    def test_manifest_records_backend_ranks_and_shards(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "processes")
+        manifest = extras["manifest"]
+        telemetry = manifest["telemetry"]
+        assert telemetry["backend"] == "processes"
+        assert telemetry["ranks"] == 2
+        assert len(telemetry["rank_shards"]) == 2
+        assert set(telemetry["rank_records"]) == {"0", "1"}
+        assert telemetry["rank_records"]["0"]["records"] > 0
+        assert manifest["engine"]["sync"]["strategy"] == "conservative"
+        # and the same inventory is in the on-disk copy
+        on_disk = json.loads(
+            metrics.with_name(metrics.name + ".manifest.json").read_text())
+        assert on_disk["telemetry"] == telemetry
+
+    def test_rank_counters_harvest_into_engine_stats(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "processes")
+        merged = extras["psim"].sync_stats()
+        assert merged["obs.rank_records"].count > 0
+        # parent-maintained sync stats survived the adoption
+        assert merged["sync.epochs"].count == 2 * extras["result"].epochs
+
+
+class TestBackendEquivalence:
+    def test_epoch_records_identical_shape_across_backends(self, tmp_path):
+        streams = {}
+        for backend in ALL_BACKENDS:
+            metrics, _ = run_with_metrics(tmp_path, backend,
+                                          name=f"{backend}.jsonl")
+            epochs = RunArtifacts(metrics).epochs
+            streams[backend] = [
+                (e["epoch"], tuple(e["window_ps"]), e["events"],
+                 e["exchanged"], tuple(e["per_rank_events"]))
+                for e in epochs
+            ]
+        assert streams["serial"] == streams["threads"] == streams["processes"]
+
+    def test_heartbeat_samples_delivered_on_every_backend(self, tmp_path):
+        for backend in ALL_BACKENDS:
+            metrics, _ = run_with_metrics(tmp_path, backend,
+                                          name=f"hb-{backend}.jsonl",
+                                          sample_every=10)
+            artifacts = RunArtifacts(metrics)
+            if backend == "processes":
+                samples = [r for records in artifacts.rank_records.values()
+                           for r in records if r["kind"] == "rank_sample"]
+                assert samples, "workers should heartbeat into their shards"
+                assert {s["rank"] for s in samples} == {0, 1}
+            else:
+                # in-process backends keep the parent's epoch telemetry
+                assert artifacts.epochs
+
+    def test_pipe_batches_reach_inmemory_recorder(self):
+        """Shard-less mode: a sink-less TelemetryRecorder still receives
+        rank-local records, shipped over the pipes with the steps."""
+        psim = build_parallel(traffic_graph(), 2, strategy="round_robin",
+                              seed=9, backend="processes")
+        telemetry = TelemetryRecorder(sample_every_events=10)
+        telemetry.attach(psim)
+        result = psim.run()
+        telemetry.finalize(result)
+        kinds = {r["kind"] for r in telemetry.records}
+        assert "rank_epoch" in kinds
+        by_rank = {r["rank"] for r in telemetry.records
+                   if r["kind"] == "rank_epoch"}
+        assert by_rank == {0, 1}
+
+    def test_profiler_counts_match_across_backends(self, tmp_path):
+        counts = {}
+        for backend in ALL_BACKENDS:
+            metrics, extras = run_with_metrics(tmp_path, backend,
+                                               name=f"prof-{backend}.jsonl",
+                                               profile=True)
+            rows = extras["profiler"].rows()
+            assert {row.rank for row in rows} == {0, 1}, backend
+            counts[backend] = sorted(
+                (row.rank, row.component, row.handler, row.event_type,
+                 row.count) for row in rows)
+            assert sum(row.count for row in rows) == \
+                extras["result"].events_executed, backend
+        assert counts["serial"] == counts["threads"] == counts["processes"]
+
+
+class TestObservabilityWarning:
+    def test_uncovered_observer_warns_once_with_name(self):
+        psim = build_parallel(traffic_graph(), 2, seed=9,
+                              backend="processes")
+        seen = []
+        psim.rank_sim(0).add_trace_observer(
+            lambda t, h, e: seen.append(t))
+        with pytest.warns(RankObservabilityWarning) as caught:
+            psim.run()
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "rank 0" in message
+        assert "obs merge" in message
+        assert not seen  # the observer's memory died with the worker
+
+    def test_plan_covered_instruments_do_not_warn(self, tmp_path):
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RankObservabilityWarning)
+            run_with_metrics(tmp_path, "processes", profile=True,
+                             chrome=True)
+
+
+class TestMerge:
+    def test_merged_trace_has_rank_lanes_and_sync_lane(self, tmp_path):
+        metrics, _ = run_with_metrics(tmp_path, "processes", chrome=True)
+        trace = merge_trace(RunArtifacts(metrics))
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {0, 1, 2}  # ranks + sync
+        sync_spans = [e for e in spans if e["pid"] == 2]
+        assert any(e["cat"] == "sync" for e in sync_spans)
+        assert any("lookahead_ps" in e.get("args", {}) for e in sync_spans)
+        rank_epochs = [e for e in spans
+                       if e["pid"] in (0, 1) and e["cat"] == "epoch"]
+        assert rank_epochs
+        assert all(e["ts"] >= 0 for e in spans)
+        # per-handler spans made it out of the workers and into lanes
+        handler_spans = [e for e in spans
+                        if e["pid"] in (0, 1) and e["cat"] != "epoch"]
+        assert handler_spans
+        assert trace["otherData"]["ranks"] == 2
+        assert trace["otherData"]["backend"] == "processes"
+
+    def test_merge_works_for_inprocess_backends_too(self, tmp_path):
+        metrics, _ = run_with_metrics(tmp_path, "serial")
+        trace = merge_trace(RunArtifacts(metrics))
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        # rank lanes synthesized from the parent's per-rank walls
+        assert {0, 1}.issubset({e["pid"] for e in spans})
+
+    def test_merge_deterministic_event_counts(self, tmp_path):
+        """Same seed => identical merged per-rank event counts."""
+        per_run = []
+        for attempt in range(2):
+            metrics, _ = run_with_metrics(tmp_path, "processes",
+                                          name=f"det-{attempt}.jsonl")
+            artifacts = RunArtifacts(metrics)
+            per_rank = {}
+            for rank, records in artifacts.rank_records.items():
+                per_rank[rank] = sum(r["events"] for r in records
+                                     if r["kind"] == "rank_epoch")
+            per_run.append(per_rank)
+        assert per_run[0] == per_run[1]
+        assert sum(per_run[0].values()) > 0
+
+
+class TestImbalance:
+    def test_every_epoch_attributed_to_a_bounding_rank(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "processes")
+        report = analyze(metrics)
+        assert report.epochs == extras["result"].epochs
+        assert len(report.attributions) == report.epochs
+        assert report.attributions  # >= 1 epoch attributed
+        assert all(a.bounding_rank in (0, 1) for a in report.attributions)
+        assert sum(r.epochs_bounded for r in report.ranks) == report.epochs
+        assert report.imbalance_factor >= 1.0
+        assert report.events_skew >= 1.0
+        critical = report.critical_rank
+        assert critical is not None and critical.epochs_bounded > 0
+
+    def test_rank_events_total_matches_run(self, tmp_path):
+        metrics, extras = run_with_metrics(tmp_path, "serial")
+        report = analyze(metrics)
+        assert sum(r.events for r in report.ranks) == \
+            extras["result"].events_executed
+
+    def test_text_report_names_backend_and_ranks(self, tmp_path):
+        metrics, _ = run_with_metrics(tmp_path, "processes")
+        text = analyze(metrics).report()
+        assert "backend=processes" in text
+        assert "critical rank:" in text
+        assert "imbalance factor:" in text
+        payload = analyze(metrics).as_dict()
+        assert payload["ranks"] == 2
+        assert payload["per_epoch"]
+
+
+class TestObsCli:
+    def test_merge_imbalance_report_roundtrip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        config = tmp_path / "machine.json"
+        save(traffic_graph(), config)
+        metrics = tmp_path / "cli.jsonl"
+        assert main(["run", str(config), "--ranks", "2",
+                     "--backend", "processes",
+                     "--metrics", str(metrics)]) == 0
+        assert main(["obs", "merge", str(metrics)]) == 0
+        merged = metrics.with_name(metrics.name + ".trace.json")
+        assert merged.exists()
+        trace = json.loads(merged.read_text())
+        assert trace["traceEvents"]
+        assert main(["obs", "imbalance", str(metrics),
+                     "--json", str(tmp_path / "imb.json")]) == 0
+        assert json.loads((tmp_path / "imb.json").read_text())["per_epoch"]
+        assert main(["obs", "report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "backend: processes" in out
+        assert "rank shards:" in out
