@@ -64,7 +64,7 @@ def clocked_fabric(queue, n_components, n_ticks):
 
 
 @pytest.mark.parametrize("queue", ["heap", "binned"])
-def test_eng1_pingpong_throughput(benchmark, queue, report):
+def test_eng1_pingpong_throughput(benchmark, queue, report, perf_fields):
     N_EVENTS = 20_000
 
     def run():
@@ -76,12 +76,13 @@ def test_eng1_pingpong_throughput(benchmark, queue, report):
     report(f"ENG-1 ping-pong [{queue}]: "
            f"{result.events_executed} events, "
            f"{result.events_per_second:,.0f} events/s")
+    perf_fields(result, workload="pingpong", queue=queue)
     assert result.reason == "exit"
     assert result.events_executed >= N_EVENTS
 
 
 @pytest.mark.parametrize("queue", ["heap", "binned"])
-def test_eng1_clocked_fabric_throughput(benchmark, queue, report):
+def test_eng1_clocked_fabric_throughput(benchmark, queue, report, perf_fields):
     N_COMPONENTS, N_TICKS = 200, 50
 
     def run():
@@ -92,6 +93,7 @@ def test_eng1_clocked_fabric_throughput(benchmark, queue, report):
     report(f"ENG-1 clocked fabric [{queue}]: "
            f"{result.events_executed} events, "
            f"{result.events_per_second:,.0f} events/s")
+    perf_fields(result, workload="clocked_fabric", queue=queue)
     assert result.reason == "exhausted"
     assert result.events_executed == N_COMPONENTS * N_TICKS
 

@@ -10,7 +10,7 @@ latency-bearing links.  Everything in :mod:`repro.processor`,
 
 from .backends import (BACKENDS, ExecutionBackend, JobPool, RankStep,
                        default_jobs, make_backend, make_job_pool)
-from .clock import Clock
+from .clock import Clock, ClockArbiter
 from .component import Component, stable_seed
 from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, PRIORITY_FINAL,
                     PRIORITY_STOP, PRIORITY_SYNC, CallbackEvent, Event,
@@ -36,6 +36,7 @@ __all__ = [
     "BinnedEventQueue",
     "CallbackEvent",
     "Clock",
+    "ClockArbiter",
     "Component",
     "ConservativeSync",
     "Counter",

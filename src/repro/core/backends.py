@@ -44,6 +44,7 @@ points in parallel.
 from __future__ import annotations
 
 import os
+import pickle
 import time as _wall_time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -89,8 +90,10 @@ class RankStep:
 
     wall_seconds: float
     events: int
-    #: cross-rank sends made during this window (undelivered)
-    outbox: List[OutboxEntry]
+    #: cross-rank sends made during this window (undelivered), batched
+    #: per destination rank: ``outbox[dest_rank] -> [OutboxEntry, ...]``.
+    #: Empty list when the rank sent nothing this window.
+    outbox: List[List[OutboxEntry]]
     #: earliest event still queued on this rank, or None when drained
     next_time: Optional[SimTime]
     #: primary components on this rank still holding the run open
@@ -101,6 +104,29 @@ class RankStep:
     #: alongside the step result (processes backend, shard-less mode);
     #: drained by the parent before the step reaches the sync strategy.
     obs_records: Optional[List[Dict[str, Any]]] = None
+
+
+def outbox_count(outbox: List[List[OutboxEntry]]) -> int:
+    """Total entries across a per-destination outbox (0 for empty)."""
+    if not outbox:
+        return 0
+    return sum(len(bucket) for bucket in outbox)
+
+
+def drain_outbox(psim: "ParallelSimulation", rank: int) -> List[List[OutboxEntry]]:
+    """Snapshot-and-clear ``rank``'s per-destination outbox.
+
+    Returns the per-destination nested lists when anything was sent this
+    window, or ``[]`` (falsy) when the rank was silent.  Buckets are
+    cleared in place — the sender closures hold references to them.
+    """
+    by_dest = psim._outboxes[rank]
+    if not any(by_dest):
+        return []
+    drained = [list(bucket) for bucket in by_dest]
+    for bucket in by_dest:
+        bucket.clear()
+    return drained
 
 
 def deliver_cross_rank(psim: "ParallelSimulation", rank: int,
@@ -184,10 +210,7 @@ class SerialBackend(ExecutionBackend):
         steps = []
         for rank, sim in enumerate(psim._sims):
             result = _timed_step(sim, epoch_end)
-            outbox = psim._outboxes[rank]
-            if outbox:
-                result.outbox = list(outbox)
-                outbox.clear()
+            result.outbox = drain_outbox(psim, rank)
             steps.append(result)
         return steps
 
@@ -225,16 +248,28 @@ class ThreadsBackend(ExecutionBackend):
                        for sim in psim._sims]
             steps = [f.result() for f in futures]  # re-raise worker exceptions
         for rank, result in enumerate(steps):
-            outbox = psim._outboxes[rank]
-            if outbox:
-                result.outbox = list(outbox)
-                outbox.clear()
+            result.outbox = drain_outbox(psim, rank)
         return steps
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+def _send_msg(conn, msg: Any) -> None:
+    """One pickled batch per pipe write (highest pickle protocol).
+
+    Every exchange message — the epoch's whole per-destination entry
+    batch included — crosses the pipe as a single ``send_bytes`` of one
+    pre-pickled buffer, rather than leaving framing and (older-protocol)
+    pickling to ``Connection.send``.
+    """
+    conn.send_bytes(pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
+
+
+def _recv_msg(conn) -> Any:
+    return pickle.loads(conn.recv_bytes())
 
 
 class ProcessesBackend(ExecutionBackend):
@@ -244,7 +279,7 @@ class ProcessesBackend(ExecutionBackend):
     worker owns one rank's :class:`Simulation` (inherited fully wired
     via fork) and runs its kernel windows on command.  Only exchanged
     events, step metadata and the final statistics harvest cross the
-    process boundary.
+    process boundary — each as one pickled batch per pipe write.
     """
 
     name = "processes"
@@ -323,7 +358,7 @@ class ProcessesBackend(ExecutionBackend):
     def step(self, epoch_end: SimTime,
              deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
         for conn, entries in zip(self._conns, deliveries):
-            conn.send(("step", epoch_end, entries))
+            _send_msg(conn, ("step", epoch_end, entries))
         steps = [self._recv(rank) for rank in range(self.psim.num_ranks)]
         plan = getattr(self.psim, "rank_plan", None)
         if plan is not None:
@@ -350,7 +385,7 @@ class ProcessesBackend(ExecutionBackend):
         if not self._procs:
             return
         for conn in self._conns:
-            conn.send(("finish",))
+            _send_msg(conn, ("finish",))
         for rank in range(self.psim.num_ranks):
             payload = self._recv(rank)
             sim = self.psim._sims[rank]
@@ -381,7 +416,7 @@ class ProcessesBackend(ExecutionBackend):
 
     def _recv(self, rank: int):
         try:
-            msg = self._conns[rank].recv()
+            msg = _recv_msg(self._conns[rank])
         except (EOFError, OSError) as exc:
             raise SimulationError(
                 f"rank {rank} worker process died unexpectedly"
@@ -393,7 +428,7 @@ class ProcessesBackend(ExecutionBackend):
     def close(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("close",))
+                _send_msg(conn, ("close",))
             except (OSError, ValueError, BrokenPipeError):
                 pass
             try:
@@ -458,21 +493,22 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
             recorder = None
     # Setup-time sends were captured by the parent at fork; drop the
     # inherited copies so they are not delivered twice.
-    for outbox in psim._outboxes:
-        outbox.clear()
+    for by_dest in psim._outboxes:
+        for bucket in by_dest:
+            bucket.clear()
 
     def send_error(exc: BaseException) -> None:
         try:
-            conn.send(("error", exc))
+            _send_msg(conn, ("error", exc))
         except Exception:  # unpicklable exception: ship the traceback text
-            conn.send(("error", SimulationError(
+            _send_msg(conn, ("error", SimulationError(
                 f"rank {rank} worker failed:\n{traceback.format_exc()}"
             )))
 
     try:
         while True:
             try:
-                msg = conn.recv()
+                msg = _recv_msg(conn)
             except (EOFError, OSError):
                 return
             cmd = msg[0]
@@ -484,17 +520,14 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                 except Exception as exc:
                     send_error(exc)
                     continue
-                outbox = psim._outboxes[rank]
-                if outbox:
-                    result.outbox = list(outbox)
-                    outbox.clear()
+                result.outbox = drain_outbox(psim, rank)
                 if recorder is not None:
                     try:
                         recorder.on_step(result, epoch_end)
                     except Exception:  # pragma: no cover - defensive
                         recorder = None
                 try:
-                    conn.send(("ok", result))
+                    _send_msg(conn, ("ok", result))
                 except Exception as exc:
                     send_error(SimulationError(
                         f"rank {rank}: a cross-rank event is not "
@@ -520,7 +553,7 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                         "last_event_time": sim.last_event_time,
                         "primaries_pending": sim.primaries_pending,
                     }
-                    conn.send(("ok", payload))
+                    _send_msg(conn, ("ok", payload))
                 except Exception as exc:
                     send_error(exc)
             elif cmd == "close":

@@ -9,11 +9,35 @@ and for keeping the pure-Python event loop affordable.
 A cancelled/paused clock can be reactivated with
 :meth:`Clock.reactivate`, which resumes on the *next* aligned cycle
 boundary so a clock that slept keeps its phase.
+
+Shared clock arbiter
+--------------------
+Real SST drives all same-frequency components from one shared tick
+source.  :class:`ClockArbiter` reproduces that: every clock with the
+same ``(period, priority, phase residue)`` shares ONE queue event per
+tick boundary, and the arbiter fires the registered handlers in
+registration order when it pops.  For a fabric of N same-frequency
+components this turns N heap pushes/pops per cycle into 1 — the single
+biggest win available to a pure-Python PDES core.
+
+Determinism: the arbiter's tick event is pushed at the same times and
+with the same priority as the per-clock tick events it replaces, so its
+``(time, priority, seq)`` tie-breaking against link events is
+bit-identical to the unshared scheme; within one boundary, handlers run
+in clock registration order, exactly as the per-clock events (pushed in
+registration order, hence ascending seq) used to.
+
+``cancel``/``reactivate`` stay O(1): cancel flips ``active`` (the
+arbiter skips inactive members), reactivate realigns the member's due
+time and at most re-arms the shared chain event.  The per-clock
+generation stamp semantics are preserved for standalone clocks (the
+arbiter can be disabled via ``Simulation(clock_arbiter=False)`` or the
+``REPRO_CLOCK_ARBITER=0`` environment knob).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from .event import PRIORITY_CLOCK, Event
 from .units import SimTime
@@ -39,20 +63,40 @@ class _ClockTickEvent(Event):
         self.generation = generation
 
 
+class _ArbiterTickEvent(Event):
+    """Shared tick token for one :class:`ClockArbiter` chain.
+
+    Carries the arbiter's generation stamp: re-arming the chain at an
+    earlier boundary (reactivate) bumps the generation, so the
+    superseded chain event left in the queue becomes a no-op — the same
+    stale-tick protocol standalone clocks use per clock.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: int):
+        self.generation = generation
+
+
 class Clock:
     """A recurring tick source bound to one handler.
 
     Created via :meth:`Simulation.register_clock`.  ``cycle`` counts
     handler invocations since registration (including while inactive the
     count does *not* advance — it is a tick count, not wall time).
+
+    With an arbiter the clock is a passive member: the arbiter owns the
+    queue event and calls the handler; without one the clock schedules
+    its own ``_tick`` chain (the pre-arbiter behaviour).
     """
 
     __slots__ = ("sim", "name", "period", "handler", "priority", "cycle",
-                 "active", "_next_tick", "_generation")
+                 "active", "_next_tick", "_generation", "_arbiter",
+                 "_in_arbiter")
 
     def __init__(self, sim: "Simulation", name: str, period: SimTime,
                  handler: ClockHandler, priority: int = PRIORITY_CLOCK,
-                 phase: SimTime = 0):
+                 phase: SimTime = 0, arbiter: Optional["ClockArbiter"] = None):
         if period <= 0:
             raise ValueError(f"clock {name!r}: period must be positive")
         if phase < 0:
@@ -67,7 +111,12 @@ class Clock:
         self._generation = 0
         first = sim.now + phase + period
         self._next_tick = first
-        sim._push(first, priority, self._tick, _ClockTickEvent(0))
+        self._arbiter = arbiter
+        self._in_arbiter = False
+        if arbiter is not None:
+            arbiter.add(self)
+        else:
+            sim._push(first, priority, self._tick, _ClockTickEvent(0))
 
     def _tick(self, event: _ClockTickEvent) -> None:
         if not self.active or event.generation != self._generation:
@@ -96,8 +145,11 @@ class Clock:
             behind = now - self._next_tick
             steps = behind // self.period + 1
             self._next_tick += steps * self.period
-        self.sim._push(self._next_tick, self.priority, self._tick,
-                       _ClockTickEvent(self._generation))
+        if self._arbiter is not None:
+            self._arbiter.rejoin(self)
+        else:
+            self.sim._push(self._next_tick, self.priority, self._tick,
+                           _ClockTickEvent(self._generation))
 
     @property
     def next_tick_time(self) -> SimTime:
@@ -106,3 +158,219 @@ class Clock:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else "stopped"
         return f"Clock({self.name!r}, period={self.period}ps, cycle={self.cycle}, {state})"
+
+
+class ClockArbiter:
+    """One shared tick chain driving all clocks of one (period, priority,
+    phase residue) class.
+
+    Owned by :class:`Simulation` (one per distinct key, created on
+    demand by ``register_clock``).  At most ONE ``_ArbiterTickEvent``
+    for this arbiter is live in the queue at any time; when it pops, the
+    arbiter fires every active member whose due time equals ``now`` (in
+    registration order), advances them by one period, and re-arms the
+    chain at the earliest due time of any active member.  Members whose
+    due time lies in the future (deferred phase starts, reactivations)
+    are simply skipped until their boundary comes up.
+
+    Invariant: while any member is active, the chain event is scheduled
+    at ``min(member due times)``; with no active members the chain goes
+    quiet and costs nothing until a reactivate re-arms it.
+    """
+
+    __slots__ = ("sim", "period", "priority", "name", "_members",
+                 "_generation", "_scheduled_time", "_dispatching",
+                 "_resched_hint")
+
+    def __init__(self, sim: "Simulation", period: SimTime, priority: int,
+                 name: str):
+        self.sim = sim
+        self.period = period
+        self.priority = priority
+        self.name = name
+        self._members: List[Clock] = []
+        self._generation = 0
+        #: time the live chain event is scheduled for (None = no chain)
+        self._scheduled_time: Optional[SimTime] = None
+        self._dispatching = False
+        #: earliest re-arm request made during a dispatch (see rejoin)
+        self._resched_hint: Optional[SimTime] = None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def active_members(self) -> int:
+        return sum(1 for clock in self._members if clock.active)
+
+    def add(self, clock: Clock) -> None:
+        """Register a new member (called from ``Clock.__init__``)."""
+        self._members.append(clock)
+        clock._in_arbiter = True
+        self._ensure_scheduled(clock._next_tick)
+
+    def rejoin(self, clock: Clock) -> None:
+        """Re-arm for a reactivated member (O(1) amortised).
+
+        A member compacted away while inactive re-enters at the end of
+        the member list, so its ordering within a shared boundary is by
+        reactivation time from then on — the same order a standalone
+        clock's freshly pushed tick event (with a later seq) would get.
+        """
+        if not clock._in_arbiter:
+            self._members.append(clock)
+            clock._in_arbiter = True
+        self._ensure_scheduled(clock._next_tick)
+
+    def _ensure_scheduled(self, when: SimTime) -> None:
+        """Guarantee the chain will pop at or before ``when``.
+
+        Inductively sufficient: every dispatch re-arms at the earliest
+        remaining due time, so a chain event at ``t <= when`` covers all
+        boundaries up to ``when``.
+        """
+        scheduled = self._scheduled_time
+        if scheduled is not None and scheduled <= when:
+            return  # covered by the live chain
+        if self._dispatching:
+            # The dispatch epilogue re-arms; just lower its bound.
+            hint = self._resched_hint
+            if hint is None or when < hint:
+                self._resched_hint = when
+            return
+        if scheduled is not None:
+            # A later chain event is live; supersede it (stale-generation
+            # protocol, same as standalone cancel/reactivate).
+            self._generation += 1
+        self._scheduled_time = when
+        self.sim._push(when, self.priority, self._dispatch,
+                       _ArbiterTickEvent(self._generation))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: _ArbiterTickEvent) -> None:
+        """Bare-path dispatch: fire due members, re-arm the chain.
+
+        The kernel counts the popped record as one executed event; the
+        extra ``fired - 1`` handler invocations are added to the
+        simulation's event counter here so ``events_executed`` keeps
+        meaning "handler deliveries", identical to per-clock scheduling.
+        """
+        if event.generation != self._generation:
+            return  # superseded chain event
+        sim = self.sim
+        now = sim.now
+        self._scheduled_time = None
+        self._dispatching = True
+        self._resched_hint = None
+        fired = 0
+        inactive = 0
+        next_due: Optional[SimTime] = None
+        period = self.period
+        try:
+            for clock in self._members:
+                if not clock.active:
+                    inactive += 1
+                    continue
+                due = clock._next_tick
+                if due == now:
+                    fired += 1
+                    clock.cycle += 1
+                    if clock.handler(clock.cycle) is True:
+                        clock.active = False
+                        inactive += 1
+                        continue
+                    due += period
+                    clock._next_tick = due
+                if next_due is None or due < next_due:
+                    next_due = due
+        finally:
+            self._dispatching = False
+        if fired > 1:
+            sim._events_executed += fired - 1
+        self._rearm(event, next_due, inactive)
+
+    def _dispatch_instrumented(self, event: _ArbiterTickEvent, traces,
+                               span_fns, perf) -> int:
+        """Observer-visible dispatch: one trace/span per fired member.
+
+        Called by the compiled ``Simulation._instr`` closure instead of
+        :meth:`_dispatch`, so observers see every member tick exactly as
+        they did under per-clock scheduling: the reported handler is the
+        member clock's bound ``_tick`` (which profiler/tracelog already
+        know how to attribute), one span per member with that member's
+        own measured duration.  Returns the number of members fired (the
+        heartbeat increment for this record).
+        """
+        if event.generation != self._generation:
+            return 0
+        sim = self.sim
+        now = sim.now
+        self._scheduled_time = None
+        self._dispatching = True
+        self._resched_hint = None
+        fired = 0
+        inactive = 0
+        next_due: Optional[SimTime] = None
+        period = self.period
+        try:
+            for clock in self._members:
+                if not clock.active:
+                    inactive += 1
+                    continue
+                due = clock._next_tick
+                if due == now:
+                    fired += 1
+                    label = clock._tick  # attribution target, not called
+                    for fn in traces:
+                        fn(now, label, event)
+                    clock.cycle += 1
+                    if span_fns:
+                        t0 = perf()
+                        done = clock.handler(clock.cycle)
+                        elapsed = perf() - t0
+                        for fn in span_fns:
+                            fn(now, label, event, elapsed)
+                    else:
+                        done = clock.handler(clock.cycle)
+                    if done is True:
+                        clock.active = False
+                        inactive += 1
+                        continue
+                    due += period
+                    clock._next_tick = due
+                if next_due is None or due < next_due:
+                    next_due = due
+        finally:
+            self._dispatching = False
+        if fired > 1:
+            sim._events_executed += fired - 1
+        self._rearm(event, next_due, inactive)
+        return fired
+
+    def _rearm(self, event: _ArbiterTickEvent, next_due: Optional[SimTime],
+               inactive: int) -> None:
+        hint = self._resched_hint
+        if hint is not None and (next_due is None or hint < next_due):
+            next_due = hint
+        members = self._members
+        if inactive and inactive * 2 > len(members):
+            # Compact once the dead weight dominates; removed members
+            # re-enter through rejoin() on reactivate.
+            live = [clock for clock in members if clock.active]
+            for clock in members:
+                if not clock.active:
+                    clock._in_arbiter = False
+            self._members = live
+        if next_due is not None:
+            self._scheduled_time = next_due
+            # Reuse the chain event object: same generation, one live
+            # chain event at a time.
+            event.generation = self._generation
+            self.sim._push(next_due, self.priority, self._dispatch, event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ClockArbiter({self.name!r}, period={self.period}ps, "
+                f"members={len(self._members)}, "
+                f"active={self.active_members})")

@@ -9,7 +9,7 @@ configuration bit-for-bit deterministic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from .units import SimTime
 
@@ -42,11 +42,33 @@ class Event:
         """
         cls = type(self)
         new = cls.__new__(cls)
-        for slot_holder in cls.__mro__:
-            for name in getattr(slot_holder, "__slots__", ()):
-                if hasattr(self, name):
-                    setattr(new, name, getattr(self, name))
+        try:
+            slots = _SLOTS_BY_CLASS[cls]
+        except KeyError:
+            slots = _collect_slots(cls)
+        for name in slots:
+            try:
+                setattr(new, name, getattr(self, name))
+            except AttributeError:
+                pass  # slot never assigned on the source
         return new
+
+
+#: Per-class flattened slot list, filled on first clone() — walking the
+#: MRO with hasattr/getattr per slot on every clone was O(mro x slots).
+_SLOTS_BY_CLASS: Dict[Type["Event"], Tuple[str, ...]] = {}
+
+
+def _collect_slots(cls: Type["Event"]) -> Tuple[str, ...]:
+    names: List[str] = []
+    for klass in cls.__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):  # __slots__ = "name" is legal
+            slots = (slots,)
+        names.extend(slots)
+    flattened = tuple(dict.fromkeys(names))  # dedupe, keep MRO order
+    _SLOTS_BY_CLASS[cls] = flattened
+    return flattened
 
 
 class NullEvent(Event):
@@ -120,3 +142,64 @@ class EventRecord:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EventRecord(t={self.time}, prio={self.priority}, seq={self.seq})"
+
+
+# ----------------------------------------------------------------------
+# EventRecord free-list pool
+# ----------------------------------------------------------------------
+# Allocation is a dominant cost of the pure-Python hot loop: every queued
+# delivery creates one EventRecord and drops it right after dispatch.
+# The kernel loops recycle records through this free list instead.
+#
+# Aliasing rule (see docs/PERFORMANCE.md): a record is released ONLY at
+# a point where no observer can still hold it — the bare (uninstrumented)
+# kernel paths release after dispatch; the instrumented path never
+# releases, because trace/span observers receive the record's fields and
+# may retain the event, and future observers could retain the record.
+#
+# Thread safety: list.append and list.pop are atomic under the GIL, so
+# concurrent rank threads (ThreadsBackend) may share the pool; the
+# acquire path tolerates losing a race with try/except IndexError.
+
+_RECORD_POOL: List[EventRecord] = []
+#: free-list size cap — beyond this, released records are left to the GC
+_RECORD_POOL_MAX = 8192
+
+
+def acquire_record(
+    time: SimTime,
+    priority: int,
+    seq: int,
+    handler: Optional[Handler],
+    event: Optional[Event],
+) -> EventRecord:
+    """A filled EventRecord, recycled from the free list when possible."""
+    try:
+        record = _RECORD_POOL.pop()
+    except IndexError:
+        return EventRecord(time, priority, seq, handler, event)
+    record.time = time
+    record.priority = priority
+    record.seq = seq
+    record.handler = handler
+    record.event = event
+    return record
+
+
+def release_record(record: EventRecord) -> None:
+    """Return a dispatched record to the free list.
+
+    Callers must guarantee nothing else references the record (the
+    aliasing rule above).  Handler/event are cleared so the pool never
+    pins components or payloads live.
+    """
+    record.handler = None
+    record.event = None
+    pool = _RECORD_POOL
+    if len(pool) < _RECORD_POOL_MAX:
+        pool.append(record)
+
+
+def record_pool_size() -> int:
+    """Current free-list length (introspection for tests/diagnostics)."""
+    return len(_RECORD_POOL)

@@ -21,7 +21,7 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-from .event import Event, EventRecord, Handler
+from .event import Event, EventRecord, Handler, acquire_record
 from .units import SimTime
 
 
@@ -70,7 +70,7 @@ class HeapEventQueue(EventQueueBase):
         handler: Optional[Handler],
         event: Optional[Event],
     ) -> EventRecord:
-        record = EventRecord(time, priority, self._seq, handler, event)
+        record = acquire_record(time, priority, self._seq, handler, event)
         self._seq += 1
         heapq.heappush(self._heap, record)
         return record
@@ -137,7 +137,7 @@ class BinnedEventQueue(EventQueueBase):
         handler: Optional[Handler],
         event: Optional[Event],
     ) -> EventRecord:
-        record = EventRecord(time, priority, self._seq, handler, event)
+        record = acquire_record(time, priority, self._seq, handler, event)
         self._seq += 1
         self.push_record(record)
         return record

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
 
 from . import units
+from .event import release_record
 from .units import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +86,17 @@ def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
     This is the full-service loop behind :meth:`Simulation.run`; the
     stop reason is one of ``exhausted``, ``exit``, ``max_time``,
     ``max_events`` or ``stopped``.
+
+    The dispatch mode is precomputed at entry (hot-path contract): with
+    no observers installed the loop runs *bare* — hoisted queue
+    bindings, no per-event attribute probing, dispatched records
+    recycled through the event-record pool.  Observers attached
+    mid-run from inside a handler therefore take effect at the next
+    ``run()``/``run_step()`` call in bare mode; removing the last
+    observer mid-run is honoured immediately (the instrumented loop
+    re-probes and falls through to the bare loop).  Records dispatched
+    while instrumented are never pooled — observers may retain them
+    (see docs/PERFORMANCE.md, the observer-vs-pool aliasing rule).
     """
     from .simulation import RunResult, SimulationError
 
@@ -95,41 +107,119 @@ def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
     limit = ctx.limit
     sim._running = True
     sim._stop_requested = False
-    reason = "exhausted"
+    reason = None
     start_wall = _wall_time.perf_counter()
     start_events = sim._events_executed
+    # Hoisted loop state: queue methods, limits, and the precomputed
+    # dispatch conditions (exit protocol on/off, events budget).
     queue = sim._queue
+    peek = queue.peek_time
+    pop = queue.pop
+    release = release_record
+    check_exit = not ctx.ignore_exit and bool(sim._primary_components)
+    # Records budget (max_events counts popped records, as before);
+    # float("inf") turns "no budget" into a single cheap comparison.
+    budget = ctx.max_events if ctx.max_events is not None else float("inf")
+    records = 0
     try:
-        while queue:
-            next_time = queue.peek_time()
-            if limit is not None and next_time is not None and next_time > limit:
-                reason = "max_time"
-                sim.now = limit
-                break
-            record = queue.pop()
-            sim.now = record.time
-            sim.last_event_time = record.time
-            # Counted before dispatch so heartbeat/telemetry
-            # callbacks observe the event that triggered them.
-            sim._events_executed += 1
-            instr = sim._instr
-            if instr is not None:
-                instr(record)
+        while reason is None:
+            if sim._instr is not None:
+                # ---------------- instrumented loop -----------------
+                # Identical per-event semantics to the pre-optimisation
+                # loop: per-event _instr probe (observers may detach
+                # mid-run), records counted on sim directly, no pooling.
+                while True:
+                    instr = sim._instr
+                    if instr is None:
+                        break  # last observer detached: go bare
+                    next_time = peek()
+                    if next_time is None:
+                        reason = "exhausted"
+                        break
+                    if limit is not None and next_time > limit:
+                        reason = "max_time"
+                        sim.now = limit
+                        break
+                    record = pop()
+                    sim.now = next_time
+                    sim.last_event_time = next_time
+                    # Counted before dispatch so heartbeat/telemetry
+                    # callbacks observe the event that triggered them.
+                    sim._events_executed += 1
+                    records += 1
+                    instr(record)
+                    if sim._stop_requested:
+                        reason = "stopped"
+                        break
+                    if check_exit and sim._primaries_pending == 0:
+                        reason = "exit"
+                        break
+                    if records >= budget:
+                        reason = "max_events"
+                        break
+            elif limit is None:
+                # ---------------- bare loop, no time limit ----------
+                executed = 0
+                try:
+                    while True:
+                        try:
+                            record = pop()
+                        except IndexError:
+                            reason = "exhausted"
+                            break
+                        now = record.time
+                        sim.now = now
+                        sim.last_event_time = now
+                        executed += 1
+                        handler = record.handler
+                        if handler is not None:
+                            handler(record.event)
+                        release(record)
+                        if sim._stop_requested:
+                            reason = "stopped"
+                            break
+                        if check_exit and sim._primaries_pending == 0:
+                            reason = "exit"
+                            break
+                        if executed + records >= budget:
+                            reason = "max_events"
+                            break
+                finally:
+                    records += executed
+                    sim._events_executed += executed
             else:
-                handler = record.handler
-                if handler is not None:
-                    handler(record.event)
-            if sim._stop_requested:
-                reason = "stopped"
-                break
-            if (not ctx.ignore_exit and sim._primary_components
-                    and sim._primaries_pending == 0):
-                reason = "exit"
-                break
-            if ctx.max_events is not None and \
-                    sim._events_executed - start_events >= ctx.max_events:
-                reason = "max_events"
-                break
+                # ---------------- bare loop, time limit -------------
+                executed = 0
+                try:
+                    while True:
+                        next_time = peek()
+                        if next_time is None:
+                            reason = "exhausted"
+                            break
+                        if next_time > limit:
+                            reason = "max_time"
+                            sim.now = limit
+                            break
+                        record = pop()
+                        sim.now = next_time
+                        sim.last_event_time = next_time
+                        executed += 1
+                        handler = record.handler
+                        if handler is not None:
+                            handler(record.event)
+                        release(record)
+                        if sim._stop_requested:
+                            reason = "stopped"
+                            break
+                        if check_exit and sim._primaries_pending == 0:
+                            reason = "exit"
+                            break
+                        if executed + records >= budget:
+                            reason = "max_events"
+                            break
+                finally:
+                    records += executed
+                    sim._events_executed += executed
     finally:
         sim._running = False
     wall = _wall_time.perf_counter() - start_wall
@@ -155,26 +245,49 @@ def kernel_step(sim: "Simulation", until: SimTime) -> int:
     executed; afterwards ``sim.now == max(until, last event time)``.
     """
     queue = sim._queue
-    executed = 0
-    while queue:
-        next_time = queue.peek_time()
-        if next_time is None or next_time > until:
-            break
-        record = queue.pop()
-        sim.now = record.time
-        sim.last_event_time = record.time
-        executed += 1
-        sim._events_executed += 1
-        instr = sim._instr
-        if instr is not None:
-            instr(record)
-        else:
-            handler = record.handler
-            if handler is not None:
-                handler(record.event)
+    peek = queue.peek_time
+    pop = queue.pop
+    release = release_record
+    start_executed = sim._events_executed
+    if sim._instr is not None:
+        # Instrumented window: per-event probe (observers may detach
+        # mid-window), no record pooling — observers may retain records.
+        while True:
+            next_time = peek()
+            if next_time is None or next_time > until:
+                break
+            record = pop()
+            sim.now = next_time
+            sim.last_event_time = next_time
+            sim._events_executed += 1
+            instr = sim._instr
+            if instr is not None:
+                instr(record)
+            else:
+                handler = record.handler
+                if handler is not None:
+                    handler(record.event)
+    else:
+        # Bare window: hoisted bindings, dispatched records recycled.
+        count = 0
+        try:
+            while True:
+                next_time = peek()
+                if next_time is None or next_time > until:
+                    break
+                record = pop()
+                sim.now = next_time
+                sim.last_event_time = next_time
+                count += 1
+                handler = record.handler
+                if handler is not None:
+                    handler(record.event)
+                release(record)
+        finally:
+            sim._events_executed += count
     if sim.now < until:
         sim.now = until
-    return executed
+    return sim._events_executed - start_executed
 
 
 def harvest_stats(sim: "Simulation") -> Dict[str, Dict[str, Any]]:

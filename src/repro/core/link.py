@@ -95,16 +95,21 @@ class LinkEndpoint:
         """
         if extra_delay < 0:
             raise LinkError("extra_delay must be non-negative")
-        when = self._sim.now + self.link.latency + extra_delay
-        if self._remote_send is not None:
-            self._remote_send(when, priority, event)
+        sim = self._sim
+        when = sim.now + self.link.latency + extra_delay
+        remote = self._remote_send
+        if remote is not None:
+            remote(when, priority, event)
         else:
-            if self.peer_port is None:
+            peer = self.peer_port
+            if peer is None:
                 raise LinkError(
                     f"send on half-connected link {self.link.name!r} "
                     f"from port {self.local_port.full_name()!r}"
                 )
-            self._sim._push(when, priority, self.peer_port.deliver, event)
+            # Inlined sim._push: latency >= 1 and extra_delay >= 0
+            # guarantee when > now, so the past-check is unnecessary.
+            sim._queue.push(when, priority, peer.deliver, event)
         return when
 
     def set_remote(self, sender: Callable[[SimTime, int, Event], None]) -> None:

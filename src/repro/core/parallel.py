@@ -37,7 +37,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from . import units
-from .backends import BACKENDS, ExecutionBackend, RankStep, make_backend
+from .backends import (BACKENDS, ExecutionBackend, RankStep, make_backend,
+                       outbox_count)
 from .component import Component
 from .event import Event, EventRecord
 from .link import Link, LinkError, Port
@@ -194,12 +195,16 @@ class ParallelSimulation:
                 "remote_sends": es.counter("sync.remote_sends"),
             })
         self._epoch_observers: List[Callable[[EpochInfo], None]] = []
-        # outboxes[src_rank] = list of (time, priority, link_id, dest_rank,
-        #                               send_seq, event)
-        self._outboxes: List[List[Tuple[SimTime, int, int, int, int, Event]]] = [
-            [] for _ in range(num_ranks)
+        # outboxes[src_rank][dest_rank] = list of (time, priority, link_id,
+        # dest_rank, send_seq, event) — batched per destination so each
+        # epoch flushes one batch per receiving rank (one pickled pipe
+        # write under the processes backend) instead of per-event sends.
+        self._outboxes: List[List[List[Tuple[SimTime, int, int, int, int, Event]]]] = [
+            [[] for _ in range(num_ranks)] for _ in range(num_ranks)
         ]
-        self._send_seq = [0] * num_ranks
+        # One mutable cell per source rank so sender closures bump the
+        # shared per-rank sequence without attribute traffic on self.
+        self._send_seq: List[List[int]] = [[0] for _ in range(num_ranks)]
         self._cross_links: Dict[int, _CrossRankLink] = {}
         self._next_link_id = 0
         #: epoch-window / exchange policy (layer 2)
@@ -264,12 +269,16 @@ class ParallelSimulation:
         self._sync.note_cross_link(lat)
 
     def _make_remote_sender(self, src_rank: int, dest_rank: int, link_id: int):
-        outbox = self._outboxes[src_rank]
+        # Hot path: capture the destination bucket's append and the
+        # source rank's sequence cell directly — the closure touches no
+        # attributes of self per send.
+        append = self._outboxes[src_rank][dest_rank].append
+        seq_cell = self._send_seq[src_rank]
 
         def sender(when: SimTime, priority: int, event: Event) -> None:
-            seq = self._send_seq[src_rank]
-            self._send_seq[src_rank] = seq + 1
-            outbox.append((when, priority, link_id, dest_rank, seq, event))
+            seq = seq_cell[0]
+            seq_cell[0] = seq + 1
+            append((when, priority, link_id, dest_rank, seq, event))
 
         return sender
 
@@ -312,11 +321,15 @@ class ParallelSimulation:
     def _drain_outboxes(self) -> None:
         """Hand undelivered outbox entries (setup-time sends) to the
         sync strategy, recording per-rank remote-send statistics."""
-        for rank, outbox in enumerate(self._outboxes):
-            if outbox:
-                self._sync_stats[rank]["remote_sends"].add(len(outbox))
-                self._sync.add_pending(list(outbox))
-                outbox.clear()
+        for rank, by_dest in enumerate(self._outboxes):
+            total = 0
+            for bucket in by_dest:
+                if bucket:
+                    total += len(bucket)
+                    self._sync.add_pending(list(bucket))
+                    bucket.clear()
+            if total:
+                self._sync_stats[rank]["remote_sends"].add(total)
 
     def _primaries_exist(self) -> bool:
         return any(sim._primary_components for sim in self._sims)
@@ -425,8 +438,9 @@ class ParallelSimulation:
                         stats["epoch_events"].add(per_rank_ev[r])
                         stats["exec_s"].add(per_rank_wall[r])
                         stats["barrier_wait_s"].add(waited)
-                        if steps[r].outbox:
-                            stats["remote_sends"].add(len(steps[r].outbox))
+                        sent = outbox_count(steps[r].outbox)
+                        if sent:
+                            stats["remote_sends"].add(sent)
                     if self._epoch_observers:
                         info = EpochInfo(
                             index=epochs,

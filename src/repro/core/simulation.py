@@ -17,14 +17,15 @@ of this from a :class:`~repro.config.graph.ConfigGraph` instead)::
 
 from __future__ import annotations
 
+import os
 import time as _wall_time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from . import units
-from .clock import Clock, ClockHandler
+from .clock import Clock, ClockArbiter, ClockHandler, _ArbiterTickEvent
 from .component import Component
 from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, CallbackEvent, Event,
                     EventRecord, Handler)
@@ -88,12 +89,19 @@ class Simulation:
         sequential and parallel statistics bit-identical.
     verbose:
         Enables :meth:`Component.debug` tracing.
+    clock_arbiter:
+        Share one tick chain among same-(period, priority, phase) clocks
+        (see :class:`~repro.core.clock.ClockArbiter`).  Default
+        ``None`` reads the ``REPRO_CLOCK_ARBITER`` environment knob
+        (enabled unless set to ``0``/``off``/``false``/``no``); pass
+        ``True``/``False`` to force it.
     """
 
     def __init__(self, *, queue: str = "heap", seed: int = 1, rank: int = 0,
                  num_ranks: int = 1, rank_seed: Optional[int] = None,
                  verbose: bool = False,
-                 queue_kwargs: Optional[Dict[str, Any]] = None):
+                 queue_kwargs: Optional[Dict[str, Any]] = None,
+                 clock_arbiter: Optional[bool] = None):
         self.now: SimTime = 0
         self.seed = seed
         self.rank = rank
@@ -110,6 +118,15 @@ class Simulation:
         self._components: Dict[str, Component] = {}
         self._links: List[Link] = []
         self._clocks: List[Clock] = []
+        if clock_arbiter is None:
+            clock_arbiter = os.environ.get(
+                "REPRO_CLOCK_ARBITER", "1").strip().lower() not in (
+                    "0", "off", "false", "no")
+        #: shared-tick-chain mode (see ClockArbiter); resolved once here
+        #: so forked rank workers inherit the parent's choice.
+        self.clock_arbiter_enabled = bool(clock_arbiter)
+        #: one arbiter per (period, priority, phase residue) clock class
+        self._arbiters: Dict[Tuple[SimTime, int, SimTime], ClockArbiter] = {}
         self._setup_done = False
         self._finished = False
         self._running = False
@@ -221,9 +238,27 @@ class Simulation:
     def register_clock(self, freq: Any, handler: ClockHandler, *,
                        name: str = "clock", priority: int = PRIORITY_CLOCK,
                        phase: SimTime = 0) -> Clock:
-        """Register a periodic handler at ``freq`` (string like ``"2GHz"``)."""
+        """Register a periodic handler at ``freq`` (string like ``"2GHz"``).
+
+        In arbiter mode (the default) clocks sharing a
+        ``(period, priority, phase residue)`` class ride one shared tick
+        chain — one queue event per boundary instead of one per clock —
+        with handlers fired in registration order (see
+        :class:`~repro.core.clock.ClockArbiter`).
+        """
         period = units.freq_to_period(freq) if not isinstance(freq, int) else freq
-        clock = Clock(self, name, period, handler, priority=priority, phase=phase)
+        arbiter = None
+        if self.clock_arbiter_enabled and period > 0:
+            first = self.now + phase + period
+            key = (period, priority, first % period)
+            arbiter = self._arbiters.get(key)
+            if arbiter is None:
+                arbiter = ClockArbiter(
+                    self, period, priority,
+                    name=f"{period}ps/p{priority}/r{first % period}")
+                self._arbiters[key] = arbiter
+        clock = Clock(self, name, period, handler, priority=priority,
+                      phase=phase, arbiter=arbiter)
         self._clocks.append(clock)
         return clock
 
@@ -403,19 +438,29 @@ class Simulation:
             time = record.time
             handler = record.handler
             event = record.event
-            for fn in traces:
-                fn(time, handler, event)
-            if span_fns:
-                t0 = perf()
-                if handler is not None:
+            if type(event) is _ArbiterTickEvent:
+                # Shared clock chain: let the arbiter fire its members
+                # with per-member trace/span calls, so observers see
+                # every clock tick exactly as under per-clock
+                # scheduling.  Heartbeats advance by the member count.
+                fired = handler.__self__._dispatch_instrumented(
+                    event, traces, span_fns, perf)
+                count = fired if fired > 0 else 1
+            else:
+                for fn in traces:
+                    fn(time, handler, event)
+                if span_fns:
+                    t0 = perf()
+                    if handler is not None:
+                        handler(event)
+                    elapsed = perf() - t0
+                    for fn in span_fns:
+                        fn(time, handler, event, elapsed)
+                elif handler is not None:
                     handler(event)
-                elapsed = perf() - t0
-                for fn in span_fns:
-                    fn(time, handler, event, elapsed)
-            elif handler is not None:
-                handler(event)
+                count = 1
             for i, (fn, every) in enumerate(heartbeats):
-                n = hb_counts[i] + 1
+                n = hb_counts[i] + count
                 if n >= every:
                     hb_counts[i] = 0
                     fn(sim)

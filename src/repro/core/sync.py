@@ -93,9 +93,11 @@ class ConservativeSync(SyncStrategy):
 
     def __init__(self) -> None:
         self._lookahead: Optional[SimTime] = None
-        #: undelivered cross-rank sends (setup-time sends land here
-        #: before the first epoch; epoch outboxes via absorb()).
-        self.pending: List[OutboxEntry] = []
+        #: undelivered cross-rank sends, keyed by destination rank
+        #: (setup-time sends land here before the first epoch; epoch
+        #: outboxes via absorb()).  Kept per destination so the exchange
+        #: sort and the pipe writes are one batch per receiving rank.
+        self.pending: Dict[int, List[OutboxEntry]] = {}
         #: per-rank earliest queued event, refreshed each epoch.
         self.next_times: List[Optional[SimTime]] = []
 
@@ -119,7 +121,14 @@ class ConservativeSync(SyncStrategy):
     # epoch-window computation
     # ------------------------------------------------------------------
     def add_pending(self, entries: List[OutboxEntry]) -> None:
-        self.pending.extend(entries)
+        pending = self.pending
+        for entry in entries:
+            dest = entry[3]
+            bucket = pending.get(dest)
+            if bucket is None:
+                pending[dest] = [entry]
+            else:
+                bucket.append(entry)
 
     def global_min(self) -> float:
         """Earliest pending work anywhere: queued events or undelivered sends."""
@@ -127,9 +136,10 @@ class ConservativeSync(SyncStrategy):
         for t in self.next_times:
             if t is not None and t < lowest:
                 lowest = t
-        for entry in self.pending:
-            if entry[0] < lowest:
-                lowest = entry[0]
+        for bucket in self.pending.values():
+            for entry in bucket:
+                if entry[0] < lowest:
+                    lowest = entry[0]
         return lowest
 
     def window_end(self, global_min: SimTime,
@@ -147,24 +157,43 @@ class ConservativeSync(SyncStrategy):
     def exchange(self, num_ranks: int) -> Tuple[List[List[OutboxEntry]], int]:
         """Deterministically order pending sends, split per destination.
 
-        Entries stay sorted on the global ``(time, priority, link_id,
+        Entries are sorted on the global ``(time, priority, link_id,
         send_seq)`` key inside each destination list, so the receiving
         queue assigns local sequence numbers in a backend-independent
-        order.
+        order.  Sorting each destination bucket separately is equivalent
+        to the historical sort-then-split of one flat list: splitting is
+        stable, so the per-destination order of a globally sorted list
+        is exactly the bucket sorted on the same key.
         """
         deliveries: List[List[OutboxEntry]] = [[] for _ in range(num_ranks)]
         if not self.pending:
             return deliveries, 0
-        self.pending.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
-        for entry in self.pending:
-            deliveries[entry[3]].append(entry)
-        exchanged = len(self.pending)
-        self.pending = []
+        exchanged = 0
+        for dest, bucket in self.pending.items():
+            bucket.sort(key=lambda e: (e[0], e[1], e[2], e[4]))
+            deliveries[dest] = bucket
+            exchanged += len(bucket)
+        self.pending = {}
         return deliveries, exchanged
 
     def absorb(self, steps) -> None:
-        """Fold one epoch's per-rank results back into the policy state."""
+        """Fold one epoch's per-rank results back into the policy state.
+
+        ``step.outbox`` is per destination rank (see
+        :class:`~repro.core.backends.RankStep`); buckets merge into the
+        matching pending bucket.
+        """
         self.next_times = [step.next_time for step in steps]
+        pending = self.pending
         for step in steps:
-            if step.outbox:
-                self.pending.extend(step.outbox)
+            outbox = step.outbox
+            if not outbox:
+                continue
+            for dest, entries in enumerate(outbox):
+                if not entries:
+                    continue
+                bucket = pending.get(dest)
+                if bucket is None:
+                    pending[dest] = list(entries)
+                else:
+                    bucket.extend(entries)

@@ -40,6 +40,8 @@ def describe_handler(handler) -> str:
         return owner.full_name()
     if type_name == "Clock":
         return f"clock:{owner.name}"
+    if type_name == "ClockArbiter":
+        return f"arbiter:{owner.name}"
     owner_name = getattr(owner, "name", type_name)
     return f"{owner_name}.{name}"
 

@@ -19,6 +19,7 @@ uses an integer core time base).
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Union
 
 # Simulated time: integer picoseconds.
@@ -93,6 +94,11 @@ def parse_time(value: Union[str, int, float], default_unit: str = "ps") -> SimTi
     Bare numbers are interpreted in ``default_unit``.  The result is
     rounded to the nearest picosecond; sub-picosecond quantities raise.
 
+    The string path is memoized (:func:`functools.lru_cache`): the same
+    handful of latency/period strings is parsed per config-graph edge
+    during builds and per ``RunContext.for_sim``, so repeat parses are a
+    dict hit instead of a regex match.
+
     >>> parse_time("1ns")
     1000
     >>> parse_time("2.5us")
@@ -100,19 +106,34 @@ def parse_time(value: Union[str, int, float], default_unit: str = "ps") -> SimTi
     """
     if isinstance(value, (int, float)) and not isinstance(value, bool):
         number, unit = float(value), default_unit
-    else:
-        number, unit = _split(str(value))
-        unit = unit or default_unit
+        try:
+            scale = _TIME_SUFFIX[unit.lower()]
+        except KeyError:
+            raise UnitError(f"unknown time unit {unit!r} in {value!r}") from None
+        ps = number * scale
+        result = int(round(ps))
+        if ps > 0 and result == 0:
+            raise UnitError(f"time {value!r} is below the 1 ps core resolution")
+        if result < 0:
+            raise UnitError(f"time {value!r} is negative")
+        return result
+    return _parse_time_str(str(value), default_unit)
+
+
+@lru_cache(maxsize=4096)
+def _parse_time_str(text: str, default_unit: str) -> SimTime:
+    number, unit = _split(text)
+    unit = unit or default_unit
     try:
         scale = _TIME_SUFFIX[unit.lower()]
     except KeyError:
-        raise UnitError(f"unknown time unit {unit!r} in {value!r}") from None
+        raise UnitError(f"unknown time unit {unit!r} in {text!r}") from None
     ps = number * scale
     result = int(round(ps))
     if ps > 0 and result == 0:
-        raise UnitError(f"time {value!r} is below the 1 ps core resolution")
+        raise UnitError(f"time {text!r} is below the 1 ps core resolution")
     if result < 0:
-        raise UnitError(f"time {value!r} is negative")
+        raise UnitError(f"time {text!r} is negative")
     return result
 
 

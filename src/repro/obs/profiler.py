@@ -53,6 +53,11 @@ def _owner_of(fn, fallback_kind: str) -> Tuple[str, str]:
     if type_name == "Clock":
         # Clock names are "<component>.clock" by convention.
         return owner.name.split(".", 1)[0], f"clock:{owner.name}"
+    if type_name == "ClockArbiter":
+        # Normally unseen: the instrumented dispatch reports per-member
+        # clock handlers.  Shows up only if an arbiter record is handed
+        # to attribution directly (e.g. a raw queue inspection).
+        return "<engine>", f"arbiter:{owner.name}"
     return getattr(owner, "name", type_name), name
 
 

@@ -305,6 +305,8 @@ class RankRecorder:
     # ------------------------------------------------------------------
     def on_step(self, step: Any, epoch_end: int) -> None:
         """Record one executed epoch window; attach pending pipe batch."""
+        from ..core.backends import outbox_count
+
         end = _wall_time.perf_counter()
         self._emit({
             "kind": "rank_epoch",
@@ -313,7 +315,7 @@ class RankRecorder:
             "mono_s": end - step.wall_seconds,
             "wall_s": step.wall_seconds,
             "events": step.events,
-            "sent": len(step.outbox),
+            "sent": outbox_count(step.outbox),
             "window_end_ps": epoch_end,
             "sim_ps": step.now,
         })

@@ -1,0 +1,165 @@
+"""Determinism regression tests for the PR 4 hot-path optimisations.
+
+The shared-clock arbiter, the event-record pool and the batched
+cross-rank exchange all rewrite hot paths whose *correctness contract*
+is deterministic execution order: identical builds must pop identical
+``(time, priority, seq)`` sequences and land on identical statistics,
+on every execution backend.  These tests pin that contract with a mixed
+clocked+link workload:
+
+* run-to-run: the same partitioned graph, run twice per backend, yields
+  bit-identical per-rank pop traces (serial/threads, where the rank
+  engines are observable in-process) and bit-identical final stats
+  (all three backends, including processes where the trace stays in the
+  forked workers);
+* cross-backend: serial and threads produce the *same* trace, and every
+  backend produces the same stats;
+* arbiter ablation: arbiter-on and arbiter-off runs of one sequential
+  simulation agree on everything observable — stats, end time, executed
+  events, and the ordered non-tick event sequence — even though their
+  internal tick bookkeeping records differ by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConfigGraph, build, build_parallel
+from repro.core.backends import BACKENDS
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+class RecordingQueue:
+    """Transparent event-queue proxy that logs every pop.
+
+    The kernel hoists ``sim._queue``/``.pop`` once per run, so installing
+    the proxy before ``run()`` captures the full execution order.  The
+    ``(time, priority, seq)`` triple is copied out immediately — pooled
+    records are recycled after dispatch, the tuples are not.
+    """
+
+    def __init__(self, inner, trace):
+        self._inner = inner
+        self.trace = trace
+
+    def pop(self):
+        record = self._inner.pop()
+        self.trace.append((record.time, record.priority, record.seq,
+                           type(record.event).__name__))
+        return record
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    def __bool__(self):
+        return bool(self._inner)
+
+
+def mixed_graph() -> ConfigGraph:
+    """Clocked + link-event workload with cross-rank traffic when split."""
+    graph = ConfigGraph("determinism")
+    graph.component("ping", "testlib.PingPong",
+                    {"initiator": True, "n_round_trips": 40})
+    graph.component("pong", "testlib.PingPong", {})
+    graph.link("ping", "io", "pong", "io", latency="3ns")
+    graph.component("src", "testlib.Source", {"count": 25, "period": "2ns"})
+    graph.component("sink", "testlib.Sink", {})
+    graph.link("src", "out", "sink", "in", latency="4ns")
+    # Same-frequency clocks land in one shared arbiter; the 500 MHz one
+    # gets its own, so both arbiter code paths run.
+    for i in range(4):
+        graph.component(f"clk{i}", "testlib.Clocked",
+                        {"clock": "1GHz", "n_ticks": 120})
+    graph.component("slow", "testlib.Clocked",
+                    {"clock": "500MHz", "n_ticks": 60})
+    return graph
+
+
+def run_parallel_traced(backend: str):
+    """One 2-rank run; returns (per-rank traces, stats, result tuple)."""
+    psim = build_parallel(mixed_graph(), 2, strategy="round_robin",
+                          seed=7, backend=backend)
+    traces = []
+    for rank in range(psim.num_ranks):
+        sim = psim.rank_sim(rank)
+        sim._queue = RecordingQueue(sim._queue, [])
+        traces.append(sim._queue.trace)
+    result = psim.run()
+    summary = (result.reason, result.end_time, result.events_executed,
+               result.epochs, result.remote_events)
+    return traces, psim.stat_values(), summary
+
+
+class TestThreeBackendDeterminism:
+    def test_run_to_run_traces_and_stats(self):
+        """PR 4 acceptance: two runs per backend, identical
+        (time, priority, seq) traces and identical final stats."""
+        runs = {}
+        for backend in ALL_BACKENDS:
+            first = run_parallel_traced(backend)
+            second = run_parallel_traced(backend)
+            if backend == "processes":
+                # Rank engines execute in forked workers: the in-process
+                # trace stays empty there, so the run-to-run contract is
+                # pinned through stats + the result summary instead.
+                assert first[1] == second[1], backend
+                assert first[2] == second[2], backend
+            else:
+                assert first == second, backend
+            runs[backend] = first
+        # Cross-backend: identical stats and result summary everywhere,
+        # identical per-rank traces wherever they are observable.
+        for backend in ALL_BACKENDS:
+            assert runs[backend][1] == runs["serial"][1], backend
+            assert runs[backend][2] == runs["serial"][2], backend
+        assert runs["threads"][0] == runs["serial"][0]
+
+    def test_trace_is_nonempty_and_ordered(self):
+        """Sanity on the harness itself: the proxy actually records, and
+        pops come out in nondecreasing (time, priority, seq) order per
+        rank."""
+        traces, stats, summary = run_parallel_traced("serial")
+        assert summary[0] == "exit"
+        for trace in traces:
+            assert len(trace) > 100
+            keys = [entry[:3] for entry in trace]
+            assert keys == sorted(keys)
+        assert any(name == "_ArbiterTickEvent"
+                   for trace in traces for (_, _, _, name) in trace)
+
+
+class TestArbiterAblationEquivalence:
+    def test_sequential_observables_identical(self, monkeypatch):
+        """Arbiter on vs off: same stats, end time, executed-event count
+        and ordered non-tick event stream.  Raw (seq) values differ by
+        design — the arbiter collapses N tick records into one — so the
+        comparison filters the internal tick bookkeeping."""
+
+        def run(arbiter_on: bool):
+            monkeypatch.setenv("REPRO_CLOCK_ARBITER",
+                               "1" if arbiter_on else "0")
+            sim = build(mixed_graph(), seed=7)
+            sim._queue = RecordingQueue(sim._queue, [])
+            result = sim.run()
+            ticks = ("_ClockTickEvent", "_ArbiterTickEvent")
+            visible = [(t, prio, name)
+                       for (t, prio, _seq, name) in sim._queue.trace
+                       if name not in ticks]
+            return (sim.stat_values(), result.reason, result.end_time,
+                    result.events_executed, visible)
+
+        on = run(True)
+        off = run(False)
+        assert on == off
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_parallel_stats_match_arbiter_off(self, backend, monkeypatch):
+        """Every backend lands on the pre-arbiter stats."""
+        monkeypatch.setenv("REPRO_CLOCK_ARBITER", "0")
+        baseline = run_parallel_traced(backend)[1]
+        monkeypatch.setenv("REPRO_CLOCK_ARBITER", "1")
+        assert run_parallel_traced(backend)[1] == baseline
