@@ -1,0 +1,185 @@
+"""ENG-4 — Engine checkpoint/restore: overhead, latency, warm-start.
+
+`repro.ckpt` (PR 5) must be effectively free when enabled at a sane
+cadence, or nobody will leave it on.  This bench pins that claim on a
+realistic machine (HPCCG on a torus, 2 simulation ranks):
+
+1. **overhead guard** — a parallel run whose ``checkpoint_every``
+   lands snapshots on **< 1% of epoch boundaries** stays within 10% of
+   the uncheckpointed run's events/s (best-of-3 on both sides, so the
+   gate measures snapshot cost, not scheduler noise), and its final
+   statistics are identical;
+2. **snapshot/restore latency** — wall time and on-disk size of one
+   mid-run snapshot, and the time to rebuild a live engine from it
+   (the restored engine finishes with the reference statistics);
+3. **warm-start speedup** — a ``dse.sweep(warm_start=...)`` that
+   restores per-point prefix snapshots reproduces the cold sweep's
+   design points exactly; the measured speedup is recorded.
+
+Records append to the ``engine_throughput`` trajectory
+(``BENCH_engine_throughput.json``); the overhead guard's events/s is
+gated by ``benchmarks/check_throughput_regression.py`` under the
+``checkpointed_parallel/heap`` key.
+"""
+
+import time
+from pathlib import Path
+
+from repro.ckpt import restore, snapshot_parallel
+from repro.config import build_parallel
+from repro.miniapps import build_app_machine
+
+# Records land in the engine_throughput trajectory next to ENG-1/2's.
+BENCH_RECORD_EXPERIMENT = "engine_throughput"
+
+N_APP_RANKS = 16
+ITERATIONS = 120
+SIM_RANKS = 2
+ROUNDS = 3
+
+
+def machine():
+    return build_app_machine("miniapps.HPCCG", N_APP_RANKS,
+                             iterations=ITERATIONS)
+
+
+def _run(checkpoint=None):
+    psim = build_parallel(machine(), SIM_RANKS, strategy="bfs", seed=2)
+    t0 = time.perf_counter()
+    if checkpoint is not None:
+        result = psim.run(checkpoint_every=checkpoint[0],
+                          checkpoint_dir=str(checkpoint[1]))
+    else:
+        result = psim.run()
+    wall = time.perf_counter() - t0
+    stats = psim.stat_values()
+    written = list(psim.checkpoints_written)
+    psim.close()
+    assert result.reason == "exit"
+    return result, wall, stats, written
+
+
+def test_eng4_checkpoint_overhead_guard(report, perf_fields, tmp_path):
+    """PR 5 perf gate: <1%-of-epochs checkpointing costs <10% events/s."""
+    reference, _, ref_stats, _ = _run()
+    interval = reference.end_time // 2
+    # Interleave the two sides and take each side's best round, so the
+    # comparison measures snapshot cost rather than machine drift.
+    cold_walls, ckpt_runs = [], []
+    for i in range(ROUNDS):
+        cold_walls.append(_run()[1])
+        ckpt_runs.append(_run(checkpoint=(interval, tmp_path / f"c{i}")))
+    cold_wall = min(cold_walls)
+    ckpt_wall = min(wall for _, wall, _, _ in ckpt_runs)
+    result, _, stats, written = ckpt_runs[0]
+
+    # The cadence really is sparse, and the snapshots really happened.
+    assert written
+    snap_fraction = len(written) / result.epochs
+    assert snap_fraction < 0.01, snap_fraction
+    # Checkpointing changes nothing observable.
+    assert stats == ref_stats
+    assert result.end_time == reference.end_time
+    assert result.events_executed == reference.events_executed
+
+    cold_eps = reference.events_executed / cold_wall
+    ckpt_eps = reference.events_executed / ckpt_wall
+    ratio = ckpt_eps / cold_eps
+    report(f"ENG-4 overhead [{SIM_RANKS} ranks, {result.epochs} epochs, "
+           f"{len(written)} snapshots = {snap_fraction:.2%} of epochs]: "
+           f"cold {cold_eps:,.0f} events/s, checkpointed {ckpt_eps:,.0f} "
+           f"events/s ({ratio:.1%})")
+    perf_fields(workload="checkpointed_parallel", queue="heap",
+                events_executed=result.events_executed,
+                events_per_second=ckpt_eps,
+                checkpoint_overhead_ratio=ratio,
+                snapshots=len(written))
+    assert ratio >= 0.90, f"checkpointing cost {1 - ratio:.1%} of throughput"
+
+
+def test_eng4_snapshot_restore_latency(report, perf_fields, tmp_path):
+    """One mid-run snapshot: write cost, size, rebuild cost, fidelity."""
+    reference, _, ref_stats, _ = _run()
+    psim = build_parallel(machine(), SIM_RANKS, strategy="bfs", seed=2)
+    psim.run(max_time=reference.end_time // 2)
+    t0 = time.perf_counter()
+    path = snapshot_parallel(psim, tmp_path / "snap")
+    snapshot_s = time.perf_counter() - t0
+    psim.close()
+    size = sum(f.stat().st_size for f in Path(path).iterdir())
+
+    t0 = time.perf_counter()
+    resumed = restore(path)
+    restore_s = time.perf_counter() - t0
+    result = resumed.run()
+    stats = resumed.stat_values()
+    resumed.close()
+
+    report(f"ENG-4 latency: snapshot {snapshot_s * 1e3:.1f} ms "
+           f"({size / 1024:.0f} KiB, {SIM_RANKS} shards), "
+           f"restore {restore_s * 1e3:.1f} ms")
+    perf_fields(snapshot_seconds=snapshot_s, restore_seconds=restore_s,
+                snapshot_bytes=size)
+    assert stats == ref_stats
+    assert result.end_time == reference.end_time
+
+
+def test_eng4_warm_start_speedup(report, perf_fields, tmp_path):
+    """Warm starting: identical sweep results, recorded speedup.
+
+    The sweep half pins the correctness claim on the real `dse` flow
+    (warm and cold sweeps agree point-for-point — its MixCore points
+    are nearly analytic, so their wall time says nothing).  The speedup
+    half measures the mechanism where the prefix actually costs
+    something: restoring an 80%-of-the-run snapshot of the HPCCG
+    machine versus re-simulating from zero.
+    """
+    from repro.config import build
+    from repro.ckpt import snapshot
+    from repro.dse import sweep
+
+    grid = (["hpccg"], [2, 4], ["DDR3-1066", "GDDR5"])
+    kwargs = dict(instructions=400_000, seed=2)
+    cold = sweep(*grid, **kwargs)
+    warm1 = sweep(*grid, warm_start="100us", warm_dir=tmp_path, **kwargs)
+    snaps = list(tmp_path.glob("warm-*/MANIFEST.json"))
+    assert len(snaps) == len(cold.points)
+    warm2 = sweep(*grid, warm_start="100us", warm_dir=tmp_path, **kwargs)
+    assert cold.points == warm1.points == warm2.points
+
+    # Speedup mechanism, measured on an event-heavy machine: 80% warm.
+    graph = machine()
+    sim = build(graph, seed=2)
+    full = sim.run()
+    prefix_ps = full.end_time * 4 // 5
+    sim = build(graph, seed=2)
+    sim.run(max_time=prefix_ps, finalize=False)
+    wpath = snapshot(sim, tmp_path / "warm-engine")
+
+    def cold_run():
+        t0 = time.perf_counter()
+        s = build(graph, seed=2)
+        s.run()
+        return time.perf_counter() - t0, s.stat_values()
+
+    def warm_run():
+        t0 = time.perf_counter()
+        s = restore(wpath)
+        s.run()
+        return time.perf_counter() - t0, s.stat_values()
+
+    colds, warms = [], []
+    for _ in range(ROUNDS):
+        colds.append(cold_run())
+        warms.append(warm_run())
+    assert all(stats == colds[0][1] for _, stats in colds + warms)
+    cold_s = min(w for w, _ in colds)
+    warm_s = min(w for w, _ in warms)
+    speedup = cold_s / warm_s
+    report(f"ENG-4 warm start: {len(cold.points)} sweep points identical "
+           f"cold/warm; 80%-prefix engine restore {warm_s:.3f}s vs cold "
+           f"{cold_s:.3f}s ({speedup:.1f}x)")
+    perf_fields(warm_points=len(cold.points), cold_run_seconds=cold_s,
+                warm_run_seconds=warm_s, warm_start_speedup=speedup)
+    # Skipping 80% of the events must win, import noise and all.
+    assert speedup > 1.5, speedup

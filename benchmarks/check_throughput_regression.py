@@ -16,8 +16,14 @@ developer box; the baseline exists to catch *structural* regressions
 single-digit-percent drift.  Refresh it with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py \
-        benchmarks/bench_engine_hotpath.py -q
+        benchmarks/bench_engine_hotpath.py \
+        benchmarks/bench_engine_checkpoint.py -q
     python benchmarks/check_throughput_regression.py --update
+
+ENG-4 (``bench_engine_checkpoint.py``) publishes the
+``checkpointed_parallel/heap`` key: a 2-rank run with sparse engine
+snapshots enabled, so this gate also catches checkpointing becoming
+expensive enough to drag the whole run down.
 
 Exit status: 0 ok, 1 regression, 2 missing records/baseline.
 """

@@ -16,6 +16,10 @@
   streams into one Perfetto trace (``obs merge``), diagnose sync/load
   imbalance (``obs imbalance``), or summarize a run's artifacts
   (``obs report``).
+* ``ckpt``                  — engine snapshots (``repro.ckpt``):
+  inspect a snapshot directory (``ckpt info``) or resume a run from
+  one (``ckpt resume``), optionally on a different backend or rank
+  count.
 
 Examples::
 
@@ -26,6 +30,10 @@ Examples::
     python -m repro sweep --workloads hpccg --backend processes --jobs 4
     python -m repro run net.json --ranks 4 --backend processes --metrics m.jsonl
     python -m repro obs merge m.jsonl && python -m repro obs imbalance m.jsonl
+    python -m repro run machine.json --checkpoint-every 10us \
+        --checkpoint-dir ckpts --max-time 25us
+    python -m repro ckpt info ckpts/ckpt-0001
+    python -m repro ckpt resume ckpts/ckpt-0001 --stats-json final.json
 """
 
 from __future__ import annotations
@@ -108,12 +116,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     warnings = graph.validate(resolve_types=True)
     for warning in warnings:
         print(f"warning: {warning}", file=sys.stderr)
+    ckpt_kwargs = {}
+    if args.checkpoint_every:
+        ckpt_kwargs = {"checkpoint_every": args.checkpoint_every,
+                       "checkpoint_dir": args.checkpoint_dir}
     if args.ranks > 1:
         psim = build_parallel(graph, args.ranks, strategy=args.strategy,
                               seed=args.seed, queue=args.queue,
                               backend=args.backend)
         instruments = _make_observability(args, psim)
-        result = psim.run(max_time=args.max_time)
+        result = psim.run(max_time=args.max_time, **ckpt_kwargs)
         _finish_observability(args, result, graph, *instruments)
         print(f"parallel run: {result.reason} at {result.end_time} ps; "
               f"{result.events_executed} events "
@@ -122,6 +134,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({result.remote_events} crossed ranks, "
               f"lookahead {result.lookahead} ps, "
               f"barrier wait {result.barrier_wait_seconds:.3f}s)")
+        for path in psim.checkpoints_written:
+            print(f"checkpoint -> {path}")
         values = psim.stat_values()
         if args.stats:
             for key, stat in sorted(psim.sync_stats().items()):
@@ -135,7 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace_log = EventTraceLog(sim, args.trace,
                                       component_filter=args.trace_filter)
         instruments = _make_observability(args, sim)
-        result = sim.run(max_time=args.max_time)
+        result = sim.run(max_time=args.max_time, **ckpt_kwargs)
         _finish_observability(args, result, graph, *instruments)
         if trace_log is not None:
             trace_log.detach()
@@ -147,6 +161,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"run: {result.reason} at {result.end_time} ps; "
               f"{result.events_executed} events "
               f"({result.events_per_second:,.0f} events/s)")
+        for path in sim.checkpoints_written:
+            print(f"checkpoint -> {path}")
         values = sim.stat_values()
         if args.stats:
             print(sim.stat_table())
@@ -313,6 +329,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(args.obs_command)  # pragma: no cover
 
 
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .ckpt import CheckpointError, restore, snapshot_info
+
+    if args.ckpt_command == "info":
+        try:
+            info = snapshot_info(args.snapshot, verify=not args.no_verify)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0 if info.get("intact", True) else 1
+
+    if args.ckpt_command == "resume":
+        try:
+            sim = restore(args.snapshot, backend=args.backend,
+                          ranks=args.ranks, queue=args.queue)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        ckpt_kwargs = {}
+        if args.checkpoint_every:
+            ckpt_kwargs = {"checkpoint_every": args.checkpoint_every,
+                           "checkpoint_dir": args.checkpoint_dir}
+        result = sim.run(max_time=args.max_time, **ckpt_kwargs)
+        lineage = sim.checkpoint_lineage or {}
+        print(f"resumed {args.snapshot} "
+              f"(snapshot at {lineage.get('sim_time_ps', '?')} ps, "
+              f"{lineage.get('mode', '?')} restore): "
+              f"{result.reason} at {result.end_time} ps; "
+              f"{result.events_executed} events")
+        for path in sim.checkpoints_written:
+            print(f"checkpoint -> {path}")
+        values = sim.stat_values()
+        if args.stats:
+            for key in sorted(values):
+                print(f"{key}: {values[key]:.6g}")
+        if args.stats_json:
+            payload = {
+                "reason": result.reason,
+                "end_time_ps": result.end_time,
+                "stats": {key: values[key] for key in sorted(values)},
+            }
+            with open(args.stats_json, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"final stats -> {args.stats_json}")
+        close = getattr(sim, "close", None)
+        if close is not None:
+            close()
+        return 0
+
+    raise AssertionError(args.ckpt_command)  # pragma: no cover
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.split("\n\n")[0])
@@ -359,6 +430,12 @@ def make_parser() -> argparse.ArgumentParser:
                           "Chrome/Perfetto trace-event JSON file")
     run.add_argument("--progress", action="store_true",
                      help="print periodic progress/ETA lines to stderr")
+    run.add_argument("--checkpoint-every", default=None,
+                     help='snapshot the engine every interval of '
+                          'simulated time, e.g. "10us" (repro.ckpt)')
+    run.add_argument("--checkpoint-dir", default="checkpoints",
+                     help="directory receiving ckpt-NNNN snapshot "
+                          "subdirectories (default: checkpoints)")
     run.set_defaults(func=_cmd_run)
 
     swp = sub.add_parser("sweep", help="run the design-space study")
@@ -429,6 +506,44 @@ def make_parser() -> argparse.ArgumentParser:
         "report", help="summarize a recorded run's artifacts")
     rep.add_argument("metrics")
     rep.set_defaults(func=_cmd_obs)
+
+    ckpt = sub.add_parser("ckpt", help="inspect or resume engine "
+                                       "snapshots (repro.ckpt)")
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    cinfo = ckpt_sub.add_parser(
+        "info", help="print a snapshot's manifest summary as JSON "
+                     "(verifies shard checksums unless --no-verify)")
+    cinfo.add_argument("snapshot", help="snapshot directory (ckpt-NNNN)")
+    cinfo.add_argument("--no-verify", action="store_true",
+                       help="skip shard checksum verification")
+    cinfo.set_defaults(func=_cmd_ckpt)
+    cres = ckpt_sub.add_parser(
+        "resume", help="restore a snapshot and run it to completion; "
+                       "same rank count resumes bit-identically, a "
+                       "different --ranks/--backend repartitions")
+    cres.add_argument("snapshot", help="snapshot directory (ckpt-NNNN)")
+    cres.add_argument("--max-time", default=None,
+                      help='simulated-time limit, e.g. "1ms"')
+    cres.add_argument("--ranks", type=int, default=None,
+                      help="restore onto this many ranks (default: the "
+                           "snapshot's own layout)")
+    cres.add_argument("--backend", default=None,
+                      choices=["serial", "threads", "processes"],
+                      help="execution substrate (default: the "
+                           "snapshot's)")
+    cres.add_argument("--queue", default=None, choices=["heap", "binned"],
+                      help="event-queue kind (default: the snapshot's)")
+    cres.add_argument("--stats", action="store_true",
+                      help="print final statistic values")
+    cres.add_argument("--stats-json", default=None,
+                      help="write {reason, end_time_ps, stats} JSON "
+                           "here (for scripted comparison)")
+    cres.add_argument("--checkpoint-every", default=None,
+                      help="keep snapshotting the resumed run at this "
+                           "interval")
+    cres.add_argument("--checkpoint-dir", default="checkpoints",
+                      help="directory for further snapshots")
+    cres.set_defaults(func=_cmd_ckpt)
     return parser
 
 

@@ -1,0 +1,53 @@
+"""repro.ckpt: engine-level checkpoint/restore for the PDES engine.
+
+Snapshots the *engine itself* — event queues, clock chains, component
+state, RNG streams, statistics — so a long simulation can be resumed,
+warm-started or replayed.  Not to be confused with
+:mod:`repro.resilience`, which *models* checkpoint/restart of the
+simulated jobs inside the simulated machine; this package checkpoints
+the simulator.
+
+Entry points
+------------
+* ``Simulation.run(checkpoint_every="10us", checkpoint_dir=...)`` and
+  ``ParallelSimulation.run(checkpoint_every=..., checkpoint_dir=...)``
+  write periodic snapshots during a run.
+* :func:`snapshot` / :func:`snapshot_parallel` write one snapshot at a
+  quiescent point (between run segments / at an epoch boundary).
+* :func:`restore` rebuilds a runnable engine from a snapshot — same or
+  different execution backend (bit-identical resume), same or
+  different rank count (stats-equivalent resume).
+* :func:`replay` restores and re-runs with per-event tracing (the
+  "what happened just before t=X" debugging workflow).
+* :func:`snapshot_info` summarises a snapshot directory without
+  unpickling anything (``python -m repro ckpt info``).
+* ``dse.sweep(warm_start=...)`` warm-starts design-point evaluations
+  from per-point prefix snapshots.
+
+Format and consistency rules are documented in docs/CHECKPOINT.md.
+"""
+
+from .restore import checkpointed_run, replay, restore
+from .snapshot import (SNAPSHOT_SCHEMA, load_manifest, read_shard, snapshot,
+                       snapshot_info, snapshot_parallel, write_shard)
+from .state import (CheckpointError, capture_sim_state, dump_refs, load_refs,
+                    merge_id_sources, restore_sim_state)
+
+__all__ = [
+    "CheckpointError",
+    "SNAPSHOT_SCHEMA",
+    "capture_sim_state",
+    "checkpointed_run",
+    "dump_refs",
+    "load_manifest",
+    "load_refs",
+    "merge_id_sources",
+    "read_shard",
+    "replay",
+    "restore",
+    "restore_sim_state",
+    "snapshot",
+    "snapshot_info",
+    "snapshot_parallel",
+    "write_shard",
+]

@@ -22,12 +22,19 @@ from .graph import ConfigError, ConfigGraph
 
 
 def build(graph: ConfigGraph, *, sim: Optional[Simulation] = None,
-          seed: int = 1, queue: str = "heap",
-          verbose: bool = False) -> Simulation:
-    """Instantiate every component and link of ``graph`` into one Simulation."""
+          seed: int = 1, queue: str = "heap", verbose: bool = False,
+          clock_arbiter: Optional[bool] = None) -> Simulation:
+    """Instantiate every component and link of ``graph`` into one Simulation.
+
+    The graph is retained on ``sim.config_graph`` — `repro.ckpt`
+    snapshots embed it so a restore can rebuild the component set and
+    validate identity.
+    """
     graph.validate(resolve_types=True)
     if sim is None:
-        sim = Simulation(seed=seed, queue=queue, verbose=verbose)
+        sim = Simulation(seed=seed, queue=queue, verbose=verbose,
+                         clock_arbiter=clock_arbiter)
+    sim.config_graph = graph
     instances: Dict[str, Component] = {}
     for conf in graph.components():
         cls = registry.resolve(conf.type_name)
@@ -46,7 +53,8 @@ def build(graph: ConfigGraph, *, sim: Optional[Simulation] = None,
 def build_parallel(graph: ConfigGraph, num_ranks: int, *,
                    strategy: str = "linear", seed: int = 1,
                    queue: str = "heap", backend: str = "serial",
-                   verbose: bool = False) -> ParallelSimulation:
+                   verbose: bool = False,
+                   clock_arbiter: Optional[bool] = None) -> ParallelSimulation:
     """Partition ``graph`` across ``num_ranks`` and instantiate per rank.
 
     Components carrying a ``rank`` pin are honoured; the partitioner
@@ -71,8 +79,10 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
             assignment[conf.name] = conf.rank
 
     psim = ParallelSimulation(num_ranks, seed=seed, queue=queue,
-                              backend=backend, verbose=verbose)
+                              backend=backend, verbose=verbose,
+                              clock_arbiter=clock_arbiter)
     psim.partition_strategy = strategy
+    psim.config_graph = graph
     instances: Dict[str, Component] = {}
     for conf in graph.components():
         cls = registry.resolve(conf.type_name)

@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from .kernel import harvest_engine_stats, harvest_stats, kernel_step
 from .simulation import SimulationError
+from .statistics import adopt_state
 from .sync import OutboxEntry
 from .units import SimTime
 
@@ -191,6 +192,28 @@ class ExecutionBackend:
 
         Called once after a run's epoch loop completes normally; a
         no-op for in-process backends."""
+
+    def snapshot_rank(self, rank: int, shard_path: str) -> Dict[str, Any]:
+        """Write ``rank``'s engine state as a checkpoint shard file.
+
+        Called by :func:`repro.ckpt.snapshot_parallel` at an epoch
+        boundary (outboxes drained into the sync strategy, no rank
+        mid-window), which is the only point where per-rank state is
+        globally consistent.  The state must be captured *where the
+        live rank lives*: in-process backends capture directly, the
+        processes backend delegates to the worker that owns the rank.
+        Returns the shard metadata dict (``sha256``, ``size``) recorded
+        in the snapshot manifest.
+        """
+        from ..ckpt.state import capture_sim_state
+        from ..ckpt.snapshot import write_shard
+
+        psim = self.psim
+        state = capture_sim_state(psim._sims[rank],
+                                  send_seq=psim._send_seq[rank][0])
+        meta = write_shard(shard_path, state)
+        meta["now"] = state["meta"]["now"]
+        return meta
 
     def close(self) -> None:
         """Release execution resources.  Safe to call repeatedly."""
@@ -414,6 +437,17 @@ class ProcessesBackend(ExecutionBackend):
             if plan is not None:
                 plan.absorb(rank, payload.get("obs"))
 
+    def snapshot_rank(self, rank: int, shard_path: str) -> Dict[str, Any]:
+        """Ask the worker that owns ``rank`` to write its own shard.
+
+        The parent's rank simulations are stale copies under this
+        backend (frozen at fork time); the live state is in the worker,
+        so the shard is captured and written worker-side and only the
+        checksum metadata crosses the pipe.
+        """
+        _send_msg(self._conns[rank], ("snapshot", shard_path))
+        return self._recv(rank)
+
     def _recv(self, rank: int):
         try:
             msg = _recv_msg(self._conns[rank])
@@ -447,19 +481,16 @@ class ProcessesBackend(ExecutionBackend):
 def _adopt_stat(local, remote) -> None:
     """Copy a worker statistic's state into the parent's collector.
 
-    In-place slot copy (not object replacement) so references held by
+    In-place state copy (not object replacement) so references held by
     the parent component — ``self.received`` and friends — observe the
-    adopted values too.
+    adopted values too.  Delegates to
+    :func:`repro.core.statistics.adopt_state`, the same primitive the
+    checkpoint layer uses to adopt snapshot statistics.
     """
-    if type(local) is not type(remote):
-        raise SimulationError(
-            f"statistic {local.name!r}: worker returned "
-            f"{type(remote).__name__}, parent holds {type(local).__name__}"
-        )
-    for klass in type(remote).__mro__:
-        for slot in getattr(klass, "__slots__", ()):
-            if hasattr(remote, slot):
-                setattr(local, slot, getattr(remote, slot))
+    try:
+        adopt_state(local, remote)
+    except TypeError as exc:
+        raise SimulationError(str(exc)) from None
 
 
 def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
@@ -534,6 +565,19 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                         f"serializable (events crossing ranks under the "
                         f"processes backend must be picklable): {exc}"
                     ))
+            elif cmd == "snapshot":
+                _, shard_path = msg
+                try:
+                    from ..ckpt.state import capture_sim_state
+                    from ..ckpt.snapshot import write_shard
+
+                    state = capture_sim_state(
+                        sim, send_seq=psim._send_seq[rank][0])
+                    meta = write_shard(shard_path, state)
+                    meta["now"] = state["meta"]["now"]
+                    _send_msg(conn, ("ok", meta))
+                except Exception as exc:
+                    send_error(exc)
             elif cmd == "finish":
                 try:
                     sim.finish()

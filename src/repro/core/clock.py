@@ -155,6 +155,33 @@ class Clock:
     def next_tick_time(self) -> SimTime:
         return self._next_tick
 
+    # -- checkpoint support ------------------------------------------------
+    def capture_state(self) -> dict:
+        """The clock's mutable scheduling state (`repro.ckpt`).
+
+        Period/priority/handler are rebuilt from the configuration; only
+        what advances during a run is captured.  The tick chain event
+        itself lives in the event queue and is captured there.
+        """
+        return {
+            "name": self.name,
+            "cycle": self.cycle,
+            "active": self.active,
+            "next_tick": self._next_tick,
+            "generation": self._generation,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["name"] != self.name:
+            raise ValueError(
+                f"clock state mismatch: captured {state['name']!r}, "
+                f"restoring onto {self.name!r}"
+            )
+        self.cycle = state["cycle"]
+        self.active = state["active"]
+        self._next_tick = state["next_tick"]
+        self._generation = state["generation"]
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else "stopped"
         return f"Clock({self.name!r}, period={self.period}ps, cycle={self.cycle}, {state})"
@@ -369,6 +396,46 @@ class ClockArbiter:
             # chain event at a time.
             event.generation = self._generation
             self.sim._push(next_due, self.priority, self._dispatch, event)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def capture_state(self, clock_index) -> dict:
+        """Chain state for `repro.ckpt`.
+
+        ``clock_index`` maps a member Clock to its position in the
+        simulation's registration-ordered clock list, which is the
+        identity that survives a rebuild.  Member *order* matters: it is
+        the within-boundary firing order, part of the determinism
+        contract.
+        """
+        return {
+            "generation": self._generation,
+            "scheduled_time": self._scheduled_time,
+            "members": [clock_index[id(clock)] for clock in self._members],
+        }
+
+    def restore_state(self, state: dict, clocks) -> None:
+        """Restore chain state captured by :meth:`capture_state`.
+
+        ``clocks`` is the rebuilt simulation's registration-ordered
+        clock list.  The chain event itself is restored with the event
+        queue; here we only rebuild the member list (dropping members
+        that were compacted away at capture time) and the stamps the
+        chain event will be validated against.
+        """
+        members = [clocks[i] for i in state["members"]]
+        in_members = {id(clock) for clock in members}
+        for clock in self._members:
+            if id(clock) not in in_members:
+                clock._in_arbiter = False
+        for clock in members:
+            clock._in_arbiter = True
+        self._members = members
+        self._generation = state["generation"]
+        self._scheduled_time = state["scheduled_time"]
+        self._dispatching = False
+        self._resched_hint = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ClockArbiter({self.name!r}, period={self.period}ps, "

@@ -61,6 +61,11 @@ class Component:
     #: port name -> human description; subclasses override.
     PORTS: Dict[str, str] = {}
 
+    #: Attributes owned by the engine/config layer, excluded from the
+    #: default :meth:`capture_state` — a restore rebuilds them from the
+    #: configuration graph rather than from the snapshot.
+    STATE_EXCLUDE = frozenset({"sim", "name", "params", "stats", "_ports"})
+
     def __init__(self, sim: "Simulation", name: str, params: Optional[Params] = None):
         self.sim = sim
         self.name = name
@@ -163,6 +168,35 @@ class Component:
         if self._rng is None:
             self._rng = np.random.default_rng(stable_seed(self.name, self.sim.seed))
         return self._rng
+
+    # ------------------------------------------------------------------
+    # checkpoint protocol (repro.ckpt)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, Any]:
+        """The component's mutable run state, for engine checkpointing.
+
+        The default covers the stock model library: every instance
+        attribute except the engine-owned ones in :data:`STATE_EXCLUDE`.
+        Statistics are captured separately by the snapshot layer
+        (references to registered collectors inside the returned dict
+        are preserved by identity, not duplicated).  Override when a
+        component holds state that cannot be pickled — live generators,
+        open files — and return a picklable stand-in; pair it with a
+        :meth:`restore_state` override that reconstructs the live object
+        (see ``miniapps.base.AppRank`` and
+        ``processor.tracefile.TraceReplayCore``).
+        """
+        return {k: v for k, v in self.__dict__.items()
+                if k not in self.STATE_EXCLUDE}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Apply state captured by :meth:`capture_state`.
+
+        Called on a freshly rebuilt component **after** ``setup()`` ran
+        and after its statistics were adopted, so overrides may assume a
+        fully wired graph and live collectors.
+        """
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # lifecycle hooks (subclasses override as needed)

@@ -98,6 +98,63 @@ class CallbackEvent(Event):
 Handler = Callable[[Event], None]
 
 
+class IdSource:
+    """A named, checkpointable global id counter.
+
+    Model libraries hand out process-global ids (memory ``req_id``,
+    network ``msg_id``, ...) so responses can be matched to outstanding
+    requests.  A plain ``itertools.count`` cannot be captured or
+    restored, which breaks engine checkpointing: a resumed run would
+    re-issue ids that collide with ids already held by restored
+    in-flight state.  ``IdSource`` is a drop-in replacement (``next()``
+    works) whose value `repro.ckpt` snapshots and restores by name.
+    """
+
+    _registry: Dict[str, "IdSource"] = {}
+
+    __slots__ = ("name", "_next")
+
+    def __init__(self, name: str, start: int = 1):
+        if name in IdSource._registry:
+            raise ValueError(f"duplicate IdSource {name!r}")
+        self.name = name
+        self._next = start
+        IdSource._registry[name] = self
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def __iter__(self) -> "IdSource":
+        return self
+
+    def peek(self) -> int:
+        """The id the next ``next()`` call will return."""
+        return self._next
+
+    @classmethod
+    def capture_all(cls) -> Dict[str, int]:
+        """Snapshot every registered counter's next value."""
+        return {name: src._next for name, src in cls._registry.items()}
+
+    @classmethod
+    def restore_all(cls, state: Dict[str, int], *, merge_max: bool = False) -> None:
+        """Restore counters captured by :meth:`capture_all`.
+
+        With ``merge_max`` (used when merging shards from ranks that ran
+        in separate processes and therefore advanced the same counter
+        independently), a counter is only moved forward — the maximum
+        over all restored values wins, which preserves uniqueness.
+        Unknown names are ignored so old snapshots load on newer trees.
+        """
+        for name, value in state.items():
+            src = cls._registry.get(name)
+            if src is None:
+                continue
+            src._next = max(src._next, value) if merge_max else value
+
+
 class EventRecord:
     """A queued delivery: ``(time, priority, seq)`` ordering key plus target.
 

@@ -53,6 +53,31 @@ class EventQueueBase:
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    # -- checkpoint support ------------------------------------------------
+    # The insertion-sequence counter is part of the determinism contract:
+    # a restored queue must hand out exactly the seq values the original
+    # would have, so `repro.ckpt` captures it explicitly (the max pending
+    # seq underestimates it whenever the newest records have already been
+    # popped).
+
+    @property
+    def seq(self) -> int:
+        """The next insertion sequence number this queue will assign."""
+        raise NotImplementedError
+
+    def snapshot_records(self) -> List[EventRecord]:
+        """All pending records, non-destructively, in no particular order."""
+        raise NotImplementedError
+
+    def restore_records(self, records: List[EventRecord], seq: int) -> None:
+        """Replace the queue's contents and seq counter wholesale.
+
+        Existing records are discarded (a rebuild pushes setup-time
+        events that the snapshot's records supersede).  ``records`` must
+        already carry their final seq values.
+        """
+        raise NotImplementedError
+
 
 class HeapEventQueue(EventQueueBase):
     """Binary-heap pending-event set (the default engine queue)."""
@@ -93,6 +118,18 @@ class HeapEventQueue(EventQueueBase):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    def snapshot_records(self) -> List[EventRecord]:
+        return list(self._heap)
+
+    def restore_records(self, records: List[EventRecord], seq: int) -> None:
+        self._heap = list(records)
+        heapq.heapify(self._heap)
+        self._seq = seq
 
 
 class BinnedEventQueue(EventQueueBase):
@@ -199,6 +236,24 @@ class BinnedEventQueue(EventQueueBase):
 
     def __len__(self) -> int:
         return self._count
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    def snapshot_records(self) -> List[EventRecord]:
+        records = [r for bucket in self._bins.values() for r in bucket]
+        records.extend(self._overflow)
+        return records
+
+    def restore_records(self, records: List[EventRecord], seq: int) -> None:
+        self._bins = {}
+        self._overflow = []
+        self._base = 0
+        self._count = 0
+        for record in records:
+            self.push_record(record)
+        self._seq = seq
 
 
 #: Registry used by Simulation(queue="...") and the ENG-1 ablation bench.

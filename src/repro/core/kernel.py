@@ -19,6 +19,18 @@ Layering (see docs/ARCHITECTURE.md):
 * **ExecutionBackend** (:mod:`repro.core.backends`) — decides *where*
   each rank's kernel loop executes (inline, thread pool, forked
   process).
+
+Checkpoint contract (:mod:`repro.ckpt`): snapshots are only taken
+*between* kernel invocations — at conservative-sync epoch boundaries
+for parallel runs, between ``max_time``-bounded segments for
+sequential ones — never from inside a loop body.  Two loop-level facts
+make restored runs bit-identical: (1) the dispatch mode (bare vs
+instrumented) is recomputed at every entry from ``sim._instr``, so a
+restore never has to persist the pooling decision — re-attaching the
+same observers before resuming reproduces it; (2) the total event
+order is ``(time, priority, seq)`` and the queue's ``seq`` counter is
+part of the snapshot, so records pushed after a restore tie-break
+exactly as they would have in the uninterrupted run.
 """
 
 from __future__ import annotations

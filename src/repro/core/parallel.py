@@ -156,7 +156,8 @@ class ParallelSimulation:
     """
 
     def __init__(self, num_ranks: int, *, seed: int = 1, queue: str = "heap",
-                 backend: str = "serial", verbose: bool = False):
+                 backend: str = "serial", verbose: bool = False,
+                 clock_arbiter: Optional[bool] = None):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         if backend not in BACKENDS:
@@ -178,7 +179,7 @@ class ParallelSimulation:
         self._sims = [
             Simulation(queue=queue, seed=seed, rank=r, num_ranks=num_ranks,
                        rank_seed=int(rank_seeds[r].generate_state(1)[0]),
-                       verbose=verbose)
+                       verbose=verbose, clock_arbiter=clock_arbiter)
             for r in range(num_ranks)
         ]
         # Per-rank conservative-sync metrics, kept in each rank's
@@ -227,6 +228,13 @@ class ParallelSimulation:
         # counters for ENG-2
         self.total_epochs = 0
         self.total_remote_events = 0
+        # --- checkpointing (repro.ckpt) -------------------------------
+        #: the ConfigGraph this engine was built from (config.build_parallel)
+        self.config_graph = None
+        #: lineage set by repro.ckpt.restore(); recorded in run manifests
+        self.checkpoint_lineage: Optional[Dict[str, Any]] = None
+        #: snapshot directories written by run(checkpoint_every=...)
+        self.checkpoints_written: List[str] = []
 
     # ------------------------------------------------------------------
     # graph construction
@@ -357,7 +365,9 @@ class ParallelSimulation:
             pass
 
     def run(self, max_time: Optional[Union[str, int]] = None,
-            max_epochs: Optional[int] = None) -> ParallelRunResult:
+            max_epochs: Optional[int] = None, *,
+            checkpoint_every: Optional[Union[str, int]] = None,
+            checkpoint_dir: Optional[str] = None) -> ParallelRunResult:
         """Run the conservative epoch loop to completion or a limit.
 
         Orchestrates the three layers: the sync strategy computes each
@@ -368,6 +378,15 @@ class ParallelSimulation:
         backend is created per run and closed in a ``finally`` block,
         so a model exception mid-epoch can never leak a thread pool or
         worker processes.
+
+        With ``checkpoint_every`` (simulated-time interval), a
+        `repro.ckpt` snapshot is written into ``checkpoint_dir`` at the
+        first conservative-sync epoch boundary on or past each interval
+        mark — the natural globally consistent point: every rank has
+        executed all events in the window and undelivered cross-rank
+        sends sit in the sync strategy's pending set.  Works on all
+        backends; under ``processes`` each rank worker writes its own
+        shard and the parent commits the manifest.
         """
         perf = _wall_time.perf_counter
 
@@ -381,6 +400,19 @@ class ParallelSimulation:
         if not self._setup_done:
             self.setup()
         limit = units.parse_time(max_time, default_unit="ps") if max_time is not None else None
+        ckpt_interval: Optional[SimTime] = None
+        ckpt_next: Optional[SimTime] = None
+        ckpt_seq = len(self.checkpoints_written)
+        if checkpoint_every is not None:
+            if checkpoint_dir is None:
+                raise SimulationError("checkpoint_every requires checkpoint_dir")
+            ckpt_interval = units.parse_time(checkpoint_every, default_unit="ps")
+            if ckpt_interval <= 0:
+                raise SimulationError("checkpoint_every must be positive")
+            # First boundary strictly after the current high-water mark,
+            # so a resumed run doesn't immediately re-snapshot.
+            start_now = max(sim.now for sim in self._sims)
+            ckpt_next = (start_now // ckpt_interval + 1) * ckpt_interval
         sync = self._sync
         lookahead = sync.lookahead
         start_wall = perf()
@@ -457,6 +489,16 @@ class ParallelSimulation:
                         )
                         for fn in self._epoch_observers:
                             fn(info)
+                    if ckpt_next is not None and epoch_end >= ckpt_next:
+                        from ..ckpt import snapshot_parallel
+
+                        path = snapshot_parallel(
+                            self, f"{checkpoint_dir}/ckpt-{ckpt_seq:04d}",
+                            backend=backend)
+                        self.checkpoints_written.append(str(path))
+                        ckpt_seq += 1
+                        while ckpt_next <= epoch_end:
+                            ckpt_next += ckpt_interval
                     epochs += 1
                     if (self._primaries_exist()
                             and sum(s.primaries_pending for s in steps) == 0):

@@ -151,6 +151,16 @@ class Simulation:
         # exit protocol state
         self._primary_components: set = set()
         self._primaries_pending = 0
+        # --- checkpointing (repro.ckpt) -------------------------------
+        #: the ConfigGraph this simulation was built from (set by
+        #: repro.config.build); snapshots embed it so restore can
+        #: rebuild the graph and validate identity.
+        self.config_graph = None
+        #: lineage: set by repro.ckpt.restore() on a resumed simulation,
+        #: recorded into run manifests (obs.manifest).
+        self.checkpoint_lineage: Optional[Dict[str, Any]] = None
+        #: snapshot directories written by run(checkpoint_every=...).
+        self.checkpoints_written: List[str] = []
 
     # ------------------------------------------------------------------
     # graph construction
@@ -306,7 +316,9 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self, max_time: Optional[Union[str, int]] = None,
             max_events: Optional[int] = None, *,
-            finalize: bool = True, ignore_exit: bool = False) -> RunResult:
+            finalize: bool = True, ignore_exit: bool = False,
+            checkpoint_every: Optional[Union[str, int]] = None,
+            checkpoint_dir: Optional[str] = None) -> RunResult:
         """Execute events until exhaustion, exit, or a limit.
 
         ``max_time`` is inclusive: events *at* the limit still execute.
@@ -319,9 +331,23 @@ class Simulation:
         useful to *drain* in-flight events after an exit-terminated run
         (e.g. messages still travelling when the last sender finished).
 
+        With ``checkpoint_every`` (a simulated-time interval, e.g.
+        ``"10us"``) the run writes a `repro.ckpt` snapshot into
+        ``checkpoint_dir`` at every interval boundary; the run is
+        segmented at those boundaries but executes the exact same event
+        sequence (snapshot boundaries are invisible to the models).
+        Snapshot paths accumulate in :attr:`checkpoints_written`.
+
         The loop itself lives in :func:`repro.core.kernel.kernel_run`;
         this method only assembles the :class:`~repro.core.kernel.RunContext`.
         """
+        if checkpoint_every is not None:
+            from ..ckpt import checkpointed_run
+
+            return checkpointed_run(
+                self, checkpoint_every, checkpoint_dir,
+                max_time=max_time, max_events=max_events,
+                finalize=finalize, ignore_exit=ignore_exit)
         from .kernel import RunContext, kernel_run
 
         ctx = RunContext.for_sim(self, max_time=max_time,

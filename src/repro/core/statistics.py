@@ -58,6 +58,44 @@ class Statistic:
         if other.name != self.name:
             raise ValueError(f"cannot merge statistic {other.name!r} into {self.name!r}")
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Every data slot of this collector, as plain values.
+
+        Walks ``__slots__`` over the MRO so subtypes need no per-type
+        code.  Mutable slot values (histogram bins) are copied out, so
+        the returned dict is a true snapshot.
+        """
+        state: Dict[str, Any] = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in state:
+                    continue
+                value = getattr(self, slot)
+                state[slot] = list(value) if isinstance(value, list) else value
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite this collector's slots from :meth:`state_dict` output."""
+        for slot, value in state.items():
+            setattr(self, slot, list(value) if isinstance(value, list) else value)
+
+
+def adopt_state(local: Statistic, remote: Statistic) -> None:
+    """Copy ``remote``'s collected values into ``local`` **in place**.
+
+    Unlike ``merge`` this overwrites rather than folds, and unlike
+    rebinding it preserves object identity — components hold direct
+    references to their collectors, so adopting in place keeps
+    ``comp.s_foo is comp.stats.get("foo")`` true.  Used when a parent
+    process adopts worker statistics and when `repro.ckpt` restores a
+    statistics group into a freshly rebuilt simulation.
+    """
+    if type(local) is not type(remote):
+        raise TypeError(
+            f"cannot adopt {type(remote).__name__} state into {type(local).__name__}"
+        )
+    local.load_state(remote.state_dict())
+
 
 class Counter(Statistic):
     """A monotonically increasing event count."""

@@ -197,3 +197,27 @@ class ConservativeSync(SyncStrategy):
                     pending[dest] = list(entries)
                 else:
                     bucket.extend(entries)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def export_pending(self, cross_links: Dict[int, Any]) -> List[Tuple]:
+        """Undelivered cross-rank sends in a partitioning-portable form.
+
+        `repro.ckpt` snapshots at epoch boundaries (after outboxes were
+        absorbed), so ``pending`` is exactly the set of sends the next
+        epoch's exchange would deliver.  Link ids are partition-local,
+        so each entry also names its target ``(component, port)`` —
+        identity that survives restoring onto a different rank count.
+        Returns tuples ``(time, priority, link_id, dest_component,
+        dest_port, send_seq, event)``.
+        """
+        exported: List[Tuple] = []
+        for dest_rank, bucket in sorted(self.pending.items()):
+            for (time, priority, link_id, dest, send_seq, event) in bucket:
+                xlink = cross_links[link_id]
+                port = xlink.port_b if dest == xlink.rank_b else xlink.port_a
+                exported.append((time, priority, link_id,
+                                 port.component.name, port.name,
+                                 send_seq, event))
+        return exported

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .config import ConfigGraph, build
+from .core import units
 from .core.backends import make_job_pool
 from .core.units import SimTime
 from .power import CorePowerParams, DesignPoint, WaferParams, evaluate_design_point
@@ -51,23 +52,75 @@ def design_point_graph(workload: str, *, issue_width: int, technology: str,
     return graph
 
 
+def _warm_snapshot_path(warm_dir: Union[str, Path], graph: ConfigGraph,
+                        seed: int, warm_ps: SimTime) -> Path:
+    """Per-point warm-start snapshot location.
+
+    Keyed by the config-graph hash, the seed and the warm prefix
+    length — the inputs that determine the simulated-time prefix
+    bit-exactly — so distinct design points never share a snapshot and
+    a changed graph invalidates the warm cache automatically.
+    """
+    from .obs.manifest import graph_hash
+
+    tag = hashlib.sha256(
+        f"{graph_hash(graph)}/{seed}/{warm_ps}".encode("utf-8")
+    ).hexdigest()[:16]
+    return Path(warm_dir) / f"warm-{tag}"
+
+
 def run_design_point(workload: str, *, issue_width: int = 2,
                      technology: str = "DDR3-1333",
                      instructions: int = 2_000_000, n_cores: int = 1,
                      clock: str = "2GHz", channels: int = 1,
                      memory_gb: float = 4.0, seed: int = 1,
                      core_params: CorePowerParams = CorePowerParams(),
-                     wafer: WaferParams = WaferParams()) -> DesignPoint:
+                     wafer: WaferParams = WaferParams(),
+                     warm_start: Optional[Union[str, int]] = None,
+                     warm_dir: Optional[Union[str, Path]] = None) -> DesignPoint:
     """Simulate one (workload x width x memory) configuration.
 
     Returns a :class:`DesignPoint` carrying runtime, power and cost.
+
+    With ``warm_start`` (a simulated-time prefix, e.g. ``"5us"``) the
+    evaluation resumes from a `repro.ckpt` snapshot of that prefix in
+    ``warm_dir`` when one exists; otherwise it simulates the prefix,
+    snapshots it for next time, and continues.  Either way the executed
+    event sequence — and therefore the returned :class:`DesignPoint` —
+    is identical to a cold evaluation: exact-mode restores are
+    bit-identical and the prefix segmentation is invisible to models.
     """
     graph = design_point_graph(workload, issue_width=issue_width,
                                technology=technology,
                                instructions=instructions, n_cores=n_cores,
                                clock=clock, channels=channels)
-    sim = build(graph, seed=seed)
-    result = sim.run()
+    sim = None
+    result = None
+    if warm_start is not None:
+        if warm_dir is None:
+            raise ValueError("warm_start requires warm_dir")
+        warm_ps = units.parse_time(warm_start, default_unit="ps")
+        wpath = _warm_snapshot_path(warm_dir, graph, seed, warm_ps)
+        if (wpath / "MANIFEST.json").is_file():
+            from .ckpt import restore
+
+            sim = restore(wpath)
+        else:
+            sim = build(graph, seed=seed)
+            prefix = sim.run(max_time=warm_ps, finalize=False)
+            if prefix.reason == "max_time":
+                from .ckpt import snapshot
+
+                snapshot(sim, wpath)
+            else:
+                # The whole run fit inside the warm prefix: nothing to
+                # warm-start from, the prefix result is the result.
+                sim.finish()
+                result = prefix
+    if sim is None:
+        sim = build(graph, seed=seed)
+    if result is None:
+        result = sim.run()
     if result.reason != "exit":
         raise RuntimeError(
             f"design point did not complete: {result.reason} "
@@ -168,6 +221,8 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
           technologies: Sequence[str] = PAPER_TECHNOLOGIES,
           *, backend: str = "serial", jobs: Optional[int] = None,
           cache_dir: Optional[Union[str, Path]] = None,
+          warm_start: Optional[Union[str, int]] = None,
+          warm_dir: Optional[Union[str, Path]] = None,
           **point_kwargs) -> SweepResult:
     """Run the full cartesian design-space sweep.
 
@@ -181,7 +236,20 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
     memory size, power/cost parameters): cached points are loaded
     instead of re-simulated, freshly evaluated points are written back.
     Cache files are read and written only in the calling process.
+
+    ``warm_start`` (a simulated-time prefix) warm-starts every point
+    from a per-point `repro.ckpt` prefix snapshot under ``warm_dir``
+    (defaults to ``cache_dir``): the first sweep simulates and
+    snapshots each prefix, subsequent sweeps restore instead of
+    re-simulating it.  Results are identical to a cold sweep — the
+    result cache key deliberately ignores warm-start settings.
     """
+    if warm_start is not None:
+        warm_root = warm_dir if warm_dir is not None else cache_dir
+        if warm_root is None:
+            raise ValueError("warm_start requires warm_dir (or cache_dir)")
+        point_kwargs = {**point_kwargs, "warm_start": warm_start,
+                        "warm_dir": str(warm_root)}
     keys = [(wl, w, t) for wl in workloads for w in widths
             for t in technologies]
     result = SweepResult()

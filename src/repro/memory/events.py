@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
-from ..core.event import Event
+from ..core.event import Event, IdSource
 
-_req_ids = itertools.count(1)
+# Checkpointable global id stream (repro.ckpt snapshots/restores it, so
+# ids drawn after a restore continue where the captured run left off).
+_req_ids = IdSource("memory.req_id")
 
 
 class MemRequest(Event):

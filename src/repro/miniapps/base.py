@@ -168,6 +168,9 @@ class AppRank(Component):
             raise ValueError(f"{name}: negative noise parameters")
         self.s_noise = self.stats.counter("noise_ps")
         self._program: Optional[Program] = None
+        #: phases consumed from the program generator — the replay
+        #: cursor for checkpoint restore (generators don't pickle).
+        self._phases_done = 0
         self._inbox: Dict[str, int] = {}
         self._waiting_key: Optional[str] = None
         self._waiting_quota = 0
@@ -214,7 +217,43 @@ class AppRank(Component):
             self.s_runtime.add(self.now - self.s_runtime.count)
             self.primary_ok_to_end()
             return
+        self._phases_done += 1
         self._dispatch(phase)
+
+    # -- checkpoint protocol (repro.ckpt) -----------------------------------
+    def capture_state(self):
+        """Everything but the live program generator (not picklable)."""
+        state = super().capture_state()
+        state.pop("_program", None)
+        return state
+
+    def restore_state(self, state) -> None:
+        """Recreate the generator and fast-forward it to the captured phase.
+
+        Program generators are pure functions of the component's
+        configuration plus two side channels — ``self.rng`` draws and
+        statistic bumps (``iteration_done``) made *inside* the generator
+        body.  Both already happened in the captured run, so the replay
+        neutralises them: a scratch RNG while fast-forwarding, and the
+        (already restored) statistic values saved/re-applied around it.
+        The captured ``_rng`` from ``state`` lands last, so the resumed
+        run continues the real random stream bit-exactly.
+        """
+        import numpy as np
+
+        phases = state.get("_phases_done", 0)
+        saved = {name: stat.state_dict()
+                 for name, stat in self.stats.all().items()}
+        self._rng = np.random.default_rng(0)
+        self._program = self.program()
+        for _ in range(phases):
+            try:
+                next(self._program)
+            except StopIteration:  # pragma: no cover - defensive
+                break
+        for name, snap in saved.items():
+            self.stats.all()[name].load_state(snap)
+        super().restore_state(state)
 
     def _noisy(self, duration_ps: SimTime) -> SimTime:
         """Inflate a compute duration with injected OS-noise detours."""

@@ -8,13 +8,13 @@ scaling rather than flit-level router microarchitecture.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
-from ..core.event import Event
+from ..core.event import Event, IdSource
 from ..core.units import SimTime
 
-_msg_ids = itertools.count(1)
+# Checkpointable global id stream (repro.ckpt snapshots/restores it).
+_msg_ids = IdSource("network.msg_id")
 
 
 class NetMessage(Event):

@@ -122,6 +122,15 @@ def build_manifest(target: Union[Simulation, ParallelSimulation], result,
         "run": result.as_dict(),
         "sync": sync,
     }
+    lineage = getattr(target, "checkpoint_lineage", None)
+    written = [str(p) for p in getattr(target, "checkpoints_written", [])]
+    if lineage or written:
+        # Provenance of engine snapshots (repro.ckpt): where this run
+        # was restored from, and which snapshots it produced.
+        manifest["checkpoint"] = {
+            "restored_from": dict(lineage) if lineage else None,
+            "written": written,
+        }
     if telemetry:
         manifest["telemetry"] = dict(telemetry)
     if invocation:

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.component import Component
-from ..core.event import Event
+from ..core.event import Event, IdSource
 from ..core.registry import register
 from ..core.units import SimTime
 from ..memory.dram import DRAMModel, DRAMTech
@@ -164,13 +164,13 @@ class BulkMemRequest(Event):
 
     __slots__ = ("nbytes", "accesses", "req_id")
 
-    _next_id = 0
+    # Checkpointable global id stream (repro.ckpt snapshots/restores it).
+    _ids = IdSource("processor.bulk_req_id")
 
     def __init__(self, nbytes: int, accesses: int):
         self.nbytes = nbytes
         self.accesses = accesses
-        BulkMemRequest._next_id += 1
-        self.req_id = BulkMemRequest._next_id
+        self.req_id = next(BulkMemRequest._ids)
 
 
 class BulkMemResponse(Event):

@@ -138,6 +138,30 @@ class TraceReplayCore(Component):
         if self._drained and not self._inflight:
             self.primary_ok_to_end()  # empty trace
 
+    # -- checkpoint protocol (repro.ckpt) -----------------------------------
+    def capture_state(self):
+        """Everything but the live file iterator (not picklable)."""
+        state = super().capture_state()
+        state.pop("_iterator", None)
+        return state
+
+    def restore_state(self, state) -> None:
+        """Re-open the trace and skip to the captured read position.
+
+        ``_issued`` counts records consumed from the iterator, so
+        re-reading the file and discarding that many records puts the
+        stream exactly where the snapshot left it (trace files are
+        immutable inputs; a changed file would desynchronise the
+        replay exactly as it would any re-run).
+        """
+        super().restore_state(state)
+        self._iterator = read_trace(self.trace_path)
+        for _ in range(self._issued):
+            try:
+                next(self._iterator)
+            except StopIteration:
+                break
+
     def _issue(self) -> bool:
         if self.max_records and self._issued >= self.max_records:
             self._drained = True

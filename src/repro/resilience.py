@@ -19,6 +19,16 @@ Checkpoint *targets* capture the §3.1 comparison: a node-local SSD
 gives every node its full write bandwidth, while a shared parallel
 filesystem divides its aggregate bandwidth across all nodes — so local
 checkpointing wins at scale.
+
+.. note::
+   This module *models* checkpointing of **simulated jobs** — the
+   checkpoints here are fictional payloads whose write times and
+   rework costs are part of the studied system.  Checkpointing of the
+   **engine itself** (snapshot a live simulation to disk, resume or
+   repartition it later, warm-start sweeps) is a different subsystem:
+   :mod:`repro.ckpt`, documented in ``docs/CHECKPOINT.md``.  The two
+   compose — a run full of :class:`CheckpointedJob` components can
+   itself be engine-checkpointed mid-flight.
 """
 
 from __future__ import annotations

@@ -17,7 +17,12 @@ clocked+link workload:
 * arbiter ablation: arbiter-on and arbiter-off runs of one sequential
   simulation agree on everything observable — stats, end time, executed
   events, and the ordered non-tick event sequence — even though their
-  internal tick bookkeeping records differ by design.
+  internal tick bookkeeping records differ by design;
+* checkpoint/resume (PR 5): a run segmented by engine snapshots pops
+  the *same* ``(time, priority, seq)`` sequence as an uninterrupted
+  one, and a run resumed from a snapshot pops exactly the suffix the
+  uninterrupted run would have popped after the snapshot time — the
+  repro.ckpt exactness contract, sequential and parallel.
 """
 
 from __future__ import annotations
@@ -163,3 +168,72 @@ class TestArbiterAblationEquivalence:
         baseline = run_parallel_traced(backend)[1]
         monkeypatch.setenv("REPRO_CLOCK_ARBITER", "1")
         assert run_parallel_traced(backend)[1] == baseline
+
+
+class TestCheckpointResumeBitIdentity:
+    """PR 5 acceptance: checkpoint/resume is bit-identical, not merely
+    stats-equivalent.  The queue seq counter and the bare/instrumented
+    dispatch modes are part of the snapshot, so the resumed engine pops
+    the exact (time, priority, seq) triples the uninterrupted engine
+    would have popped."""
+
+    def _sequential_reference(self):
+        sim = build(mixed_graph(), seed=7)
+        sim._queue = RecordingQueue(sim._queue, [])
+        result = sim.run()
+        return sim._queue.trace, sim.stat_values(), result
+
+    def test_sequential_checkpointed_trace_identical(self, tmp_path):
+        """Segmenting a run into checkpoint intervals is invisible: the
+        full pop trace matches an unsegmented run's exactly."""
+        trace, stats, cold = self._sequential_reference()
+        sim = build(mixed_graph(), seed=7)
+        sim._queue = RecordingQueue(sim._queue, [])
+        sim.run(checkpoint_every=cold.end_time // 4,
+                checkpoint_dir=str(tmp_path))
+        assert sim._queue.trace == trace
+        assert sim.stat_values() == stats
+
+    def test_sequential_resume_trace_is_exact_suffix(self, tmp_path):
+        from repro.ckpt import restore, snapshot_info
+
+        trace, stats, cold = self._sequential_reference()
+        sim = build(mixed_graph(), seed=7)
+        sim.run(checkpoint_every=cold.end_time // 4,
+                checkpoint_dir=str(tmp_path))
+        mid = sim.checkpoints_written[1]
+        cut = snapshot_info(mid)["sim_time_ps"]
+        resumed = restore(mid)
+        resumed._queue = RecordingQueue(resumed._queue, [])
+        resumed.run()
+        suffix = [entry for entry in trace if entry[0] > cut]
+        assert resumed._queue.trace == suffix
+        assert suffix  # the cut really was mid-run
+        assert resumed.stat_values() == stats
+
+    def test_parallel_resume_traces_are_exact_suffixes(self, tmp_path):
+        """2-rank exact restore: every rank's resumed pop trace is the
+        uninterrupted run's per-rank suffix after the snapshot time
+        (pending cross-rank sends included, with the same seqs)."""
+        from repro.ckpt import restore, snapshot_info
+
+        traces, stats, _summary = run_parallel_traced("serial")
+        psim = build_parallel(mixed_graph(), 2, strategy="round_robin",
+                              seed=7, backend="serial")
+        psim.run(checkpoint_every="60ns", checkpoint_dir=str(tmp_path))
+        mid = psim.checkpoints_written[0]
+        cut = snapshot_info(mid)["sim_time_ps"]
+        psim.close()
+        resumed = restore(mid)
+        resumed_traces = []
+        for rank in range(resumed.num_ranks):
+            sim = resumed.rank_sim(rank)
+            sim._queue = RecordingQueue(sim._queue, [])
+            resumed_traces.append(sim._queue.trace)
+        resumed.run()
+        resumed.close()
+        assert resumed.stat_values() == stats
+        for rank in range(2):
+            suffix = [entry for entry in traces[rank] if entry[0] > cut]
+            assert resumed_traces[rank] == suffix, rank
+            assert suffix, rank
