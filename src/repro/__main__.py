@@ -12,10 +12,11 @@
 * ``sweep``                 — run the paper's design-space study
   (workload x issue width x memory technology) on a job pool, with
   optional per-point result caching.
-* ``obs``                   — post-hoc telemetry tools: merge per-rank
-  streams into one Perfetto trace (``obs merge``), diagnose sync/load
-  imbalance (``obs imbalance``), or summarize a run's artifacts
-  (``obs report``).
+* ``obs``                   — telemetry tools: merge per-rank streams
+  into one Perfetto trace (``obs merge``), diagnose sync/load
+  imbalance (``obs imbalance``), summarize a run's artifacts
+  (``obs report``), or attach a live console view to a *running*
+  simulation (``obs top``; pairs with ``run --serve-metrics``).
 * ``ckpt``                  — engine snapshots (``repro.ckpt``):
   inspect a snapshot directory (``ckpt info``) or resume a run from
   one (``ckpt resume``), optionally on a different backend or rank
@@ -83,6 +84,79 @@ def _make_observability(args: argparse.Namespace, target):
     return telemetry, profiler, chrome, progress
 
 
+def _make_live(args: argparse.Namespace, target, telemetry):
+    """Attach the live plane (repro.obs.live) when the run asked for it.
+
+    Returns ``(live, server, watchdog)``, all None when neither
+    ``--serve-metrics``, ``--live-segment`` nor ``--watchdog`` was given.
+    """
+    if not (args.serve_metrics or args.live_segment
+            or args.watchdog is not None):
+        return None, None, None
+    from .core import units
+    from .obs.live import (LiveMetrics, MetricsServer, StallWatchdog,
+                           default_segment_path, make_run_render)
+
+    if args.live_segment:
+        seg = args.live_segment
+    elif args.metrics:
+        seg = str(default_segment_path(args.metrics))
+    else:
+        seg = args.config + ".live"
+    limit_ps = (units.parse_time(args.max_time, default_unit="ps")
+                if args.max_time else 0)
+    live = LiveMetrics(seg, watchdog_dumps=args.watchdog is not None,
+                       limit_ps=limit_ps or 0)
+    live.attach(target)
+    print(f"live segment -> {seg}")
+    server = None
+    if args.serve_metrics:
+        server = MetricsServer(args.serve_metrics, make_run_render(seg))
+        server.start()
+        print(f"serving metrics on {server.url}/metrics "
+              f"(status: {server.url}/status)")
+    watchdog = None
+    if args.watchdog is not None:
+        watchdog = StallWatchdog(seg, threshold_s=args.watchdog,
+                                 abort=args.watchdog_abort,
+                                 telemetry=telemetry, target=target)
+        watchdog.start()
+    return live, server, watchdog
+
+
+def _finish_live(live, server, watchdog, result) -> None:
+    if watchdog is not None:
+        watchdog.stop()
+    if live is not None:
+        live.finalize(result)
+    if server is not None:
+        server.stop()
+
+
+def _run_with_live(args, target, telemetry, run_fn):
+    """Run ``run_fn()`` under the live plane; returns (result, exit_code).
+
+    A watchdog abort surfaces as a clean error (exit 1) instead of a
+    traceback; any other exception tears the live plane down and
+    propagates.
+    """
+    live, server, watchdog = _make_live(args, target, telemetry)
+    try:
+        result = run_fn()
+    except BaseException as exc:
+        if watchdog is not None and watchdog.stalls:
+            _finish_live(live, server, watchdog, None)
+            stall = watchdog.stalls[-1]
+            print(f"error: run aborted after rank {stall['rank']} stalled "
+                  f"({stall['progress_age_s']:.1f}s without progress): "
+                  f"{exc}", file=sys.stderr)
+            return None, 1
+        _finish_live(live, server, watchdog, None)
+        raise
+    _finish_live(live, server, watchdog, result)
+    return result, 0
+
+
 def _finish_observability(args, result, graph, telemetry, profiler, chrome,
                           progress) -> None:
     if progress is not None:
@@ -125,7 +199,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                               seed=args.seed, queue=args.queue,
                               backend=args.backend)
         instruments = _make_observability(args, psim)
-        result = psim.run(max_time=args.max_time, **ckpt_kwargs)
+        result, code = _run_with_live(
+            args, psim, instruments[0],
+            lambda: psim.run(max_time=args.max_time, **ckpt_kwargs))
+        if result is None:
+            return code
         _finish_observability(args, result, graph, *instruments)
         print(f"parallel run: {result.reason} at {result.end_time} ps; "
               f"{result.events_executed} events "
@@ -149,7 +227,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace_log = EventTraceLog(sim, args.trace,
                                       component_filter=args.trace_filter)
         instruments = _make_observability(args, sim)
-        result = sim.run(max_time=args.max_time, **ckpt_kwargs)
+        result, code = _run_with_live(
+            args, sim, instruments[0],
+            lambda: sim.run(max_time=args.max_time, **ckpt_kwargs))
+        if result is None:
+            return code
         _finish_observability(args, result, graph, *instruments)
         if trace_log is not None:
             trace_log.detach()
@@ -184,10 +266,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     workloads = args.workloads or list(PAPER_WORKLOADS)
     widths = args.widths or list(PAPER_WIDTHS)
     technologies = args.technologies or list(PAPER_TECHNOLOGIES)
-    result = sweep(workloads, widths, technologies,
-                   backend=args.backend, jobs=args.jobs,
-                   cache_dir=args.cache_dir,
-                   instructions=args.instructions, seed=args.seed)
+    live_path = args.live_segment
+    if args.serve_metrics and not live_path:
+        live_path = "sweep.live"
+    server = None
+    if args.serve_metrics:
+        from .obs.live import MetricsServer, make_sweep_render
+
+        server = MetricsServer(args.serve_metrics,
+                               make_sweep_render(live_path))
+        server.start()
+        print(f"serving fleet status on {server.url}/status "
+              f"(metrics: {server.url}/metrics)")
+    if live_path:
+        print(f"sweep live segment -> {live_path}")
+    try:
+        result = sweep(workloads, widths, technologies,
+                       backend=args.backend, jobs=args.jobs,
+                       cache_dir=args.cache_dir,
+                       instructions=args.instructions, seed=args.seed,
+                       live_path=live_path)
+    finally:
+        if server is not None:
+            server.stop()
     print(f"{len(result.points)} design points "
           f"({len(workloads)} workloads x {len(widths)} widths x "
           f"{len(technologies)} technologies)")
@@ -257,9 +358,24 @@ def _cmd_topo(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from .obs.merge import RunArtifacts, merge_to_file, merge_trace
 
+    if args.obs_command == "top":
+        from .obs.live import SegmentError, run_top
+
+        try:
+            return run_top(args.target, interval_s=args.interval,
+                           frames=args.frames, once=args.once)
+        except (SegmentError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
     if args.obs_command == "merge":
-        out = merge_to_file(args.metrics, args.output)
-        artifacts = RunArtifacts(args.metrics)
+        try:
+            out = merge_to_file(args.metrics, args.output)
+            artifacts = RunArtifacts(args.metrics)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot merge {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
         spans = sum(1 for records in artifacts.rank_records.values()
                     for r in records if r.get("kind") == "span")
         print(f"merged trace -> {out} "
@@ -272,7 +388,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "imbalance":
         from .obs.imbalance import analyze_artifacts
 
-        report = analyze_artifacts(RunArtifacts(args.metrics))
+        try:
+            report = analyze_artifacts(RunArtifacts(args.metrics))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot analyze {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
         print(report.report(top=args.top))
         if args.json:
             import json as _json
@@ -285,7 +406,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "report":
         from .obs.imbalance import analyze_artifacts
 
-        artifacts = RunArtifacts(args.metrics)
+        try:
+            artifacts = RunArtifacts(args.metrics)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
         start = artifacts.run_start
         end = artifacts.run_end or {}
         run = end.get("run", {})
@@ -320,10 +446,34 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                   f"imbalance factor: {report.imbalance_factor:.3f}  "
                   f"events skew: {report.events_skew:.3f}"
                   + (f"  critical rank: {critical.rank}" if critical else ""))
-        manifest = artifacts.metrics_path.with_name(
+        manifest_path = artifacts.metrics_path.with_name(
             artifacts.metrics_path.name + ".manifest.json")
-        if manifest.exists():
-            print(f"manifest: {manifest}")
+        if manifest_path.exists():
+            import json as _json
+
+            print(f"manifest: {manifest_path}")
+            try:
+                with open(manifest_path, encoding="utf-8") as fh:
+                    manifest = _json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"error: malformed manifest {manifest_path}: {exc}",
+                      file=sys.stderr)
+                return 1
+            ckpt = manifest.get("checkpoint") or {}
+            restored = ckpt.get("restored_from")
+            if restored:
+                print(f"checkpoint lineage: restored from "
+                      f"{restored.get('snapshot', '?')} at "
+                      f"{restored.get('sim_time_ps', '?')} ps "
+                      f"({restored.get('mode', '?')} restore)")
+            written = ckpt.get("written") or []
+            if written:
+                print(f"snapshots written: {len(written)}")
+                for path in written:
+                    print(f"  {path}")
+            live_seg = (manifest.get("telemetry") or {}).get("live_segment")
+            if live_seg:
+                print(f"live segment: {live_seg}")
         return 0
 
     raise AssertionError(args.obs_command)  # pragma: no cover
@@ -436,6 +586,21 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint-dir", default="checkpoints",
                      help="directory receiving ckpt-NNNN snapshot "
                           "subdirectories (default: checkpoints)")
+    run.add_argument("--serve-metrics", default=None, metavar="[HOST]:PORT",
+                     help="serve live run metrics over HTTP: OpenMetrics "
+                          "at /metrics, JSON at /status (repro.obs.live)")
+    run.add_argument("--live-segment", default=None,
+                     help="live shared-memory segment path (default: "
+                          "<metrics>.live, or <config>.live without "
+                          "--metrics); readable with 'obs top' while the "
+                          "run is in flight")
+    run.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                     help="flag ranks making no progress for this many "
+                          "seconds; hung processes-backend workers get a "
+                          "stack dump via faulthandler")
+    run.add_argument("--watchdog-abort", action="store_true",
+                     help="terminate a stalled rank after dumping its "
+                          "stack (the run fails with diagnostics)")
     run.set_defaults(func=_cmd_run)
 
     swp = sub.add_parser("sweep", help="run the design-space study")
@@ -459,6 +624,12 @@ def make_parser() -> argparse.ArgumentParser:
                           "simulating)")
     swp.add_argument("-o", "--output", default=None,
                      help="write the design-point grid to a JSON file")
+    swp.add_argument("--serve-metrics", default=None, metavar="[HOST]:PORT",
+                     help="serve fleet-wide point status and ETA over "
+                          "HTTP while the sweep runs")
+    swp.add_argument("--live-segment", default=None,
+                     help="sweep live segment path (default: sweep.live "
+                          "when --serve-metrics is set)")
     swp.set_defaults(func=_cmd_sweep)
 
     info = sub.add_parser("info", help="summarize a machine description")
@@ -506,6 +677,19 @@ def make_parser() -> argparse.ArgumentParser:
         "report", help="summarize a recorded run's artifacts")
     rep.add_argument("metrics")
     rep.set_defaults(func=_cmd_obs)
+    top = obs_sub.add_parser(
+        "top", help="live console view of a running simulation "
+                    "(attaches read-only to its .live segment)")
+    top.add_argument("target",
+                     help="segment file, metrics path, or run directory "
+                          "(newest *.live inside is used)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (for scripting)")
+    top.add_argument("--frames", type=_positive_int, default=None,
+                     help="exit after this many frames")
+    top.set_defaults(func=_cmd_obs)
 
     ckpt = sub.add_parser("ckpt", help="inspect or resume engine "
                                        "snapshots (repro.ckpt)")

@@ -448,6 +448,30 @@ class ProcessesBackend(ExecutionBackend):
         _send_msg(self._conns[rank], ("snapshot", shard_path))
         return self._recv(rank)
 
+    def worker_pid(self, rank: int) -> Optional[int]:
+        """The pid of the forked worker that owns ``rank`` (or None)."""
+        if rank < len(self._procs):
+            return self._procs[rank].pid
+        return None
+
+    def request_stack_dump(self, rank: int, dump_path: str, *,
+                           timeout_s: float = 2.0) -> Optional[str]:
+        """Extract a stack dump from rank ``rank``'s worker via SIGUSR1.
+
+        Only works when the run's plan carried ``live_dump_base`` (the
+        worker registered the faulthandler signal at startup — see
+        :func:`repro.obs.live.watchdog.enable_stack_dump_signal`).  The
+        pipe command channel is deliberately not used: a wedged worker
+        never returns to the command loop, while the signal path dumps
+        from any state.
+        """
+        from ..obs.live.watchdog import request_stack_dump
+
+        pid = self.worker_pid(rank)
+        if pid is None:
+            return None
+        return request_stack_dump(pid, dump_path, timeout_s=timeout_s)
+
     def _recv(self, rank: int):
         try:
             msg = _recv_msg(self._conns[rank])
@@ -522,6 +546,16 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                   f"start; continuing without it:\n{_tb.format_exc()}",
                   file=sys.stderr)
             recorder = None
+        # Watchdog stack dumps: register SIGUSR1 -> faulthandler so the
+        # parent can extract this worker's stack even while it is wedged
+        # inside a handler.
+        dump_base = getattr(plan, "live_dump_base", None)
+        if dump_base:
+            try:
+                from ..obs.live.watchdog import enable_stack_dump_signal
+                enable_stack_dump_signal(f"{dump_base}.stack.rank{rank}")
+            except Exception:  # pragma: no cover - defensive
+                pass
     # Setup-time sends were captured by the parent at fork; drop the
     # inherited copies so they are not delivered twice.
     for by_dest in psim._outboxes:

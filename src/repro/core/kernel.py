@@ -133,6 +133,11 @@ def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
     # float("inf") turns "no budget" into a single cheap comparison.
     budget = ctx.max_events if ctx.max_events is not None else float("inf")
     records = 0
+    # Live-plane boundary marks (repro.obs.live): per-invocation, never
+    # per-event, so bare-mode dispatch cost is unchanged.
+    live = sim._live_publisher
+    if live is not None:
+        live.on_kernel_enter()
     try:
         while reason is None:
             if sim._instr is not None:
@@ -234,6 +239,8 @@ def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
                     sim._events_executed += executed
     finally:
         sim._running = False
+        if live is not None:
+            live.on_kernel_exit()
     wall = _wall_time.perf_counter() - start_wall
     if ctx.finalize and reason in ("exhausted", "exit", "stopped", "max_time"):
         sim.finish()
@@ -261,6 +268,9 @@ def kernel_step(sim: "Simulation", until: SimTime) -> int:
     pop = queue.pop
     release = release_record
     start_executed = sim._events_executed
+    live = sim._live_publisher
+    if live is not None:
+        live.on_kernel_enter()
     if sim._instr is not None:
         # Instrumented window: per-event probe (observers may detach
         # mid-window), no record pooling — observers may retain records.
@@ -299,6 +309,10 @@ def kernel_step(sim: "Simulation", until: SimTime) -> int:
             sim._events_executed += count
     if sim.now < until:
         sim.now = until
+    if live is not None:
+        # No finally: if a handler raised, the rank dies RUNNING and the
+        # watchdog's publish-age signal picks it up.
+        live.on_kernel_exit()
     return sim._events_executed - start_executed
 
 

@@ -221,6 +221,11 @@ class ParallelSimulation:
         #: finalize.  None = nothing to re-attach (per-event observers
         #: are then detached with a RankObservabilityWarning).
         self.rank_plan: Optional[Any] = None
+        #: live-plane handle (duck-typed; in practice a
+        #: :class:`repro.obs.live.LiveMetrics`).  Set by attach(); run()
+        #: notifies it once with the stop reason so the run slot is
+        #: marked done even before finalize tears the plane down.
+        self.live: Optional[Any] = None
         self._setup_done = False
         #: set when a processes-backend run stopped on a limit: the
         #: worker queues died with the workers, so resuming is invalid.
@@ -521,6 +526,11 @@ class ParallelSimulation:
             if sim.now < end_time:
                 sim.now = end_time
         self.finish()
+        if self.live is not None:
+            try:
+                self.live.on_run_end(reason)
+            except Exception:  # live plane must never fail a run
+                pass
         wall = perf() - start_wall
         per_rank = [
             sim.events_executed - s0 for sim, s0 in zip(self._sims, start_events)

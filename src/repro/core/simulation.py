@@ -144,6 +144,11 @@ class Simulation:
         self._span_observers: List[Any] = []
         self._heartbeats: Dict[Any, int] = {}
         self._instr = None
+        #: live-plane publisher (repro.obs.live); duck-typed — anything
+        #: with on_kernel_enter()/on_kernel_exit().  The kernel loop
+        #: pays one `is not None` check per *invocation* (not per
+        #: event), so the bare hot path stays untouched.
+        self._live_publisher = None
         #: engine-level statistics (parallel-sync metrics etc.) — kept
         #: separate from component stats so sequential/parallel stat
         #: equivalence is preserved; see sync_stats().

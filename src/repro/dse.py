@@ -210,10 +210,34 @@ def _point_cache_key(workload: str, width: int, technology: str,
 
 def _sweep_eval(spec) -> DesignPoint:
     """Evaluate one sweep point (module-level so it pickles for the
-    processes job pool)."""
-    workload, width, technology, point_kwargs = spec
-    return run_design_point(workload, issue_width=width,
-                            technology=technology, **point_kwargs)
+    processes job pool).
+
+    ``spec`` is ``(workload, width, technology, point_kwargs)`` plus an
+    optional fifth element ``(live_path, slot_index)`` marking this
+    point's slot in a fleet live segment (:mod:`repro.obs.live.sweep`).
+    """
+    workload, width, technology, point_kwargs = spec[:4]
+    live = None
+    start_mono = 0.0
+    if len(spec) > 4 and spec[4] is not None:
+        live_path, slot = spec[4]
+        try:
+            from .obs.live.sweep import SweepLive
+
+            live = SweepLive.open(live_path)
+            start_mono = live.mark_running(slot)
+        except Exception:  # fleet status must never fail an evaluation
+            live = None
+    try:
+        point = run_design_point(workload, issue_width=width,
+                                 technology=technology, **point_kwargs)
+    except BaseException:
+        if live is not None:
+            live.mark_done(slot, start_mono, failed=True)
+        raise
+    if live is not None:
+        live.mark_done(slot, start_mono)
+    return point
 
 
 def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
@@ -223,6 +247,7 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
           cache_dir: Optional[Union[str, Path]] = None,
           warm_start: Optional[Union[str, int]] = None,
           warm_dir: Optional[Union[str, Path]] = None,
+          live_path: Optional[Union[str, Path]] = None,
           **point_kwargs) -> SweepResult:
     """Run the full cartesian design-space sweep.
 
@@ -243,6 +268,11 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
     snapshots each prefix, subsequent sweeps restore instead of
     re-simulating it.  Results are identical to a cold sweep — the
     result cache key deliberately ignores warm-start settings.
+
+    ``live_path`` creates a fleet live segment with one slot per design
+    point (:mod:`repro.obs.live.sweep`): pool workers mark their points
+    running/done in flight, so ``obs top`` and ``sweep
+    --serve-metrics`` can show fleet-wide completion and ETA.
     """
     if warm_start is not None:
         warm_root = warm_dir if warm_dir is not None else cache_dir
@@ -252,6 +282,13 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
                         "warm_dir": str(warm_root)}
     keys = [(wl, w, t) for wl in workloads for w in widths
             for t in technologies]
+    fleet = None
+    slot_of: Dict[Tuple[str, int, str], int] = {}
+    if live_path is not None:
+        from .obs.live.sweep import SweepLive
+
+        fleet = SweepLive.create(live_path, len(keys))
+        slot_of = {key: i for i, key in enumerate(keys)}
     result = SweepResult()
     todo: List[Tuple[str, int, str]] = []
     cache = Path(cache_dir) if cache_dir is not None else None
@@ -266,25 +303,38 @@ def sweep(workloads: Sequence[str] = PAPER_WORKLOADS,
                 try:
                     data = json.loads(path.read_text(encoding="utf-8"))
                     result.points[key] = DesignPoint(**data)
+                    if fleet is not None:
+                        # Cache hits are done before the pool starts.
+                        from .obs.live.sweep import POINT_DONE
+                        fleet.mark(slot_of[key], POINT_DONE)
                     continue
                 except (ValueError, TypeError):
                     pass  # corrupt or stale entry: fall through, re-evaluate
             todo.append(key)
     else:
         todo = list(keys)
-    if todo:
-        specs = [(wl, w, t, point_kwargs) for (wl, w, t) in todo]
-        with make_job_pool(backend, jobs) as pool:
-            points = pool.map(_sweep_eval, specs)
-        for key, point in zip(todo, points):
-            result.points[key] = point
-            if cache is not None:
-                path = cache / f"{cache_keys[key]}.json"
-                path.write_text(
-                    json.dumps(dataclasses.asdict(point), indent=2,
-                               sort_keys=True),
-                    encoding="utf-8",
-                )
+    try:
+        if todo:
+            specs = []
+            for key in todo:
+                spec = key + (point_kwargs,)
+                if fleet is not None:
+                    spec = spec + ((str(live_path), slot_of[key]),)
+                specs.append(spec)
+            with make_job_pool(backend, jobs) as pool:
+                points = pool.map(_sweep_eval, specs)
+            for key, point in zip(todo, points):
+                result.points[key] = point
+                if cache is not None:
+                    path = cache / f"{cache_keys[key]}.json"
+                    path.write_text(
+                        json.dumps(dataclasses.asdict(point), indent=2,
+                                   sort_keys=True),
+                        encoding="utf-8",
+                    )
+    finally:
+        if fleet is not None:
+            fleet.close()
     # Restore the declared grid order (cache hits landed first).
     result.points = {key: result.points[key] for key in keys}
     return result

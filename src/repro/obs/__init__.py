@@ -23,7 +23,11 @@ the *simulated machine*, which the statistics system covers):
   rank plus a sync lane;
 * :func:`analyze` (:mod:`repro.obs.imbalance`) — post-hoc sync/load
   diagnostics: straggler attribution, busy-vs-barrier wall time,
-  events-per-rank skew (``python -m repro obs imbalance``).
+  events-per-rank skew (``python -m repro obs imbalance``);
+* :mod:`repro.obs.live` — the *live* plane: per-rank metrics published
+  into a shared-memory segment while the run is in flight, an
+  OpenMetrics/JSON HTTP endpoint (``run --serve-metrics``), the
+  ``obs top`` console view and the stall watchdog.
 
 Everything attaches through the engine's observer dispatch
 (:meth:`Simulation.add_trace_observer` / ``add_span_observer`` /
@@ -34,7 +38,11 @@ installed.  See ``docs/OBSERVABILITY.md`` for the schemas and usage.
 
 from ..core.backends import RankObservabilityWarning
 from .chrome_trace import ChromeTraceExporter, build_trace_dict
+from .format import fmt_age, fmt_count, fmt_duration, fmt_rate
 from .imbalance import ImbalanceReport, RankSummary, analyze
+from .live import (LiveMetrics, LiveSegment, LiveView, MetricsRegistry,
+                   MetricsServer, StallWatchdog, default_segment_path,
+                   resolve_segment, run_top)
 from .manifest import (MANIFEST_SCHEMA, append_json_record, build_manifest,
                        environment_info, graph_hash, write_manifest)
 from .merge import RunArtifacts, find_rank_shards, merge_to_file, merge_trace
@@ -48,8 +56,13 @@ __all__ = [
     "ChromeTraceExporter",
     "HandlerProfiler",
     "ImbalanceReport",
+    "LiveMetrics",
+    "LiveSegment",
+    "LiveView",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsServer",
     "ProfileRow",
     "ProgressReporter",
     "RANK_STREAM_SCHEMA",
@@ -58,18 +71,26 @@ __all__ = [
     "RankStreamPlan",
     "RankSummary",
     "RunArtifacts",
+    "StallWatchdog",
     "TelemetryRecorder",
     "analyze",
     "append_json_record",
     "attribute_event",
     "build_manifest",
     "build_trace_dict",
+    "default_segment_path",
     "ensure_rank_plan",
     "environment_info",
     "find_rank_shards",
+    "fmt_age",
+    "fmt_count",
+    "fmt_duration",
+    "fmt_rate",
     "graph_hash",
     "merge_to_file",
     "merge_trace",
     "rank_shard_path",
+    "resolve_segment",
+    "run_top",
     "write_manifest",
 ]

@@ -1,0 +1,43 @@
+"""Shared human-readable number formatting for observability output.
+
+One home for the count/rate/duration formatting used by the progress
+reporter (:mod:`repro.obs.progress`), the live ``obs top`` renderer
+(:mod:`repro.obs.live.top`) and the stall watchdog, so a "1.23M" in a
+progress line and a "1.23M" in the live console view always mean the
+same thing.
+"""
+
+from __future__ import annotations
+
+
+def fmt_count(n: float) -> str:
+    """``1234567 -> "1.23M"`` (G/M/k suffixes, plain below 1000)."""
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if n >= scale:
+            return f"{n / scale:.2f}{suffix}"
+    return f"{n:.0f}"
+
+
+def fmt_rate(per_second: float) -> str:
+    """An events-per-second figure: ``fmt_count`` plus the unit."""
+    return f"{fmt_count(per_second)}/s"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Wall-clock duration: ``90.5 -> "1m30s"``, ``0.25 -> "0.25s"``."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 60:
+        return f"{seconds:.2f}s" if seconds < 10 else f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def fmt_age(seconds: float) -> str:
+    """A heartbeat age: sub-second resolution below 10s, then duration."""
+    if seconds < 10:
+        return f"{seconds:.1f}s"
+    return fmt_duration(seconds)

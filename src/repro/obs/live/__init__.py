@@ -1,0 +1,77 @@
+"""Live observability plane: shared-memory rank metrics for running sims.
+
+Each rank publishes counters/gauges into a fixed-slot mmap segment
+(:mod:`segment`); a :class:`MetricsRegistry` names and renders them
+(:mod:`registry`); :class:`LiveMetrics` wires publication into a run
+from the existing heartbeat/epoch hooks (:mod:`publish`); readers are
+the OpenMetrics/JSON HTTP endpoint (:mod:`server`), the ``obs top``
+console view (:mod:`top`) and the stall watchdog (:mod:`watchdog`).
+``dse.sweep`` fleets get the same treatment in :mod:`sweep`.
+"""
+
+from .publish import LiveMetrics, SlotSampler
+from .registry import MetricSpec, MetricsRegistry, eta_seconds
+from .segment import (
+    KIND_RUN,
+    KIND_SWEEP,
+    STATE_DONE,
+    STATE_INIT,
+    STATE_NAMES,
+    STATE_RUNNING,
+    STATE_WAITING,
+    LiveSegment,
+    LiveView,
+    RankSlotWriter,
+    SegmentError,
+    default_segment_path,
+    resolve_segment,
+)
+from .server import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    make_run_render,
+    parse_address,
+)
+from .sweep import SweepLive, make_sweep_render, sweep_status
+from .top import render_frame, run_top, straggler
+from .watchdog import (
+    StallWatchdog,
+    enable_stack_dump_signal,
+    request_stack_dump,
+    stack_dump_path,
+)
+
+__all__ = [
+    "KIND_RUN",
+    "KIND_SWEEP",
+    "STATE_DONE",
+    "STATE_INIT",
+    "STATE_NAMES",
+    "STATE_RUNNING",
+    "STATE_WAITING",
+    "OPENMETRICS_CONTENT_TYPE",
+    "LiveMetrics",
+    "LiveSegment",
+    "LiveView",
+    "MetricSpec",
+    "MetricsRegistry",
+    "MetricsServer",
+    "RankSlotWriter",
+    "SegmentError",
+    "SlotSampler",
+    "StallWatchdog",
+    "SweepLive",
+    "default_segment_path",
+    "enable_stack_dump_signal",
+    "eta_seconds",
+    "make_run_render",
+    "make_sweep_render",
+    "parse_address",
+    "render_frame",
+    "request_stack_dump",
+    "resolve_segment",
+    "run_top",
+    "stack_dump_path",
+    "straggler",
+    "sweep_status",
+]

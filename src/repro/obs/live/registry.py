@@ -1,0 +1,201 @@
+"""The metric registry: names, types and rendering for live metrics.
+
+A :class:`MetricsRegistry` is the declarative layer between the raw
+segment slots (:mod:`repro.obs.live.segment`) and everything that
+serves or displays them: each :class:`MetricSpec` names one
+counter/gauge/histogram, says which slot field feeds it and at which
+scope (per rank or per run), and the registry renders a segment
+snapshot either as OpenMetrics/Prometheus text (the ``/metrics``
+endpoint) or as a JSON status document (the ``/status`` endpoint and
+``dse.sweep`` fleet views).
+
+The default registry is auto-populated from engine state — events
+executed, queue depth, sim time, epoch index, barrier/exchange time,
+heartbeat age — so a scraper gets the same vocabulary
+``docs/OBSERVABILITY.md`` documents without any per-run configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .segment import HIST_BOUNDS
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One named metric: where it comes from and how it is exposed."""
+
+    name: str     #: OpenMetrics family name (``repro_...``)
+    kind: str     #: "counter" | "gauge" | "histogram"
+    help: str     #: one-line HELP text
+    field: str    #: slot-dict field the value is read from
+    scope: str    #: "rank" (one sample per rank) | "run"
+
+
+#: per-rank metrics, fed from the rank slots.
+RANK_METRICS = (
+    MetricSpec("repro_rank_events", COUNTER,
+               "Events executed on this rank", "events", "rank"),
+    MetricSpec("repro_rank_queue_depth", GAUGE,
+               "Pending events in this rank's queue", "queued", "rank"),
+    MetricSpec("repro_rank_sim_time_picoseconds", GAUGE,
+               "This rank's simulated-time high-water mark", "sim_ps",
+               "rank"),
+    MetricSpec("repro_rank_epochs", COUNTER,
+               "Kernel windows (epochs) completed on this rank", "epoch",
+               "rank"),
+    MetricSpec("repro_rank_busy_seconds", COUNTER,
+               "Wall time this rank spent executing kernel windows",
+               "busy_s", "rank"),
+    MetricSpec("repro_rank_heartbeat_age_seconds", GAUGE,
+               "Seconds since this rank last published its slot", "age_s",
+               "rank"),
+    MetricSpec("repro_rank_state", GAUGE,
+               "Rank state (0=init 1=running 2=waiting 3=done)", "state",
+               "rank"),
+    MetricSpec("repro_rank_step_seconds", HISTOGRAM,
+               "Distribution of per-epoch kernel window wall time", "hist",
+               "rank"),
+    MetricSpec("repro_rank_barrier_seconds", COUNTER,
+               "Wall time this rank spent waiting at the epoch barrier",
+               "barrier_s", "rank"),
+)
+
+#: run-level metrics, fed from the parent's run slot.
+RUN_METRICS = (
+    MetricSpec("repro_run_epochs", COUNTER,
+               "Conservative-sync epochs completed", "epoch", "run"),
+    MetricSpec("repro_run_events", COUNTER,
+               "Events executed across all ranks", "events", "run"),
+    MetricSpec("repro_run_exchanged_events", COUNTER,
+               "Events exchanged across rank boundaries", "exchanged",
+               "run"),
+    MetricSpec("repro_run_sim_time_picoseconds", GAUGE,
+               "Global simulated-time high-water mark", "now_ps", "run"),
+    MetricSpec("repro_run_exchange_seconds", COUNTER,
+               "Wall time spent in cross-rank exchange", "exchange_s",
+               "run"),
+    MetricSpec("repro_run_exec_seconds", COUNTER,
+               "Wall time spent executing epoch windows (all ranks)",
+               "exec_s", "run"),
+    MetricSpec("repro_run_state", GAUGE,
+               "Run state (0=init 1=running 3=done)", "state", "run"),
+)
+
+
+class MetricsRegistry:
+    """Render segment snapshots as OpenMetrics text or status JSON."""
+
+    def __init__(self, specs: Optional[List[MetricSpec]] = None):
+        self.specs: List[MetricSpec] = (
+            list(specs) if specs is not None
+            else list(RANK_METRICS) + list(RUN_METRICS))
+
+    # ------------------------------------------------------------------
+    # OpenMetrics / Prometheus exposition
+    # ------------------------------------------------------------------
+    def render_openmetrics(self, snapshot: Dict[str, Any]) -> str:
+        ranks = [s for s in snapshot.get("ranks", []) if s is not None]
+        run = snapshot.get("run") or {}
+        barrier = run.get("barrier_s") or []
+        lines: List[str] = []
+        for spec in self.specs:
+            suffix = "_total" if spec.kind == COUNTER else ""
+            lines.append(f"# TYPE {spec.name} {spec.kind}")
+            lines.append(f"# HELP {spec.name} {spec.help}")
+            if spec.scope == "run":
+                if run:
+                    value = run.get(spec.field, 0)
+                    lines.append(f"{spec.name}{suffix} {_num(value)}")
+                continue
+            for slot in ranks:
+                rank = slot["rank"]
+                label = f'{{rank="{rank}"}}'
+                if spec.kind == HISTOGRAM:
+                    lines.extend(self._render_hist(spec, slot))
+                    continue
+                if spec.field == "barrier_s":
+                    # barrier wait is accounted parent-side (the run
+                    # slot carries the per-rank array).
+                    if rank < len(barrier):
+                        lines.append(
+                            f"{spec.name}{suffix}{label} "
+                            f"{_num(barrier[rank])}")
+                    continue
+                value = slot.get(spec.field, 0)
+                lines.append(f"{spec.name}{suffix}{label} {_num(value)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_hist(spec: MetricSpec, slot: Dict[str, Any]) -> List[str]:
+        rank = slot["rank"]
+        hist = slot.get(spec.field) or []
+        out: List[str] = []
+        cumulative = 0
+        bounds = [str(b) for b in HIST_BOUNDS] + ["+Inf"]
+        for bucket, le in zip(hist, bounds):
+            cumulative += bucket
+            out.append(f'{spec.name}_bucket{{rank="{rank}",le="{le}"}} '
+                       f"{cumulative}")
+        out.append(f'{spec.name}_count{{rank="{rank}"}} {cumulative}')
+        out.append(f'{spec.name}_sum{{rank="{rank}"}} '
+                   f"{_num(slot.get('busy_s', 0.0))}")
+        return out
+
+    # ------------------------------------------------------------------
+    # JSON status
+    # ------------------------------------------------------------------
+    def status(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``/status`` JSON document for one snapshot."""
+        header = snapshot.get("header", {})
+        run = snapshot.get("run")
+        ranks = [s for s in snapshot.get("ranks", []) if s is not None]
+        doc: Dict[str, Any] = {
+            "segment": snapshot.get("path"),
+            "backend": header.get("backend"),
+            "mode": header.get("mode"),
+            "ranks": header.get("slots"),
+            "created_unix": header.get("created_unix"),
+            "per_rank": [
+                {k: slot[k] for k in ("rank", "pid", "state_name", "events",
+                                      "queued", "sim_ps", "epoch", "busy_s",
+                                      "age_s") if k in slot}
+                for slot in ranks
+            ],
+        }
+        if run:
+            doc["run"] = {k: run[k] for k in
+                          ("state_name", "epoch", "events", "exchanged",
+                           "now_ps", "limit_ps", "exchange_s", "exec_s",
+                           "reason", "barrier_s") if k in run}
+            eta = eta_seconds(run)
+            if eta is not None:
+                doc["run"]["eta_s"] = eta
+        return doc
+
+
+def eta_seconds(run: Dict[str, Any]) -> Optional[float]:
+    """Wall-clock ETA from the run slot's sim-time progress, if bounded."""
+    limit = run.get("limit_ps") or 0
+    now_ps = run.get("now_ps") or 0
+    start_mono = run.get("start_mono") or 0.0
+    mono = run.get("mono_s") or 0.0
+    if limit <= 0 or now_ps <= 0 or mono <= start_mono:
+        return None
+    rate = now_ps / (mono - start_mono)  # sim ps per wall second
+    if rate <= 0:
+        return None
+    return max(0.0, (limit - now_ps) / rate)
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -1,0 +1,140 @@
+"""The stdlib HTTP endpoint serving live metrics.
+
+A :class:`MetricsServer` runs a ``ThreadingHTTPServer`` on a daemon
+thread and answers:
+
+* ``GET /metrics``  — OpenMetrics/Prometheus text exposition;
+* ``GET /`` or ``/status`` — the JSON status document.
+
+The server is renderer-agnostic: it calls a ``render()`` callable per
+request and gets back ``(status_dict, openmetrics_text)``, so the same
+server fronts a run segment (:func:`make_run_render`) and a
+``dse.sweep`` fleet (:func:`repro.obs.live.sweep.make_sweep_render`).
+Every request re-reads the segment, so scrapes always see the latest
+published slots without any coupling to the engine's threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .registry import MetricsRegistry
+from .segment import LiveView, SegmentError
+
+#: a render callable: () -> (status_json_dict, openmetrics_text)
+Render = Callable[[], Tuple[Dict[str, Any], str]]
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8")
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``":8080"`` / ``"8080"`` / ``"0.0.0.0:8080"`` -> (host, port)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ValueError(f"bad --serve-metrics address {text!r}; "
+                         f"expected [HOST]:PORT") from None
+    return (host or "127.0.0.1", port_num)
+
+
+def make_run_render(path: Union[str, Path],
+                    registry: Optional[MetricsRegistry] = None) -> Render:
+    """Renderer over a run segment; tolerant of the file not existing
+    yet (returns a placeholder until the run creates it)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    path = Path(path)
+
+    def render() -> Tuple[Dict[str, Any], str]:
+        try:
+            view = LiveView(path)
+        except SegmentError as exc:
+            return ({"state": "pending", "detail": str(exc)}, "# EOF\n")
+        try:
+            snapshot = view.snapshot()
+        finally:
+            view.close()
+        return registry.status(snapshot), registry.render_openmetrics(snapshot)
+
+    return render
+
+
+class MetricsServer:
+    """Serve a render callable over HTTP from a daemon thread."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]], render: Render):
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.render = render
+        server = self  # closed over by the handler
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    status, text = server.render()
+                except Exception as exc:  # render must not kill the server
+                    self._reply(500, "text/plain; charset=utf-8",
+                                f"render error: {exc}\n")
+                    return
+                if path == "/metrics":
+                    self._reply(200, OPENMETRICS_CONTENT_TYPE, text)
+                elif path in ("/", "/status", "/status.json"):
+                    self._reply(200, "application/json",
+                                json.dumps(status, indent=2) + "\n")
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                "try /metrics or /status\n")
+
+            def _reply(self, code: int, ctype: str, body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are not worth stderr noise
+
+        self._httpd = ThreadingHTTPServer(address, _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is resolved when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

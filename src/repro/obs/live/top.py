@@ -1,0 +1,182 @@
+"""``python -m repro obs top`` — a refreshing console view of a live run.
+
+Attaches read-only to a *running* simulation's segment (by segment
+path, metrics path or run directory — :func:`resolve_segment`) and
+redraws a per-rank table every interval: event rate (delta between
+frames), queue depth, sim time, busy/barrier share and heartbeat age,
+plus the current straggler.  Straggler attribution reuses the
+:mod:`repro.obs.imbalance` rule online: the bounding rank of the most
+recent window is the one with the largest busy-time delta, and the
+run-level imbalance factor comes from the same
+:class:`~repro.obs.imbalance.RankSummary` totals the post-hoc report
+uses.
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _wall_time
+from typing import IO, Any, Dict, List, Optional
+
+from ...core import units
+from ..format import fmt_age, fmt_count, fmt_duration, fmt_rate
+from ..imbalance import ImbalanceReport, RankSummary
+from .registry import eta_seconds
+from .segment import KIND_SWEEP, LiveView
+
+
+def _summaries(snapshot: Dict[str, Any]) -> List[RankSummary]:
+    """Cumulative per-rank totals in the post-hoc report's shape."""
+    run = snapshot.get("run") or {}
+    barrier = run.get("barrier_s") or []
+    out = []
+    for slot in snapshot.get("ranks", []):
+        if slot is None:
+            continue
+        rank = slot["rank"]
+        out.append(RankSummary(
+            rank=rank, busy_s=slot["busy_s"],
+            barrier_s=barrier[rank] if rank < len(barrier) else 0.0,
+            events=slot["events"]))
+    return out
+
+
+def imbalance_factor(snapshot: Dict[str, Any]) -> float:
+    """The run-so-far imbalance factor (max busy / mean busy)."""
+    summaries = _summaries(snapshot)
+    report = ImbalanceReport(backend=snapshot["header"].get("backend", "?"),
+                             num_ranks=len(summaries),
+                             epochs=0, sync={}, ranks=summaries,
+                             attributions=[])
+    return report.imbalance_factor
+
+
+def straggler(snapshot: Dict[str, Any],
+              prev: Optional[Dict[str, Any]]) -> Optional[int]:
+    """The rank bounding the most recent window: argmax busy delta
+    between frames (falling back to cumulative busy on the first)."""
+    ranks = [s for s in snapshot.get("ranks", []) if s is not None]
+    if not ranks:
+        return None
+    if prev is not None:
+        prev_busy = {s["rank"]: s["busy_s"]
+                     for s in prev.get("ranks", []) if s is not None}
+        deltas = {s["rank"]: s["busy_s"] - prev_busy.get(s["rank"], 0.0)
+                  for s in ranks}
+        if any(d > 0 for d in deltas.values()):
+            return max(deltas, key=lambda r: deltas[r])
+    if not any(s["busy_s"] > 0 for s in ranks):
+        return None
+    return max(ranks, key=lambda s: s["busy_s"])["rank"]
+
+
+def render_frame(snapshot: Dict[str, Any],
+                 prev: Optional[Dict[str, Any]] = None) -> str:
+    """One frame of the top view as plain text."""
+    header = snapshot["header"]
+    run = snapshot.get("run") or {}
+    ranks = [s for s in snapshot.get("ranks", []) if s is not None]
+    dt = (snapshot["mono_now"] - prev["mono_now"]
+          if prev is not None else 0.0)
+    prev_slots = {s["rank"]: s for s in (prev or {}).get("ranks", [])
+                  if s is not None}
+    lines: List[str] = []
+    total_events = run.get("events") or sum(s["events"] for s in ranks)
+    now_ps = run.get("now_ps") or max(
+        (s["sim_ps"] for s in ranks), default=0)
+    head = (f"run: backend={header.get('backend') or '?'} "
+            f"ranks={header.get('slots')} "
+            f"state={run.get('state_name', '?')} "
+            f"epoch {run.get('epoch', 0)} | "
+            f"sim {units.format_time(now_ps)} | "
+            f"{fmt_count(total_events)} events")
+    if run.get("reason"):
+        head += f" | stopped: {run['reason']}"
+    eta = eta_seconds(run) if run else None
+    if eta is not None:
+        head += f" | ETA {fmt_duration(eta)}"
+    lines.append(head)
+    lines.append(f"{'rank':>4} {'state':>5} {'events':>9} {'ev/s':>9} "
+                 f"{'queue':>7} {'sim time':>11} {'busy%':>6} "
+                 f"{'barrier%':>8} {'hb age':>7}")
+    barrier = run.get("barrier_s") or []
+    for slot in ranks:
+        rank = slot["rank"]
+        before = prev_slots.get(rank)
+        rate = ((slot["events"] - before["events"]) / dt
+                if before is not None and dt > 0 else 0.0)
+        busy = slot["busy_s"]
+        wait = barrier[rank] if rank < len(barrier) else 0.0
+        total = busy + wait
+        lines.append(
+            f"{rank:>4} {slot['state_name']:>5} "
+            f"{fmt_count(slot['events']):>9} {fmt_count(rate):>9} "
+            f"{fmt_count(slot['queued']):>7} "
+            f"{units.format_time(slot['sim_ps']):>11} "
+            f"{busy / total:>6.0%} {wait / total:>8.0%} "
+            f"{fmt_age(slot['age_s']):>7}"
+            if total > 0 else
+            f"{rank:>4} {slot['state_name']:>5} "
+            f"{fmt_count(slot['events']):>9} {fmt_count(rate):>9} "
+            f"{fmt_count(slot['queued']):>7} "
+            f"{units.format_time(slot['sim_ps']):>11} "
+            f"{'-':>6} {'-':>8} {fmt_age(slot['age_s']):>7}")
+    bound = straggler(snapshot, prev)
+    if bound is not None and len(ranks) > 1:
+        lines.append(f"straggler: rank {bound} "
+                     f"(imbalance factor {imbalance_factor(snapshot):.3f})")
+    return "\n".join(lines)
+
+
+def render_sweep_frame(snapshot: Dict[str, Any]) -> str:
+    """Frame for a ``dse.sweep`` fleet segment."""
+    from .sweep import sweep_status
+
+    status = sweep_status(snapshot)
+    line = (f"sweep: {status['completed']}/{status['total']} points done, "
+            f"{status['running']} running, {status['failed']} failed")
+    if status.get("rate_per_s"):
+        line += f" | {fmt_rate(status['rate_per_s'])}"
+    if status.get("eta_s") is not None:
+        line += f" | ETA {fmt_duration(status['eta_s'])}"
+    return line
+
+
+def run_top(target: str, *, interval_s: float = 2.0,
+            frames: Optional[int] = None, once: bool = False,
+            stream: Optional[IO[str]] = None, clear: bool = True) -> int:
+    """Drive the refresh loop (the ``obs top`` entry point).
+
+    ``once`` prints a single frame and exits (scripting/testing);
+    otherwise refreshes until the run finishes, ``frames`` frames have
+    been printed, or the user interrupts.
+    """
+    from .segment import resolve_segment
+
+    stream = stream if stream is not None else sys.stdout
+    path = resolve_segment(target)
+    prev: Optional[Dict[str, Any]] = None
+    printed = 0
+    while True:
+        view = LiveView(path)
+        try:
+            snapshot = view.snapshot()
+        finally:
+            view.close()
+        if view.kind == KIND_SWEEP:
+            frame = render_sweep_frame(snapshot)
+        else:
+            frame = render_frame(snapshot, prev)
+        if clear and printed and not once:
+            print("\x1b[2J\x1b[H", end="", file=stream)
+        print(frame, file=stream, flush=True)
+        printed += 1
+        prev = snapshot
+        run = snapshot.get("run")
+        done = run is not None and run.get("state_name") == "done"
+        if once or done or (frames is not None and printed >= frames):
+            return 0
+        try:
+            _wall_time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

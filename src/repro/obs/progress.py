@@ -17,13 +17,11 @@ from typing import IO, Any, Optional, Union
 from ..core import units
 from ..core.parallel import EpochInfo, ParallelSimulation
 from ..core.simulation import Simulation
+from .format import fmt_count, fmt_duration, fmt_rate
 
-
-def _fmt_count(n: float) -> str:
-    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
-        if n >= scale:
-            return f"{n / scale:.2f}{suffix}"
-    return f"{n:.0f}"
+#: backward-compat alias (the helper moved to repro.obs.format so the
+#: live `obs top` renderer shares it).
+_fmt_count = fmt_count
 
 
 class ProgressReporter:
@@ -60,6 +58,7 @@ class ProgressReporter:
         self._last_emit = 0.0
         self._last_events = 0
         self._last_sim = 0
+        self._events_seen = 0
 
     def attach(self, target: Union[Simulation, ParallelSimulation]) -> "ProgressReporter":
         if self._target is not None:
@@ -81,6 +80,16 @@ class ProgressReporter:
             target.remove_epoch_observer(self._on_epoch)
         elif isinstance(target, Simulation):
             target.remove_heartbeat(self._on_heartbeat)
+        if target is not None:
+            wall = _wall_time.perf_counter() - self._t0
+            # ParallelSimulation carries no cumulative counter; fall
+            # back to the last epoch total the observer saw.
+            events = getattr(target, "events_executed", self._events_seen)
+            mean = events / wall if wall > 0 else 0.0
+            print(f"[progress] done: {fmt_count(events)} events in "
+                  f"{fmt_duration(wall)} ({fmt_rate(mean)} mean)",
+                  file=self.stream, flush=True)
+            self.lines_emitted += 1
 
     # ------------------------------------------------------------------
     def _on_heartbeat(self, sim: Simulation) -> None:
@@ -91,15 +100,16 @@ class ProgressReporter:
                          extra=f" | epoch {info.index}")
 
     def _maybe_emit(self, events: int, sim_ps: int, *, extra: str) -> None:
+        self._events_seen = events
         wall = _wall_time.perf_counter() - self._t0
         if wall - self._last_emit < self.interval_s:
             return
         d_wall = wall - self._last_emit
         rate = (events - self._last_events) / d_wall if d_wall > 0 else 0.0
         sim_rate = (sim_ps - self._last_sim) / d_wall if d_wall > 0 else 0.0
-        line = (f"[progress] {_fmt_count(events)} events | "
+        line = (f"[progress] {fmt_count(events)} events | "
                 f"sim {units.format_time(sim_ps)} | "
-                f"{_fmt_count(rate)} ev/s | "
+                f"{fmt_count(rate)} ev/s | "
                 f"sim-rate {units.format_time(int(sim_rate))}/s{extra}")
         if self.limit_ps is not None and sim_rate > 0:
             remaining = max(0, self.limit_ps - sim_ps)

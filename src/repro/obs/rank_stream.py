@@ -89,6 +89,17 @@ class RankStreamPlan:
         self.profile: bool = False
         #: max records shipped over the pipe per epoch (shard-less mode).
         self.batch_limit: int = 512
+        # --- live plane (repro.obs.live) ------------------------------
+        #: live segment path; workers re-open it by path (the mmap file
+        #: survives the fork) and own their rank slot.  None = no live
+        #: publishing inside workers.
+        self.live_path: Optional[str] = None
+        #: worker-side sampler republish period (seconds).
+        self.live_interval_s: float = 0.25
+        #: when set, workers register the SIGUSR1 faulthandler stack-dump
+        #: handler into ``<live_dump_base>.stack.rank<k>`` at startup so
+        #: the stall watchdog can extract stacks from hung workers.
+        self.live_dump_base: Optional[str] = None
         self._profilers: List[Any] = []
         self._recorders: List[Any] = []
         self._exporters: List[Any] = []
@@ -140,7 +151,8 @@ class RankStreamPlan:
     def active(self) -> bool:
         """Anything at all for a worker to re-attach?"""
         return (self.has_record_sink or self.profile
-                or (self.span_records and self.has_record_sink))
+                or (self.span_records and self.has_record_sink)
+                or self.live_path is not None)
 
     def shard_paths(self, num_ranks: int) -> List[str]:
         """Expected shard paths for a ``num_ranks`` run ([] if shard-less)."""
@@ -235,6 +247,28 @@ class RankRecorder:
         if plan.heartbeat_every >= 1 and self._has_sink:
             self.sim.add_heartbeat(self._on_heartbeat,
                                    every_events=plan.heartbeat_every)
+        # Live plane: re-open the segment the parent created (by path —
+        # the mmap file survives the fork) and own this rank's slot.
+        # Kernel-boundary state flips come free via sim._live_publisher;
+        # the sampler keeps the slot moving mid-window.  Failures
+        # degrade to a rank without live metrics, never a dead worker.
+        self._live = None
+        self._live_sampler = None
+        if plan.live_path is not None:
+            try:
+                from .live.publish import SlotSampler
+                from .live.segment import LiveSegment, RankSlotWriter
+
+                self._live_segment = LiveSegment.open(plan.live_path)
+                self._live = RankSlotWriter(self._live_segment, rank,
+                                            self.sim)
+                self.sim._live_publisher = self._live
+                self._live.publish()
+                self._live_sampler = SlotSampler([self._live],
+                                                 plan.live_interval_s)
+            except Exception:  # pragma: no cover - defensive
+                self._live = None
+                self._live_sampler = None
 
     @property
     def _has_sink(self) -> bool:
@@ -320,6 +354,12 @@ class RankRecorder:
             "sim_ps": step.now,
         })
         self._epoch += 1
+        if self._live is not None:
+            try:
+                self._live.record_step(step.wall_seconds)
+                self._live.publish()
+            except Exception:  # pragma: no cover - defensive
+                self._live = None
         if self._buffer:
             step.obs_records = self._buffer
             self._buffer = []
@@ -328,6 +368,20 @@ class RankRecorder:
 
     def finish(self) -> Dict[str, Any]:
         """Close the shard and package the harvest for the parent."""
+        if self._live_sampler is not None:
+            try:
+                self._live_sampler.stop()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self._live_sampler = None
+        if self._live is not None:
+            try:
+                if getattr(self.sim, "_live_publisher", None) is self._live:
+                    self.sim._live_publisher = None
+                self._live.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self._live = None
         self._emit({
             "kind": "rank_end",
             "rank": self.rank,

@@ -247,6 +247,11 @@ class TelemetryRecorder:
                     str(rank): report for rank, report in
                     sorted(self._plan.rank_reports.items())
                 }
+            if self._plan.live_path is not None:
+                info["live_segment"] = self._plan.live_path
+        live = getattr(target, "live", None)
+        if live is not None and "live_segment" not in info:
+            info["live_segment"] = str(live.path)
         return info
 
     def __enter__(self) -> "TelemetryRecorder":

@@ -296,7 +296,31 @@ class TestProgress:
         rep.detach()
         lines = out.getvalue().strip().splitlines()
         assert rep.lines_emitted == len(lines) > 0
-        assert all(l.startswith("[progress]") and "ev/s" in l for l in lines)
+        assert all(l.startswith("[progress]") for l in lines)
+        # Every in-flight line carries a rate; detach appends a summary.
+        assert all("ev/s" in l for l in lines[:-1])
+        assert lines[-1].startswith("[progress] done:")
+
+    def test_detach_prints_final_summary(self, make_pingpong):
+        sim = Simulation(seed=1)
+        make_pingpong(sim, n=40)
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out, interval_s=1e9)
+        rep.attach(sim)
+        result = sim.run()
+        rep.detach()
+        lines = out.getvalue().strip().splitlines()
+        # Long interval: no periodic lines, just the detach summary.
+        assert len(lines) == 1
+        assert lines[0].startswith("[progress] done: ")
+        assert f"{result.events_executed} events" in lines[0]
+        assert "mean" in lines[0]
+
+    def test_detach_without_attach_is_silent(self):
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out)
+        rep.detach()
+        assert out.getvalue() == ""
 
     def test_eta_with_max_time(self, make_pingpong):
         sim = Simulation(seed=1)
