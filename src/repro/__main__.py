@@ -45,7 +45,8 @@ from typing import List, Optional
 
 from . import config as cfg
 from .config import build, build_parallel, load, save
-from .config.graph import ConfigGraph
+from .config.graph import ConfigError, ConfigGraph
+from .core.registry import RegistryError
 
 
 def _positive_int(text: str) -> int:
@@ -186,6 +187,14 @@ def _finish_observability(args, result, graph, telemetry, profiler, chrome,
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_run_impl(args)
+    except (ConfigError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_run_impl(args: argparse.Namespace) -> int:
     graph = load(args.config)
     warnings = graph.validate(resolve_types=True)
     for warning in warnings:
@@ -534,6 +543,66 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
     raise AssertionError(args.ckpt_command)  # pragma: no cover
 
 
+def _cmd_component(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.describe import describe_component
+    from .core.registry import (RegistryError, load_all_libraries,
+                                registered_types, resolve)
+
+    if args.component_command == "list":
+        load_all_libraries()
+        for type_name in registered_types():
+            cls = resolve(type_name)
+            summary = (cls.__doc__ or "").strip().split("\n")[0]
+            if args.json:
+                print(_json.dumps({"type": type_name, "summary": summary}))
+            else:
+                print(f"{type_name:32s} {summary}")
+        return 0
+
+    if args.component_command == "describe":
+        try:
+            cls = resolve(args.type)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        info = describe_component(cls)
+        if args.json:
+            print(_json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"{info['type_name'] or info['class']}: {info['summary']}")
+        if info["ports"]:
+            print("ports:")
+            for spec in info["ports"]:
+                flags = "required" if spec["required"] else "optional"
+                event = f" event={spec['event']}" if spec["event"] else ""
+                print(f"  {spec['name']:20s} {flags}{event}  {spec['doc']}")
+        if info["legacy_ports"]:
+            print("legacy ports (undeclared):")
+            for name, doc in sorted(info["legacy_ports"].items()):
+                print(f"  {name:20s} {doc}")
+        if info["state"]:
+            print("state:")
+            for spec in info["state"]:
+                marks = []
+                if not spec["save"]:
+                    marks.append("transient")
+                if spec["reconstruct"]:
+                    marks.append(f"reconstruct={spec['reconstruct']}")
+                if spec["gauge"]:
+                    marks.append("gauge")
+                suffix = f" [{', '.join(marks)}]" if marks else ""
+                print(f"  {spec['name']:20s} {spec['doc']}{suffix}")
+        if info["stats"]:
+            print("statistics:")
+            for spec in info["stats"]:
+                print(f"  {spec['name']:20s} {spec['kind']:12s} {spec['doc']}")
+        return 0
+
+    raise AssertionError(args.component_command)  # pragma: no cover
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.split("\n\n")[0])
@@ -690,6 +759,24 @@ def make_parser() -> argparse.ArgumentParser:
     top.add_argument("--frames", type=_positive_int, default=None,
                      help="exit after this many frames")
     top.set_defaults(func=_cmd_obs)
+
+    comp = sub.add_parser("component", help="inspect the component "
+                                            "catalogue (declared ports, "
+                                            "state, statistics)")
+    comp_sub = comp.add_subparsers(dest="component_command", required=True)
+    clist = comp_sub.add_parser(
+        "list", help="list every registered component type")
+    clist.add_argument("--json", action="store_true",
+                       help="one JSON object per line")
+    clist.set_defaults(func=_cmd_component)
+    cdesc = comp_sub.add_parser(
+        "describe", help="show a component's declared ports, state, "
+                         "statistics and lifecycle hooks")
+    cdesc.add_argument("type", help='registered type name, e.g. '
+                                    '"memory.Cache"')
+    cdesc.add_argument("--json", action="store_true",
+                       help="machine-readable description")
+    cdesc.set_defaults(func=_cmd_component)
 
     ckpt = sub.add_parser("ckpt", help="inspect or resume engine "
                                        "snapshots (repro.ckpt)")

@@ -17,9 +17,9 @@ Example::
 from __future__ import annotations
 
 import fnmatch
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
-from ..core.component import Component
+from ..core.component import Component, state
 from ..core.registry import register
 from ..core.units import SimTime
 from .tables import ResultTable
@@ -31,11 +31,17 @@ class StatSampler(Component):
 
     Parameters: ``period`` (e.g. "10us"), ``patterns`` (comma-separated
     globs; default ``*`` = everything), ``max_samples`` (safety cap,
-    default 100000).
+    default 100000), ``gauges`` (bool, default off: also sample other
+    components' declared ``state(..., gauge=True)`` attributes under
+    the same ``<component>.<attribute>`` key space).
 
     The sampler never keeps the simulation alive (it is not a primary
     component); it simply rides along while others run.
     """
+
+    samples = state(list, gauge=True, doc="one row per sampling tick")
+    _keys = state(None, doc="cached sorted keys matching the patterns")
+    _gauge_keys = state(None, doc="cached matching declared-gauge keys")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -44,8 +50,7 @@ class StatSampler(Component):
         self.patterns = [s.strip() for s in raw.split(",") if s.strip()]
         self.period = p.find_time("period", "10us")
         self.max_samples = p.find_int("max_samples", 100_000)
-        self.samples: List[Dict[str, Any]] = []
-        self._keys: Optional[List[str]] = None
+        self.include_gauges = p.find_bool("gauges", False)
         self.register_clock(self.period, self._sample)
 
     def _matching_keys(self) -> List[str]:
@@ -60,6 +65,22 @@ class StatSampler(Component):
             )
         return self._keys
 
+    def _matching_gauge_keys(self) -> List[str]:
+        if not self.include_gauges:
+            return []
+        if self._gauge_keys is None:
+            keys = []
+            for comp in self.sim._components.values():
+                if comp.name == self.name:
+                    continue
+                for spec in type(comp)._gauge_specs:
+                    keys.append(f"{comp.name}.{spec.attr}")
+            self._gauge_keys = sorted(
+                key for key in keys
+                if any(fnmatch.fnmatch(key, pat) for pat in self.patterns)
+            )
+        return self._gauge_keys
+
     def _sample(self, cycle: int):
         if len(self.samples) >= self.max_samples:
             return True  # unregister the clock
@@ -68,6 +89,14 @@ class StatSampler(Component):
         for key in self._matching_keys():
             stat = stats.get(key)
             row[key] = stat.value() if stat is not None else None
+        if self.include_gauges:
+            components = self.sim._components
+            wanted = set(self._matching_gauge_keys())
+            for comp in components.values():
+                for attr, value in comp.telemetry_gauges().items():
+                    key = f"{comp.name}.{attr}"
+                    if key in wanted:
+                        row[key] = value
         self.samples.append(row)
         # A sampler must never keep the simulation alive: when no other
         # events remain (our own tick was just consumed), stop ticking.
@@ -81,20 +110,21 @@ class StatSampler(Component):
         return len(self.samples)
 
     def keys(self) -> List[str]:
-        return list(self._matching_keys())
+        return list(self._matching_keys()) + self._matching_gauge_keys()
 
     def to_table(self) -> ResultTable:
-        columns = ["time_ps"] + self._matching_keys()
+        columns = (["time_ps"] + self._matching_keys()
+                   + self._matching_gauge_keys())
         table = ResultTable(columns, title=f"time series ({self.name})")
         for row in self.samples:
             table.add_row(**row)
         return table
 
     def series(self, key: str) -> List[float]:
-        """One statistic's sampled values over time."""
-        if key not in self._matching_keys():
+        """One statistic's (or declared gauge's) sampled values over time."""
+        if key not in self.keys():
             raise KeyError(f"{key!r} not sampled (patterns {self.patterns})")
-        return [row[key] for row in self.samples]
+        return [row.get(key) for row in self.samples]
 
     def deltas(self, key: str) -> List[float]:
         """Per-interval increments of a cumulative statistic (rates)."""

@@ -327,6 +327,11 @@ def _restore_repartition(root: Path, manifest: Dict[str, Any], graph,
             merged[home.rank].append(
                 (time, priority, 0, meta["rank"], seq, handler, event))
     merge_id_sources(metas)
+    # All shards applied — fire the lifecycle hook once per component,
+    # in each rank's registration order (matching the exact path).
+    for sim in sims:
+        for comp in sim._components.values():
+            comp.on_restore()
 
     if manifest.get("parallel_file"):
         pstate = read_shard(root / manifest["parallel_file"]["file"],

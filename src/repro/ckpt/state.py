@@ -334,6 +334,10 @@ def restore_sim_state(sim: Simulation, state: Dict[str, Any]) -> Dict[str, Any]:
     linked = load_refs(state["linked"], [sim], rank_hint=sim.rank)
     for comp_name, comp_state in linked["components"].items():
         sim._components[comp_name].restore_state(comp_state)
+    # Every component's state is in place (reconstruct= hooks included);
+    # fire the on_restore lifecycle hook in registration order.
+    for comp in sim._components.values():
+        comp.on_restore()
     clock_states = meta["clocks"]
     if len(clock_states) != len(sim._clocks):
         raise CheckpointError(

@@ -6,14 +6,21 @@ per-component rank pins) and produces a
 :class:`~repro.core.parallel.ParallelSimulation`.  Component classes are
 resolved through the registry (:mod:`repro.core.registry`) so the graph
 itself stays declaration-only.
+
+Both builders validate every link endpoint against the target class's
+declared ports (:mod:`repro.core.describe`) *before* instantiating
+anything, and check required ports are connected after wiring — a typoed
+port name fails at graph-build time with the offending component and
+port named, instead of at the first ``send()`` mid-run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple, Type
 
 from ..core import registry
 from ..core.component import Component
+from ..core.describe import validate_port_name
 from ..core.parallel import ParallelSimulation
 from ..core.params import Params
 from ..core.partition import partition
@@ -21,24 +28,80 @@ from ..core.simulation import Simulation
 from .graph import ConfigError, ConfigGraph
 
 
+def _resolve_classes(graph: ConfigGraph) -> Dict[str, Type[Component]]:
+    return {conf.name: registry.resolve(conf.type_name)
+            for conf in graph.components()}
+
+
+def _validate_ports(graph: ConfigGraph,
+                    classes: Dict[str, Type[Component]]) -> None:
+    """Check every link endpoint against declared ports, pre-instantiation."""
+    endpoints: List[Tuple[str, str]] = []
+    for link in graph.links():
+        endpoints.append((link.comp_a, link.port_a))
+        if not link.is_self_link():
+            endpoints.append((link.comp_b, link.port_b))
+    for comp_name, port_name in endpoints:
+        cls = classes[comp_name]
+        if not validate_port_name(cls, port_name):
+            declared = ", ".join(sorted(cls._port_specs)) or "<none>"
+            raise ConfigError(
+                f"link endpoint {comp_name}.{port_name}: class "
+                f"{cls.__name__} declares no such port "
+                f"(declared: {declared})"
+            )
+
+
+def _check_required_ports(instances: Dict[str, Component]) -> None:
+    """After wiring: every required declared port must be connected.
+
+    A required indexed family (``cpu<i>``) needs at least one member
+    connected; scalar required ports need their one connection.
+    """
+    for comp in instances.values():
+        specs = type(comp)._port_specs
+        if not specs:
+            continue
+        for spec in specs.values():
+            if not spec.required:
+                continue
+            if spec.indexed:
+                ok = any(spec.matches(name) and p.connected
+                         for name, p in comp._ports.items())
+            else:
+                ok = comp.port_connected(spec.name)
+            if not ok:
+                raise ConfigError(
+                    f"component {comp.name!r} ({type(comp).__name__}): "
+                    f"required port {spec.name!r} is not connected"
+                )
+
+
 def build(graph: ConfigGraph, *, sim: Optional[Simulation] = None,
           seed: int = 1, queue: str = "heap", verbose: bool = False,
-          clock_arbiter: Optional[bool] = None) -> Simulation:
+          clock_arbiter: Optional[bool] = None,
+          validate_events: bool = False) -> Simulation:
     """Instantiate every component and link of ``graph`` into one Simulation.
 
     The graph is retained on ``sim.config_graph`` — `repro.ckpt`
     snapshots embed it so a restore can rebuild the component set and
-    validate identity.
+    validate identity.  ``validate_events=True`` additionally wraps
+    handlers of event-typed declared ports with isinstance checks at
+    setup (diagnostics mode; off by default to keep the hot path bare).
     """
     graph.validate(resolve_types=True)
+    classes = _resolve_classes(graph)
+    _validate_ports(graph, classes)
     if sim is None:
         sim = Simulation(seed=seed, queue=queue, verbose=verbose,
                          clock_arbiter=clock_arbiter)
+    if validate_events:
+        sim.validate_events = True
     sim.config_graph = graph
     instances: Dict[str, Component] = {}
     for conf in graph.components():
-        cls = registry.resolve(conf.type_name)
-        instances[conf.name] = cls(sim, conf.name, Params(conf.params))
+        instances[conf.name] = classes[conf.name](sim, conf.name,
+                                                  Params(conf.params))
     for link in graph.links():
         if link.is_self_link():
             sim.self_link(instances[link.comp_a], link.port_a,
@@ -47,6 +110,7 @@ def build(graph: ConfigGraph, *, sim: Optional[Simulation] = None,
             sim.connect(instances[link.comp_a], link.port_a,
                         instances[link.comp_b], link.port_b,
                         latency=link.latency, name=link.name)
+    _check_required_ports(instances)
     return sim
 
 
@@ -54,7 +118,8 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
                    strategy: str = "linear", seed: int = 1,
                    queue: str = "heap", backend: str = "serial",
                    verbose: bool = False,
-                   clock_arbiter: Optional[bool] = None) -> ParallelSimulation:
+                   clock_arbiter: Optional[bool] = None,
+                   validate_events: bool = False) -> ParallelSimulation:
     """Partition ``graph`` across ``num_ranks`` and instantiate per rank.
 
     Components carrying a ``rank`` pin are honoured; the partitioner
@@ -66,6 +131,8 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
     :class:`~repro.core.parallel.ParallelSimulation`.
     """
     graph.validate(resolve_types=True)
+    classes = _resolve_classes(graph)
+    _validate_ports(graph, classes)
     nodes, edges, weights = graph.partition_inputs()
     result = partition(nodes, edges, num_ranks, strategy=strategy, weights=weights)
     assignment = dict(result.assignment)
@@ -83,11 +150,14 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
                               clock_arbiter=clock_arbiter)
     psim.partition_strategy = strategy
     psim.config_graph = graph
+    if validate_events:
+        for rank in range(num_ranks):
+            psim.rank_sim(rank).validate_events = True
     instances: Dict[str, Component] = {}
     for conf in graph.components():
-        cls = registry.resolve(conf.type_name)
         rank_sim = psim.rank_sim(assignment[conf.name])
-        instances[conf.name] = cls(rank_sim, conf.name, Params(conf.params))
+        instances[conf.name] = classes[conf.name](rank_sim, conf.name,
+                                                  Params(conf.params))
     for link in graph.links():
         if link.is_self_link():
             comp = instances[link.comp_a]
@@ -96,4 +166,5 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
             psim.connect(instances[link.comp_a], link.port_a,
                          instances[link.comp_b], link.port_b,
                          latency=link.latency, name=link.name)
+    _check_required_ports(instances)
     return psim

@@ -18,9 +18,16 @@ from .graph import ConfigError, ConfigGraph
 FORMAT_VERSION = 1
 
 
-def to_dict(graph: ConfigGraph) -> Dict[str, Any]:
-    """Serializable dict form of a graph."""
-    return {
+def to_dict(graph: ConfigGraph, *, describe: bool = False) -> Dict[str, Any]:
+    """Serializable dict form of a graph.
+
+    With ``describe=True`` the document also embeds a ``catalogue``
+    section — each referenced component type's declared ports, state
+    and statistics (:func:`repro.core.describe.describe_component`) —
+    so a saved config is self-documenting.  ``from_dict`` ignores the
+    section; round-tripping is unaffected.
+    """
+    data: Dict[str, Any] = {
         "format": "pysst-config",
         "version": FORMAT_VERSION,
         "name": graph.name,
@@ -45,6 +52,21 @@ def to_dict(graph: ConfigGraph) -> Dict[str, Any]:
             for l in graph.links()
         ],
     }
+    if describe:
+        from ..core import registry
+        from ..core.describe import describe_component
+
+        catalogue: Dict[str, Any] = {}
+        for comp in graph.components():
+            if comp.type_name in catalogue:
+                continue
+            try:
+                cls = registry.resolve(comp.type_name)
+            except registry.RegistryError:
+                continue  # unknown types stay out of the catalogue
+            catalogue[comp.type_name] = describe_component(cls)
+        data["catalogue"] = catalogue
+    return data
 
 
 def from_dict(data: Dict[str, Any]) -> ConfigGraph:

@@ -12,13 +12,15 @@ from .backends import (BACKENDS, ExecutionBackend, JobPool, RankStep,
                        default_jobs, make_backend, make_job_pool)
 from .clock import Clock, ClockArbiter
 from .component import Component, stable_seed
+from .describe import (PortSpec, SpecError, StateSpec, StatSpec,
+                       describe_component, port, state, stat)
 from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, PRIORITY_FINAL,
                     PRIORITY_STOP, PRIORITY_SYNC, CallbackEvent, Event,
                     NullEvent)
 from .eventqueue import (BinnedEventQueue, HeapEventQueue, make_queue)
 from .kernel import RunContext, kernel_run, kernel_step
 from .link import Link, LinkError, Port
-from .params import ParamError, Params
+from .params import ParamError, Params, UnusedParamsWarning
 from .parallel import ParallelRunResult, ParallelSimulation
 from .partition import PartitionEdge, PartitionResult, partition
 from .registry import register, registered_types, resolve
@@ -60,18 +62,24 @@ __all__ = [
     "PRIORITY_FINAL",
     "PRIORITY_STOP",
     "PRIORITY_SYNC",
+    "PortSpec",
     "RankStep",
     "RunContext",
     "RunResult",
     "SimTime",
     "Simulation",
     "SimulationError",
+    "SpecError",
+    "StateSpec",
+    "StatSpec",
     "Statistic",
     "StatisticGroup",
     "SyncStrategy",
     "UnitError",
+    "UnusedParamsWarning",
     "bytes_time",
     "default_jobs",
+    "describe_component",
     "describe_handler",
     "format_bytes",
     "format_time",
@@ -86,8 +94,11 @@ __all__ = [
     "parse_size_bytes",
     "parse_time",
     "partition",
+    "port",
     "register",
     "registered_types",
     "resolve",
     "stable_seed",
+    "stat",
+    "state",
 ]

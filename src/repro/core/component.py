@@ -10,13 +10,31 @@ A PySST component mirrors an SST component:
   the simulation alive until every one of them has declared itself OK
   to end (SST's ``primaryComponentOKToEndSim``).
 
+Interfaces are **declarative** (see :mod:`repro.core.describe` and
+``docs/COMPONENTS.md``): subclasses declare ports with :func:`port`,
+run state with :func:`state` and statistics with :func:`stat` as class
+attributes.  The base class collects the declarations at class-creation
+time, binds port handlers and registers statistics automatically at
+construction, and the engine services consume them — the config layer
+validates link endpoints at graph-build time, `repro.ckpt` captures and
+restores declared state (with ``reconstruct=`` hooks for unpicklable
+values), and `repro.obs` samples ``gauge=True`` state.
+
 Lifecycle::
 
-    __init__(sim, name, params)   # parse params, declare stats
-    setup()                       # graph fully wired; register handlers,
-                                  # kick off first events
+    __init__(sim, name, params)   # parse params (declared stats/ports
+                                  # are already live when the subclass
+                                  # body runs)
+    on_setup()                    # graph fully wired; kick off events
     ... event processing ...
-    finish()                      # run over; finalize statistics
+    on_finish()                   # run over; finalize statistics
+    on_restore()                  # after a checkpoint restore only
+
+The imperative protocol (``PORTS`` doc dicts, ``set_handler``,
+``STATE_EXCLUDE``, ``capture_state``/``restore_state`` overrides and
+overriding ``setup()``/``finish()`` directly) remains supported for
+out-of-tree subclasses but is deprecated for library code — a CI lint
+(``tools/lint_components.py``) keeps it from creeping back in.
 """
 
 from __future__ import annotations
@@ -26,6 +44,8 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 import numpy as np
 
 from .clock import Clock, ClockHandler
+from .describe import (PortSpec, SpecError, StateSpec, StatSpec,  # noqa: F401
+                       port, state, stat)
 from .event import PRIORITY_CLOCK, Event
 from .link import LinkError, Port
 from .params import Params
@@ -53,18 +73,83 @@ def stable_seed(name: str, base_seed: int) -> int:
 class Component:
     """Base class for every simulated hardware/software model.
 
-    Subclasses document their ports in a ``PORTS`` class attribute
-    (name -> description) — purely informational, used by the config
-    layer for validation and by docs.
+    Subclasses declare their interface with :func:`port`, :func:`state`
+    and :func:`stat` class attributes; ``PORTS`` (name -> description)
+    is derived from the port declarations when not given explicitly and
+    kept for documentation and legacy subclasses.
     """
 
-    #: port name -> human description; subclasses override.
+    #: port name -> human description; derived from port() declarations
+    #: (legacy subclasses may still set it directly).
     PORTS: Dict[str, str] = {}
 
     #: Attributes owned by the engine/config layer, excluded from the
     #: default :meth:`capture_state` — a restore rebuilds them from the
-    #: configuration graph rather than from the snapshot.
+    #: configuration graph rather than from the snapshot.  Deprecated
+    #: for subclasses: declare unpicklable values with
+    #: ``state(..., save=False, reconstruct=...)`` instead.
     STATE_EXCLUDE = frozenset({"sim", "name", "params", "stats", "_ports"})
+
+    #: Escape hatch: a subclass that creates ports dynamically beyond
+    #: its declarations sets this to skip graph-build-time validation.
+    ALLOW_UNDECLARED_PORTS = False
+
+    # -- declared-spec tables (rebuilt per subclass) --------------------
+    _port_specs: Dict[str, PortSpec] = {}
+    _state_specs: Dict[str, StateSpec] = {}
+    _stat_specs: Dict[str, StatSpec] = {}
+    _state_skip: frozenset = STATE_EXCLUDE
+    _gauge_specs: tuple = ()
+    _reconstruct_hooks: tuple = ()
+
+    # -- engine-owned run flags (declared for docs/describe; the
+    #    constructor assigns them eagerly, so behaviour is unchanged) --
+    _is_primary = state(False, doc="registered as a primary component")
+    _ok_to_end = state(True, doc="primary component is OK with ending")
+    _rng = state(None, doc="lazily created per-component random stream")
+    _clock_index = state(0, doc="clocks registered so far (names clock, "
+                                "clock1, clock2, ...)")
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        from .describe import collect_specs
+
+        specs = collect_specs(cls)
+        cls._port_specs = specs["ports"]
+        cls._state_specs = specs["state"]
+        cls._stat_specs = specs["stats"]
+        cls._state_skip = frozenset(cls.STATE_EXCLUDE) | {
+            attr for attr, spec in cls._state_specs.items() if not spec.save
+        }
+        cls._gauge_specs = tuple(
+            spec for spec in cls._state_specs.values() if spec.gauge
+        )
+        cls._reconstruct_hooks = tuple(
+            spec.reconstruct for spec in cls._state_specs.values()
+            if spec.reconstruct is not None
+        )
+        by_stat_name: Dict[str, str] = {}
+        for attr, spec in cls._stat_specs.items():
+            other = by_stat_name.get(spec.name)
+            if other is not None and other != attr:
+                raise SpecError(
+                    f"{cls.__name__}: statistics {other!r} and {attr!r} "
+                    f"both declare the name {spec.name!r}"
+                )
+            by_stat_name[spec.name] = attr
+        stat_names = set(by_stat_name)
+        for spec in cls._gauge_specs:
+            if spec.attr in stat_names:
+                raise SpecError(
+                    f"{cls.__name__}: gauge state {spec.attr!r} collides "
+                    f"with a declared statistic of the same name"
+                )
+        # Declared ports supersede a hand-written PORTS dict unless the
+        # class body sets one explicitly (legacy).
+        own_ports = any(isinstance(v, PortSpec) for v in vars(cls).values())
+        if cls._port_specs and (own_ports or "PORTS" not in cls.__dict__):
+            cls.PORTS = {spec.name: spec.doc
+                         for spec in cls._port_specs.values()}
 
     def __init__(self, sim: "Simulation", name: str, params: Optional[Params] = None):
         self.sim = sim
@@ -75,6 +160,18 @@ class Component:
         self._is_primary = False
         self._ok_to_end = True
         self._rng: Optional[np.random.Generator] = None
+        self._clock_index = 0
+        # Declared statistics come alive before the subclass body runs,
+        # preserving the ``self.s_hits`` fast-access idiom.
+        for attr, spec in type(self)._stat_specs.items():
+            self.__dict__[attr] = spec.instantiate(self.stats)
+        # Declared scalar ports bind their handlers (decorator, explicit
+        # name, or on_<port> convention); indexed families are bound by
+        # the subclass, which knows the index range.
+        for spec in type(self)._port_specs.values():
+            handler = spec.resolve_handler(self)
+            if handler is not None:
+                self.set_handler(spec.name, handler)
         sim._register_component(self)
 
     # ------------------------------------------------------------------
@@ -90,7 +187,12 @@ class Component:
             return port
 
     def set_handler(self, port_name: str, handler: Callable[[Event], None]) -> Port:
-        """Register the receive handler for a port."""
+        """Register the receive handler for a port.
+
+        Declared scalar ports bind automatically; this remains the
+        primitive for indexed port families (``cpu<i>``), whose
+        per-index closures only the subclass can build.
+        """
         port = self.port(port_name)
         port.handler = handler
         return port
@@ -117,13 +219,38 @@ class Component:
             )
         return port.endpoint.latency
 
+    def _install_event_checks(self) -> None:
+        """Wrap handlers of event-typed declared ports with isinstance
+        checks (``build(validate_events=True)`` / conformance tests
+        only — never on by default, so the hot path stays bare)."""
+        for spec in type(self)._port_specs.values():
+            if spec.event is None:
+                continue
+            for pname, p in self._ports.items():
+                if p.handler is None or not spec.matches(pname):
+                    continue
+                p.handler = _checked_handler(self, pname, spec.event, p.handler)
+
     # ------------------------------------------------------------------
     # clocks / timers
     # ------------------------------------------------------------------
     def register_clock(self, freq: Any, handler: ClockHandler,
-                       priority: int = PRIORITY_CLOCK, phase: SimTime = 0) -> Clock:
-        """Register ``handler`` to be called at ``freq`` (e.g. ``"2GHz"``)."""
-        return self.sim.register_clock(freq, handler, name=f"{self.name}.clock",
+                       priority: int = PRIORITY_CLOCK, phase: SimTime = 0,
+                       name: Optional[str] = None) -> Clock:
+        """Register ``handler`` to be called at ``freq`` (e.g. ``"2GHz"``).
+
+        Clocks are named ``<component>.clock``, ``<component>.clock1``,
+        ... in registration order (pass ``name=`` to label one
+        explicitly), so multi-clock components keep distinct
+        profiler/trace attribution.  Naming never affects scheduling —
+        arbiter classes key on (period, priority, phase residue) only.
+        """
+        index = self._clock_index
+        self._clock_index = index + 1
+        label = name if name is not None else (
+            "clock" if index == 0 else f"clock{index}")
+        return self.sim.register_clock(freq, handler,
+                                       name=f"{self.name}.{label}",
                                        priority=priority, phase=phase)
 
     def schedule(self, delay: SimTime, callback: Callable[[Any], None],
@@ -175,37 +302,80 @@ class Component:
     def capture_state(self) -> Dict[str, Any]:
         """The component's mutable run state, for engine checkpointing.
 
-        The default covers the stock model library: every instance
-        attribute except the engine-owned ones in :data:`STATE_EXCLUDE`.
-        Statistics are captured separately by the snapshot layer
-        (references to registered collectors inside the returned dict
-        are preserved by identity, not duplicated).  Override when a
-        component holds state that cannot be pickled — live generators,
-        open files — and return a picklable stand-in; pair it with a
-        :meth:`restore_state` override that reconstructs the live object
-        (see ``miniapps.base.AppRank`` and
-        ``processor.tracefile.TraceReplayCore``).
+        The default covers the whole model library: every instance
+        attribute except the engine-owned ones in :data:`STATE_EXCLUDE`
+        and declared state marked ``save=False`` (live generators, open
+        files — anything unpicklable, rebuilt after a restore by the
+        spec's ``reconstruct=`` hook).  Statistics are captured
+        separately by the snapshot layer (references to registered
+        collectors inside the returned dict are preserved by identity,
+        not duplicated).  Overriding this method is deprecated —
+        declare the offending attribute with
+        ``state(..., save=False, reconstruct=...)`` instead.
         """
-        return {k: v for k, v in self.__dict__.items()
-                if k not in self.STATE_EXCLUDE}
+        skip = type(self)._state_skip
+        return {k: v for k, v in self.__dict__.items() if k not in skip}
 
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Apply state captured by :meth:`capture_state`.
 
         Called on a freshly rebuilt component **after** ``setup()`` ran
-        and after its statistics were adopted, so overrides may assume a
-        fully wired graph and live collectors.
+        and after its statistics were adopted, so a fully wired graph
+        and live collectors may be assumed.  After the captured dict is
+        applied, every declared state spec carrying ``reconstruct=``
+        has that method invoked, in declaration order (base classes
+        first), to rebuild ``save=False`` live objects; the ckpt layer
+        then calls :meth:`on_restore` once per component.
         """
         self.__dict__.update(state)
+        for hook in type(self)._reconstruct_hooks:
+            getattr(self, hook)()
 
     # ------------------------------------------------------------------
-    # lifecycle hooks (subclasses override as needed)
+    # telemetry (repro.obs)
+    # ------------------------------------------------------------------
+    def telemetry_gauges(self) -> Dict[str, float]:
+        """Current values of ``state(..., gauge=True)`` declarations.
+
+        Sampled by :class:`~repro.analysis.timeseries.StatSampler` and
+        the telemetry heartbeat under ``<component>.<attr>`` keys,
+        alongside registered statistics.  Non-numeric values sample as
+        their length when sized, else are skipped.
+        """
+        out: Dict[str, float] = {}
+        for spec in type(self)._gauge_specs:
+            value = getattr(self, spec.attr, None)
+            if isinstance(value, (int, float)):
+                out[spec.attr] = float(value)
+            elif hasattr(value, "__len__"):
+                out[spec.attr] = float(len(value))
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
     # ------------------------------------------------------------------
     def setup(self) -> None:
-        """Called once after the full graph is wired, before the run."""
+        """Called once after the full graph is wired, before the run.
+
+        Override :meth:`on_setup` instead; overriding ``setup()``
+        itself still works (legacy) but bypasses hook dispatch.
+        """
+        self.on_setup()
 
     def finish(self) -> None:
-        """Called once when the run ends."""
+        """Called once when the run ends.  Override :meth:`on_finish`."""
+        self.on_finish()
+
+    def on_setup(self) -> None:
+        """Graph fully wired; register work, kick off first events."""
+
+    def on_finish(self) -> None:
+        """Run over; finalize statistics."""
+
+    def on_restore(self) -> None:
+        """Called by `repro.ckpt` after this component's state (and every
+        other component's) has been restored, in component registration
+        order — the place to re-derive caches from restored state."""
 
     @property
     def now(self) -> SimTime:
@@ -218,3 +388,20 @@ class Component:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _checked_handler(component: Component, port_name: str,
+                     event_cls: type, inner: Callable) -> Callable:
+    """Validation-mode wrapper: reject events of the wrong class."""
+
+    def checked(event: Event) -> None:
+        if event is not None and not isinstance(event, event_cls):
+            raise LinkError(
+                f"component {component.name!r} port {port_name!r} expects "
+                f"{event_cls.__name__}, got {type(event).__name__}"
+            )
+        inner(event)
+
+    checked.__wrapped_handler__ = inner  # type: ignore[attr-defined]
+    checked.__name__ = getattr(inner, "__name__", "handler")
+    return checked

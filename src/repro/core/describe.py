@@ -1,0 +1,402 @@
+"""Declarative component specs: typed ports, declared state, statistics.
+
+SST's component framework earns its keep by letting a model *declare*
+its interface once and have every engine service — wiring validation,
+checkpointing, statistics, telemetry — consume the declaration.  This
+module supplies the three descriptor families the PySST
+:class:`~repro.core.component.Component` base collects at class-creation
+time:
+
+* :func:`port` / :class:`PortSpec` — a named, documented port with an
+  optional expected event class and a receive handler bound by
+  decorator, by explicit name, or by the ``on_<port>`` convention.
+  The config layer (:func:`repro.config.build`) validates every link
+  endpoint against these at graph-build time, so a typo'd port name
+  fails when the machine is assembled instead of at the first send.
+* :func:`state` / :class:`StateSpec` — a mutable run-state attribute
+  with a default, an optional ``save=False`` flag for values that
+  cannot be pickled (live generators, open files) and a paired
+  ``reconstruct=`` hook that `repro.ckpt` calls after a restore, and a
+  ``gauge=True`` flag that surfaces the value to the telemetry layer.
+* :func:`stat` (``stat.counter`` / ``stat.accumulator`` /
+  ``stat.histogram``) / :class:`StatSpec` — a registered statistic,
+  instantiated automatically in ``Component.__init__`` so subclasses
+  stop hand-plumbing :class:`~repro.core.statistics.StatisticGroup`.
+
+Everything here runs at class creation or component construction —
+never on the event hot path.  See ``docs/COMPONENTS.md`` for the
+authoring guide and a worked example.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Optional, Type
+
+_MISSING = object()
+
+#: ``<i>``-style placeholder segments in indexed port-family names
+#: (``cpu<i>``, ``dim<d>_pos``) match any decimal index.
+_PLACEHOLDER = re.compile(r"<[^<>]*>")
+
+
+class SpecError(TypeError):
+    """A component's declarations are inconsistent."""
+
+
+# ----------------------------------------------------------------------
+# ports
+# ----------------------------------------------------------------------
+
+class PortSpec:
+    """A declared port: documentation plus engine-checkable facts.
+
+    Declared as a class attribute; the attribute name is the port name
+    unless ``name=`` overrides it (required for indexed families such
+    as ``cpu<i>``, whose names are not identifiers).
+
+    On an instance, attribute access resolves to the live
+    :class:`~repro.core.link.Port` object (scalar ports only).
+    """
+
+    __slots__ = ("attr", "name", "doc", "required", "event",
+                 "handler_name", "_regex")
+
+    def __init__(self, doc: str = "", *, name: Optional[str] = None,
+                 required: bool = True, event: Optional[type] = None,
+                 handler: Optional[str] = None):
+        self.attr: Optional[str] = None
+        self.name = name
+        self.doc = doc
+        self.required = required
+        self.event = event
+        self.handler_name = handler
+        self._regex: Optional[re.Pattern] = None
+        if name is not None:
+            self._compile(name)
+
+    def _compile(self, name: str) -> None:
+        if _PLACEHOLDER.search(name):
+            # Escape the literal segments, then turn each <placeholder>
+            # into a decimal-index matcher.
+            pattern = re.escape(_PLACEHOLDER.sub("\0", name)).replace(
+                "\0", r"\d+")
+            self._regex = re.compile(f"^{pattern}$")
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self.attr = attr
+        if self.name is None:
+            self.name = attr
+            self._compile(attr)
+
+    # -- declaration-side API ------------------------------------------
+    def handler(self, fn: Callable) -> Callable:
+        """Decorator form: mark ``fn`` as this port's receive handler."""
+        self.handler_name = fn.__name__
+        return fn
+
+    @property
+    def indexed(self) -> bool:
+        """True for port families (``cpu<i>``) matched by index."""
+        return self._regex is not None
+
+    def matches(self, port_name: str) -> bool:
+        """Does a concrete port name satisfy this declaration?"""
+        if self._regex is not None:
+            return self._regex.match(port_name) is not None
+        return port_name == self.name
+
+    # -- engine-side API ------------------------------------------------
+    def resolve_handler(self, component: Any) -> Optional[Callable]:
+        """The bound receive handler on ``component``, if declared.
+
+        Resolution order: an explicit/decorator-recorded handler name,
+        then the ``on_<port>`` naming convention.  Indexed families
+        return None — their per-index closures are bound by the
+        subclass (see ``Component.bind_indexed_ports``).
+        """
+        if self.indexed:
+            return None
+        if self.handler_name is not None:
+            fn = getattr(component, self.handler_name, None)
+            if fn is None:
+                raise SpecError(
+                    f"{type(component).__name__}: port {self.name!r} names "
+                    f"handler {self.handler_name!r} which does not exist"
+                )
+            return fn
+        fn = getattr(component, f"on_{self.name}", None)
+        return fn if callable(fn) else None
+
+    def __get__(self, obj: Any, owner: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        if self.indexed:
+            raise AttributeError(
+                f"indexed port family {self.name!r} has no single Port; "
+                f"use component.port('{self.name.replace('<', '').replace('>', '')}...')"
+            )
+        return obj.port(self.name)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "doc": self.doc,
+            "required": self.required,
+            "indexed": self.indexed,
+            "event": self.event.__name__ if self.event is not None else None,
+            "handler": self.handler_name or
+                       (f"on_{self.name}" if not self.indexed else None),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PortSpec {self.name!r}>"
+
+
+def port(doc: str = "", *, name: Optional[str] = None, required: bool = True,
+         event: Optional[type] = None,
+         handler: Optional[str] = None) -> PortSpec:
+    """Declare a port (see :class:`PortSpec`).
+
+    >>> class MyCache(Component):
+    ...     cpu = port("upstream requests", event=MemRequest)
+    ...     mem = port("downstream memory", event=MemResponse)
+    ...
+    ...     @cpu.handler
+    ...     def on_request(self, event): ...
+    """
+    return PortSpec(doc, name=name, required=required, event=event,
+                    handler=handler)
+
+
+# ----------------------------------------------------------------------
+# state
+# ----------------------------------------------------------------------
+
+class StateSpec:
+    """A declared mutable run-state attribute.
+
+    Non-data descriptor: the first read materialises the default into
+    the instance ``__dict__`` (after which plain attribute access costs
+    nothing — the descriptor is off the hot path), and assignments are
+    ordinary attribute writes.  Declared state is consumed by:
+
+    * ``repro.ckpt`` — captured by the default
+      ``Component.capture_state`` unless ``save=False``; after a
+      restore, specs carrying ``reconstruct=`` have that method invoked
+      (in declaration order) to rebuild unpicklable live objects from
+      the already-applied picklable state.
+    * ``repro.obs`` — ``gauge=True`` values appear in
+      :meth:`Component.telemetry_gauges` and are sampled by
+      :class:`~repro.analysis.timeseries.StatSampler` and the telemetry
+      heartbeat alongside registered statistics.
+    * the ``component describe`` CLI and config serialization
+      (``describe=True``), which document the declared state per type.
+    """
+
+    __slots__ = ("attr", "doc", "default", "factory", "save",
+                 "reconstruct", "gauge")
+
+    def __init__(self, default: Any = _MISSING, *, factory: Optional[Callable] = None,
+                 save: bool = True, reconstruct: Optional[str] = None,
+                 gauge: bool = False, doc: str = ""):
+        if factory is not None and default is not _MISSING:
+            raise SpecError("state(): pass default or factory, not both")
+        self.attr: Optional[str] = None
+        self.doc = doc
+        self.default = default
+        self.factory = factory
+        self.save = save
+        self.reconstruct = reconstruct
+        self.gauge = gauge
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self.attr = attr
+
+    def __get__(self, obj: Any, owner: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.attr]
+        except KeyError:
+            pass
+        if self.factory is not None:
+            value = self.factory()
+        elif self.default is not _MISSING:
+            value = self.default
+        else:
+            raise AttributeError(
+                f"{type(obj).__name__}.{self.attr} has no default and was "
+                f"never assigned"
+            )
+        obj.__dict__[self.attr] = value
+        return value
+
+    def describe(self) -> Dict[str, Any]:
+        if self.factory is not None:
+            default = f"{getattr(self.factory, '__name__', self.factory)}()"
+        elif self.default is not _MISSING:
+            default = repr(self.default)
+        else:
+            default = None
+        return {
+            "name": self.attr,
+            "doc": self.doc,
+            "default": default,
+            "save": self.save,
+            "reconstruct": self.reconstruct,
+            "gauge": self.gauge,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StateSpec {self.attr!r}>"
+
+
+def state(default: Any = _MISSING, *, save: bool = True,
+          reconstruct: Optional[str] = None, gauge: bool = False,
+          doc: str = "") -> StateSpec:
+    """Declare a run-state attribute (see :class:`StateSpec`).
+
+    ``default`` may be a value or a zero-argument callable (``dict``,
+    ``list``, a lambda) — callables are treated as per-instance
+    factories, so mutable defaults are safe.
+    """
+    if callable(default) and default is not _MISSING:
+        return StateSpec(factory=default, save=save, reconstruct=reconstruct,
+                         gauge=gauge, doc=doc)
+    return StateSpec(default, save=save, reconstruct=reconstruct,
+                     gauge=gauge, doc=doc)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+class StatSpec:
+    """A declared statistic, registered automatically at construction.
+
+    The attribute name minus a leading ``s_`` is the registered name
+    unless ``name=`` overrides it; ``Component.__init__`` instantiates
+    every declared statistic into ``self.<attr>`` (same objects as
+    ``self.stats.get(name)``), preserving the library's ``self.s_hits``
+    fast-access idiom without any per-subclass plumbing.
+    """
+
+    __slots__ = ("attr", "kind", "name", "doc", "kwargs")
+
+    def __init__(self, kind: str, name: Optional[str] = None, *,
+                 doc: str = "", **kwargs: Any):
+        if kind not in ("counter", "accumulator", "histogram"):
+            raise SpecError(f"unknown statistic kind {kind!r}")
+        self.attr: Optional[str] = None
+        self.kind = kind
+        self.name = name
+        self.doc = doc
+        self.kwargs = kwargs
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self.attr = attr
+        if self.name is None:
+            self.name = attr[2:] if attr.startswith("s_") else attr
+
+    def instantiate(self, group: Any) -> Any:
+        factory = getattr(group, self.kind)
+        return factory(self.name, **self.kwargs)
+
+    def __get__(self, obj: Any, owner: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.attr]
+        except KeyError:  # pragma: no cover - stats are created in __init__
+            raise AttributeError(self.attr) from None
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "doc": self.doc,
+                **{k: v for k, v in self.kwargs.items()}}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StatSpec {self.kind} {self.name!r}>"
+
+
+class _StatFactory:
+    """The ``stat`` namespace: ``stat.counter`` / ``.accumulator`` / ``.histogram``."""
+
+    @staticmethod
+    def counter(name: Optional[str] = None, *, doc: str = "") -> StatSpec:
+        return StatSpec("counter", name, doc=doc)
+
+    @staticmethod
+    def accumulator(name: Optional[str] = None, *, doc: str = "") -> StatSpec:
+        return StatSpec("accumulator", name, doc=doc)
+
+    @staticmethod
+    def histogram(name: Optional[str] = None, *, low: float = 0.0,
+                  bin_width: float = 1.0, n_bins: int = 32,
+                  doc: str = "") -> StatSpec:
+        return StatSpec("histogram", name, doc=doc, low=low,
+                        bin_width=bin_width, n_bins=n_bins)
+
+
+stat = _StatFactory()
+
+
+# ----------------------------------------------------------------------
+# class-level introspection
+# ----------------------------------------------------------------------
+
+def collect_specs(cls: type) -> Dict[str, Dict[str, Any]]:
+    """MRO-ordered spec tables for a component class.
+
+    Returns ``{"ports": {port_name: PortSpec}, "state": {attr:
+    StateSpec}, "stats": {attr: StatSpec}}`` with base-class
+    declarations first and subclass re-declarations overriding.
+    """
+    ports: Dict[str, PortSpec] = {}
+    states: Dict[str, StateSpec] = {}
+    stats: Dict[str, StatSpec] = {}
+    for klass in reversed(cls.__mro__):
+        for attr, value in vars(klass).items():
+            if isinstance(value, PortSpec):
+                ports[value.name] = value
+            elif isinstance(value, StateSpec):
+                states[attr] = value
+            elif isinstance(value, StatSpec):
+                stats[attr] = value
+    return {"ports": ports, "state": states, "stats": stats}
+
+
+def describe_component(cls: type) -> Dict[str, Any]:
+    """JSON-ready description of a component class's declarations.
+
+    Used by ``python -m repro component describe`` and by
+    :func:`repro.config.serialize.to_dict` with ``describe=True``.
+    """
+    ports = getattr(cls, "_port_specs", {})
+    states = getattr(cls, "_state_specs", {})
+    stats = getattr(cls, "_stat_specs", {})
+    doc = (cls.__doc__ or "").strip().splitlines()
+    return {
+        "class": f"{cls.__module__}.{cls.__qualname__}",
+        "type_name": getattr(cls, "TYPE_NAME", None),
+        "summary": doc[0] if doc else "",
+        "ports": [spec.describe() for spec in ports.values()],
+        "state": [spec.describe() for spec in states.values()],
+        "stats": [spec.describe() for spec in stats.values()],
+        "legacy_ports": (
+            dict(cls.PORTS) if not ports and getattr(cls, "PORTS", None)
+            else None),
+    }
+
+
+def validate_port_name(cls: type, port_name: str) -> bool:
+    """Graph-build-time check: is ``port_name`` declared on ``cls``?
+
+    Classes that declare no port specs (legacy / out-of-tree) accept
+    anything, as does a class opting out via
+    ``ALLOW_UNDECLARED_PORTS = True``.
+    """
+    specs = getattr(cls, "_port_specs", None)
+    if not specs or getattr(cls, "ALLOW_UNDECLARED_PORTS", False):
+        return True
+    return any(spec.matches(port_name) for spec in specs.values())

@@ -10,6 +10,7 @@ common way a silent misconfiguration is caught.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterator, Mapping, Optional, Set
 
 from . import units
@@ -20,6 +21,14 @@ _MISSING = object()
 
 class ParamError(KeyError):
     """A required parameter is missing or malformed."""
+
+
+class UnusedParamsWarning(UserWarning):
+    """A parameter key was configured but never read by its component.
+
+    Emitted once per component by :meth:`Params.finalize_check` (called
+    from ``Simulation.setup()``), so sweep configs with typoed keys stop
+    silently no-oping."""
 
 
 class Params(Mapping[str, Any]):
@@ -38,10 +47,17 @@ class Params(Mapping[str, Any]):
         self._data: Dict[str, Any] = dict(data or {})
         self._scope = scope
         self._consumed: Set[str] = set()
+        self._parent: Optional["Params"] = None
+        self._finalized = False
 
     # -- Mapping protocol -------------------------------------------------
     def __getitem__(self, key: str) -> Any:
-        return self._data[key]
+        value = self._data[key]
+        self._consumed.add(key)
+        parent = self._parent
+        if parent is not None and key in parent._data:
+            parent._consumed.add(key)
+        return value
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._data)
@@ -56,6 +72,9 @@ class Params(Mapping[str, Any]):
     def _fetch(self, key: str, default: Any, required: bool) -> Any:
         if key in self._data:
             self._consumed.add(key)
+            parent = self._parent
+            if parent is not None and key in parent._data:
+                parent._consumed.add(key)
             return self._data[key]
         if required and default is _MISSING:
             where = f" in scope {self._scope!r}" if self._scope else ""
@@ -160,9 +179,53 @@ class Params(Mapping[str, Any]):
         data.update(overrides or {})
         return Params(data, scope=self._scope)
 
+    def with_defaults(self, defaults: Mapping[str, Any]) -> "Params":
+        """New Params with ``defaults`` underneath this one.
+
+        Unlike :meth:`merged`, the child stays linked to this instance:
+        fetching a key through the child also marks it consumed here, so
+        :meth:`finalize_check` on the original Params keeps working when
+        a component reads everything through a defaults overlay (the
+        miniapp pattern)."""
+        child = Params({**defaults, **self._data}, scope=self._scope)
+        child._parent = self
+        return child
+
+    def accept(self, *keys: str) -> None:
+        """Mark ``keys`` as consumed whether or not they are read.
+
+        For components that deliberately ignore some configured keys —
+        e.g. a topology helper hands every router the full shape
+        description but each router kind reads only its slice."""
+        for key in keys:
+            if key in self._data:
+                self._consumed.add(key)
+                parent = self._parent
+                if parent is not None and key in parent._data:
+                    parent._consumed.add(key)
+
     def unused_keys(self) -> Set[str]:
         """Keys never fetched through any ``find*`` accessor."""
         return set(self._data) - self._consumed
+
+    def finalize_check(self, owner: str = "") -> Set[str]:
+        """Warn (once) about configured keys that were never read.
+
+        Called by ``Simulation.setup()`` for every component after all
+        setups ran; safe to call again (idempotent).  Returns the set of
+        unused keys so tests and tooling can assert on it."""
+        unused = self.unused_keys()
+        if unused and not self._finalized:
+            self._finalized = True
+            who = owner or self._scope or "<anonymous>"
+            keys = ", ".join(sorted(unused))
+            warnings.warn(
+                f"component {who!r}: parameter key(s) never read: {keys} "
+                f"(typo, or call params.accept() for deliberately unused keys)",
+                UnusedParamsWarning,
+                stacklevel=2,
+            )
+        return unused
 
     def as_dict(self) -> Dict[str, Any]:
         return dict(self._data)

@@ -74,5 +74,17 @@ def registered_types() -> Iterable[str]:
     return sorted(_REGISTRY)
 
 
+def load_all_libraries() -> None:
+    """Import every known component library, populating the registry.
+
+    Registration happens at class-definition time, so only libraries
+    that have been imported appear in :func:`registered_types`; tools
+    that enumerate the full catalogue (``repro component list``) call
+    this first.
+    """
+    for library in _KNOWN_LIBRARIES:
+        importlib.import_module(f"repro.{library}")
+
+
 def is_registered(type_name: str) -> bool:
     return type_name in _REGISTRY

@@ -302,12 +302,27 @@ class Simulation:
     # lifecycle
     # ------------------------------------------------------------------
     def setup(self) -> None:
-        """Finalize the graph and call every component's ``setup()``."""
+        """Finalize the graph and call every component's ``setup()``.
+
+        After all setups ran (components may still consume parameters
+        there), every component's :meth:`Params.finalize_check` runs so
+        typoed config keys warn instead of silently no-oping.  With
+        ``validate_events`` enabled (``build(validate_events=True)`` or
+        ``sim.validate_events = True`` before setup), handlers of ports
+        whose declaration names an event class are wrapped with
+        isinstance checks — diagnostics only, never on by default, so
+        the bare hot path is unaffected.
+        """
         if self._setup_done:
             return
         self._setup_done = True
         for comp in self._components.values():
             comp.setup()
+        for comp in self._components.values():
+            comp.params.finalize_check(comp.name)
+        if getattr(self, "validate_events", False):
+            for comp in self._components.values():
+                comp._install_event_checks()
 
     def finish(self) -> None:
         if self._finished:

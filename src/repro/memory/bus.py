@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime, bytes_time
 from .events import MemRequest, MemResponse
@@ -75,7 +75,15 @@ class SharedBus(Component):
     ``src_port``).
     """
 
-    PORTS = {"cpu<i>": "upstream client ports", "mem": "downstream memory"}
+    cpu = port("upstream client ports", name="cpu<i>", event=MemRequest)
+    mem = port("downstream memory", event=MemResponse, handler="on_response")
+
+    _bus_free = state(0, doc="time the bus next becomes free")
+    _route = state(dict, doc="req id -> upstream port index")
+
+    s_transfers = stat.counter(doc="bus occupancies (both directions)")
+    s_bus_wait = stat.accumulator("bus_wait_ps", doc="arbitration wait")
+    s_bytes = stat.counter(doc="bytes moved over the bus")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -83,14 +91,8 @@ class SharedBus(Component):
         self.n_ports = p.find_int("n_ports", 2)
         self.bandwidth = p.find_bandwidth("bandwidth", "10.67GB/s")
         self.arb_latency = p.find_time("arbitration_latency", "1ns")
-        self._bus_free: SimTime = 0
-        self.s_transfers = self.stats.counter("transfers")
-        self.s_bus_wait = self.stats.accumulator("bus_wait_ps")
-        self.s_bytes = self.stats.counter("bytes")
-        self._route: Dict[int, int] = {}
         for i in range(self.n_ports):
             self.set_handler(f"cpu{i}", self._make_upstream_handler(i))
-        self.set_handler("mem", self.on_response)
 
     def _occupy(self, size: int) -> SimTime:
         """Reserve the bus for ``size`` bytes; returns the finish delay."""

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime
 from .events import MemRequest, MemResponse
@@ -269,10 +269,22 @@ class Cache(Component):
     ``mshrs`` (max outstanding misses; further misses queue).
     """
 
-    PORTS = {
-        "cpu": "upstream: receives MemRequest, returns MemResponse",
-        "mem": "downstream: emits MemRequest, receives MemResponse",
-    }
+    cpu = port("upstream: receives MemRequest, returns MemResponse",
+               event=MemRequest, handler="on_request")
+    mem = port("downstream: emits MemRequest, receives MemResponse",
+               event=MemResponse, handler="on_response")
+
+    array = state(doc="functional set-associative array (tags/dirty/LRU)")
+    _outstanding = state(dict, gauge=True, doc="in-flight misses by req id")
+    _blocked = state(list, gauge=True, doc="requests stalled on MSHRs")
+    _prefetch_ids = state(set, doc="req ids of in-flight prefetch fills")
+
+    s_hits = stat.counter(doc="demand hits")
+    s_misses = stat.counter(doc="demand misses")
+    s_writebacks = stat.counter(doc="dirty evictions sent downstream")
+    s_queued = stat.counter("mshr_stalls", doc="misses queued behind MSHRs")
+    s_prefetches = stat.counter(doc="prefetch fetches issued")
+    s_prefetch_hits = stat.counter(doc="first demand touch of a prefetched line")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -289,17 +301,6 @@ class Cache(Component):
         #: next-N-line stream prefetcher depth (0 = off): every demand
         #: miss also fetches the following N sequential lines.
         self.prefetch_depth = p.find_int("prefetch", 0)
-        self._outstanding: Dict[int, MemRequest] = {}
-        self._blocked: List[MemRequest] = []
-        self._prefetch_ids: set = set()
-        self.s_hits = self.stats.counter("hits")
-        self.s_misses = self.stats.counter("misses")
-        self.s_writebacks = self.stats.counter("writebacks")
-        self.s_queued = self.stats.counter("mshr_stalls")
-        self.s_prefetches = self.stats.counter("prefetches")
-        self.s_prefetch_hits = self.stats.counter("prefetch_hits")
-        self.set_handler("cpu", self.on_request)
-        self.set_handler("mem", self.on_response)
 
     def on_request(self, event) -> None:
         assert isinstance(event, MemRequest)
@@ -363,8 +364,3 @@ class Cache(Component):
         self.send("cpu", MemResponse(original, level=event.level))
         if self._blocked:
             self._issue_miss(self._blocked.pop(0))
-
-    def finish(self) -> None:
-        # Mirror the functional counters into registered statistics in
-        # case direct array use bypassed the event path.
-        pass

@@ -29,7 +29,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime
 from .events import MemRequest, MemResponse
@@ -280,7 +280,16 @@ class CoherentBusComponent(Component):
     ``c2c_latency``, ``memory_latency``.
     """
 
-    PORTS = {"cache<i>": "coherent cache transaction ports"}
+    cache = port("coherent cache transaction ports", name="cache<i>",
+                 event=MemRequest)
+
+    protocol = state(doc="SnoopBus MSI protocol state (all caches)")
+    _bus_free = state(0, doc="time the bus next becomes free")
+
+    s_transactions = stat.counter(doc="bus transactions served")
+    s_c2c = stat.counter("cache_to_cache",
+                         doc="cache-to-cache supplies (mirrored at finish)")
+    s_invalidations = stat.counter(doc="invalidations (mirrored at finish)")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -294,10 +303,6 @@ class CoherentBusComponent(Component):
         self.bus_time = p.find_time("bus_time", "4ns")
         self.c2c_latency = p.find_time("c2c_latency", "15ns")
         self.memory_latency = p.find_time("memory_latency", "60ns")
-        self._bus_free: SimTime = 0
-        self.s_transactions = self.stats.counter("transactions")
-        self.s_c2c = self.stats.counter("cache_to_cache")
-        self.s_invalidations = self.stats.counter("invalidations")
         for i in range(self.n_caches):
             self.set_handler(f"cache{i}", self._make_handler(i))
 
@@ -320,7 +325,7 @@ class CoherentBusComponent(Component):
 
         return handler
 
-    def finish(self) -> None:
+    def on_finish(self) -> None:
         self.s_c2c.add(self.protocol.stats.cache_to_cache
                        - self.s_c2c.count)
         self.s_invalidations.add(self.protocol.stats.invalidations
@@ -341,24 +346,28 @@ class CoherentCache(Component):
     never occupy the bus.
     """
 
-    PORTS = {"cpu": "core requests", "bus": "bus transactions"}
+    cpu = port("core requests", event=MemRequest, handler="on_request")
+    bus = port("bus transactions", event=MemResponse,
+               handler="on_bus_response")
+
+    _bus_component = state(None, doc="peer CoherentBusComponent "
+                                     "(re-resolved by setup)")
+
+    s_hits = stat.counter(doc="local hits (no bus occupancy)")
+    s_misses = stat.counter(doc="misses/upgrades sent to the bus")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
         p = self.params
         self.cache_id = p.find_int("cache_id")
         self.hit_latency = p.find_time("hit_latency", "2ns")
-        self._bus_component: Optional[CoherentBusComponent] = None
-        self.s_hits = self.stats.counter("hits")
-        self.s_misses = self.stats.counter("misses")
-        self.set_handler("cpu", self.on_request)
-        self.set_handler("bus", self.on_bus_response)
 
-    def setup(self) -> None:
-        port = self._ports.get("bus")
-        if port is None or port.endpoint is None or port.endpoint.peer_port is None:
+    def on_setup(self) -> None:
+        bus_port = self._ports.get("bus")
+        if bus_port is None or bus_port.endpoint is None \
+                or bus_port.endpoint.peer_port is None:
             raise RuntimeError(f"{self.name}: 'bus' port must be connected")
-        peer = port.endpoint.peer_port.component
+        peer = bus_port.endpoint.peer_port.component
         if not isinstance(peer, CoherentBusComponent):
             raise RuntimeError(
                 f"{self.name}: 'bus' must connect to a memory.CoherentBus"

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime
 from .dram import DRAMModel
@@ -107,7 +107,14 @@ class MemController(Component):
     ``window``, ``frontend_latency``.
     """
 
-    PORTS = {"cpu": "memory requests in / responses out"}
+    cpu = port("memory requests in / responses out",
+               event=MemRequest, handler="on_request")
+
+    sched = state(doc="SchedulingDRAM queue + DRAM timing state")
+
+    s_requests = stat.counter(doc="requests accepted")
+    s_latency = stat.accumulator("latency_ps", doc="request latency")
+    s_reordered = stat.counter(doc="FR-FCFS promotions (mirrored at finish)")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -119,10 +126,6 @@ class MemController(Component):
             window=p.find_int("window", 8),
         )
         self.frontend_latency = p.find_time("frontend_latency", "10ns")
-        self.s_requests = self.stats.counter("requests")
-        self.s_latency = self.stats.accumulator("latency_ps")
-        self.s_reordered = self.stats.counter("reordered")
-        self.set_handler("cpu", self.on_request)
 
     def on_request(self, event) -> None:
         assert isinstance(event, MemRequest)
@@ -136,5 +139,5 @@ class MemController(Component):
             self.send("cpu", MemResponse(payload, level="dram"),
                       extra_delay=max(0, completion - self.now))
 
-    def finish(self) -> None:
+    def on_finish(self) -> None:
         self.s_reordered.add(self.sched.reordered - self.s_reordered.count)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime, bytes_time, parse_time
 from .events import MemRequest, MemResponse
@@ -231,7 +231,15 @@ class MainMemory(Component):
     ``controller_latency`` (fixed front-end latency, default "10ns").
     """
 
-    PORTS = {"cpu": "memory requests in / responses out"}
+    cpu = port("memory requests in / responses out",
+               event=MemRequest, handler="on_request")
+
+    model = state(doc="DRAMModel bank/row/channel timing state")
+
+    s_reads = stat.counter(doc="read transactions")
+    s_writes = stat.counter(doc="write transactions")
+    s_latency = stat.accumulator("latency_ps", doc="request latency")
+    s_row_hits = stat.counter(doc="row-buffer hits (mirrored at finish)")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -240,11 +248,6 @@ class MainMemory(Component):
                                channels=p.find_int("channels", 1))
         self.capacity_gb = p.find_size_bytes("capacity", "4GB") / 1024**3
         self.controller_latency = p.find_time("controller_latency", "10ns")
-        self.s_reads = self.stats.counter("reads")
-        self.s_writes = self.stats.counter("writes")
-        self.s_latency = self.stats.accumulator("latency_ps")
-        self.s_row_hits = self.stats.counter("row_hits")
-        self.set_handler("cpu", self.on_request)
 
     def on_request(self, event) -> None:
         assert isinstance(event, MemRequest)
@@ -256,7 +259,7 @@ class MainMemory(Component):
         self.send("cpu", MemResponse(event, level="dram"),
                   extra_delay=max(0, done - self.now))
 
-    def finish(self) -> None:
+    def on_finish(self) -> None:
         self.s_row_hits.add(self.model.stats.row_hits - self.s_row_hits.count)
 
 
@@ -264,13 +267,14 @@ class MainMemory(Component):
 class SimpleMemory(Component):
     """Fixed-latency memory endpoint (for tests and minimal examples)."""
 
-    PORTS = {"cpu": "memory requests in / responses out"}
+    cpu = port("memory requests in / responses out",
+               event=MemRequest, handler="on_request")
+
+    s_requests = stat.counter(doc="requests served")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
         self.latency = self.params.find_time("latency", "60ns")
-        self.s_requests = self.stats.counter("requests")
-        self.set_handler("cpu", self.on_request)
 
     def on_request(self, event) -> None:
         assert isinstance(event, MemRequest)

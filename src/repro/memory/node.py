@@ -17,7 +17,7 @@ to avoid a circular import with the processor package.
 
 from __future__ import annotations
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime
 from .dram import DRAMModel
@@ -37,7 +37,13 @@ class NodeMemory(Component):
     energy accounting).
     """
 
-    PORTS = {"core<i>": "bulk requests in / responses out"}
+    core = port("bulk requests in / responses out", name="core<i>")
+
+    dram = state(doc="DRAMModel channel/energy bookkeeping")
+    _channel_free = state(0, doc="time the bulk channel next frees up")
+
+    s_bytes = stat.counter(doc="bulk bytes transferred")
+    s_requests = stat.counter(doc="bulk transfers served")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -46,13 +52,10 @@ class NodeMemory(Component):
                               channels=p.find_int("channels", 1))
         self.n_ports = p.find_int("n_ports", 1)
         self.row_locality = p.find_float("row_locality", 0.6)
-        self.s_bytes = self.stats.counter("bytes")
-        self.s_requests = self.stats.counter("requests")
-        self._channel_free: SimTime = 0
         for i in range(self.n_ports):
             self.set_handler(f"core{i}", self._make_handler(i))
 
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         # Advertise the DRAM technology to every attached core that wants
         # it (MixCore uses this to match its DRAM-latency model to the
         # memory it talks to).  Duck-typed to avoid importing processor.

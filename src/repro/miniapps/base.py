@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.units import SimTime
 from ..network.message import NetMessage
 from ..processor.core import CoreConfig, CoreTimingModel
@@ -145,7 +145,32 @@ class AppRank(Component):
     ``bytes_sent``, ``runtime_ps``.
     """
 
-    PORTS = {"nic": "messages out to / in from the local NIC"}
+    nic = port("messages out to / in from the local NIC",
+               event=NetMessage, handler="on_message")
+
+    # The live program generator is not picklable: it is excluded from
+    # checkpoints and rebuilt by replaying ``_phases_done`` phases.
+    _program = state(None, save=False, reconstruct="_rebuild_program",
+                     doc="live program generator")
+    _phases_done = state(0, gauge=True,
+                         doc="phases consumed from the program generator "
+                             "— the replay cursor for checkpoint restore")
+    _inbox = state(dict, doc="message key -> arrivals not yet awaited")
+    _waiting_key = state(None, doc="message key the rank is blocked on")
+    _waiting_quota = state(0, doc="arrivals needed to unblock")
+    _comm_started = state(0, doc="start time of the blocking phase")
+    _overlap_until = state(0, doc="overlapped compute finishes here")
+    _rounds = state(None, doc="remaining collective rounds in progress")
+    _round_key = state(None, doc="key prefix of the running collective")
+    _round_size = state(0, doc="message size of the running collective")
+
+    s_noise = stat.counter("noise_ps", doc="injected OS-noise detour time")
+    s_iterations = stat.counter(doc="top-level iterations completed")
+    s_compute = stat.counter("compute_ps", doc="compute-phase time")
+    s_comm = stat.counter("comm_ps", doc="time blocked in exchanges")
+    s_messages = stat.counter("messages_sent", doc="messages injected")
+    s_bytes = stat.counter("bytes_sent", doc="payload bytes injected")
+    s_runtime = stat.counter("runtime_ps", doc="time to finish the program")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -166,23 +191,6 @@ class AppRank(Component):
         self.noise_duration = p.find_time("noise_duration", 0)
         if self.noise_frequency_hz < 0 or self.noise_duration < 0:
             raise ValueError(f"{name}: negative noise parameters")
-        self.s_noise = self.stats.counter("noise_ps")
-        self._program: Optional[Program] = None
-        #: phases consumed from the program generator — the replay
-        #: cursor for checkpoint restore (generators don't pickle).
-        self._phases_done = 0
-        self._inbox: Dict[str, int] = {}
-        self._waiting_key: Optional[str] = None
-        self._waiting_quota = 0
-        self._comm_started: SimTime = 0
-        self._overlap_until: SimTime = 0
-        self.s_iterations = self.stats.counter("iterations")
-        self.s_compute = self.stats.counter("compute_ps")
-        self.s_comm = self.stats.counter("comm_ps")
-        self.s_messages = self.stats.counter("messages_sent")
-        self.s_bytes = self.stats.counter("bytes_sent")
-        self.s_runtime = self.stats.counter("runtime_ps")
-        self.set_handler("nic", self.on_message)
         self.register_as_primary()
 
     # -- subclass interface ------------------------------------------------
@@ -191,10 +199,12 @@ class AppRank(Component):
         raise NotImplementedError
 
     def params_with_defaults(self, defaults: Dict[str, object]):
-        """The component's params with class defaults filled underneath."""
-        from ..core.params import Params
+        """The component's params with class defaults filled underneath.
 
-        return Params({**defaults, **self.params.as_dict()})
+        Delegates to :meth:`~repro.core.params.Params.with_defaults`, so
+        keys read through the overlay still count as consumed for the
+        unused-parameter check."""
+        return self.params.with_defaults(defaults)
 
     def iteration_done(self) -> None:
         """Called once per completed top-level iteration (optional hook).
@@ -205,7 +215,7 @@ class AppRank(Component):
         self.s_iterations.add()
 
     # -- engine ------------------------------------------------------------
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         self._program = self.program()
         self._advance()
 
@@ -221,39 +231,34 @@ class AppRank(Component):
         self._dispatch(phase)
 
     # -- checkpoint protocol (repro.ckpt) -----------------------------------
-    def capture_state(self):
-        """Everything but the live program generator (not picklable)."""
-        state = super().capture_state()
-        state.pop("_program", None)
-        return state
-
-    def restore_state(self, state) -> None:
+    def _rebuild_program(self) -> None:
         """Recreate the generator and fast-forward it to the captured phase.
 
         Program generators are pure functions of the component's
         configuration plus two side channels — ``self.rng`` draws and
         statistic bumps (``iteration_done``) made *inside* the generator
         body.  Both already happened in the captured run, so the replay
-        neutralises them: a scratch RNG while fast-forwarding, and the
-        (already restored) statistic values saved/re-applied around it.
-        The captured ``_rng`` from ``state`` lands last, so the resumed
-        run continues the real random stream bit-exactly.
+        neutralises them: the captured state (including the real ``_rng``
+        and statistics) is already applied when this hook runs, so it is
+        saved, a scratch RNG and fresh stat values stand in while
+        fast-forwarding, and the real values are re-applied afterwards —
+        the resumed run continues the real random stream bit-exactly.
         """
         import numpy as np
 
-        phases = state.get("_phases_done", 0)
+        real_rng = self._rng
         saved = {name: stat.state_dict()
                  for name, stat in self.stats.all().items()}
         self._rng = np.random.default_rng(0)
         self._program = self.program()
-        for _ in range(phases):
+        for _ in range(self._phases_done):
             try:
                 next(self._program)
             except StopIteration:  # pragma: no cover - defensive
                 break
         for name, snap in saved.items():
             self.stats.all()[name].load_state(snap)
-        super().restore_state(state)
+        self._rng = real_rng
 
     def _noisy(self, duration_ps: SimTime) -> SimTime:
         """Inflate a compute duration with injected OS-noise detours."""
@@ -337,7 +342,7 @@ class AppRank(Component):
 
     def _finish_comm(self) -> None:
         """An exchange or collective round completed."""
-        if getattr(self, "_rounds", None):
+        if self._rounds:
             self._next_round()
             return
         self.s_comm.add(max(0, self.now - self._comm_started))

@@ -15,7 +15,7 @@ rather than bandwidth-sensitive.
 
 from __future__ import annotations
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime, bytes_time
 from .message import NetMessage
@@ -33,10 +33,19 @@ class Nic(Component):
     ``injection_wait_ps`` (time spent queued behind the throttle).
     """
 
-    PORTS = {
-        "cpu": "endpoint side: messages to send in / delivered messages out",
-        "net": "fabric side: router local port",
-    }
+    cpu = port("endpoint side: messages to send in / delivered messages out",
+               event=NetMessage, handler="on_send")
+    net = port("fabric side: router local port",
+               event=NetMessage, handler="on_deliver")
+
+    _tx_free = state(0, doc="time the injection path next frees up")
+    _rx_free = state(0, doc="time the ejection path next frees up")
+
+    s_sent = stat.counter(doc="messages injected")
+    s_received = stat.counter(doc="messages ejected")
+    s_bytes_sent = stat.counter(doc="payload bytes injected")
+    s_inj_wait = stat.accumulator("injection_wait_ps",
+                                  doc="time queued behind the throttle")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -47,14 +56,6 @@ class Nic(Component):
         )
         self.send_overhead = p.find_time("send_overhead", "500ns")
         self.recv_overhead = p.find_time("recv_overhead", "300ns")
-        self._tx_free: SimTime = 0
-        self._rx_free: SimTime = 0
-        self.s_sent = self.stats.counter("sent")
-        self.s_received = self.stats.counter("received")
-        self.s_bytes_sent = self.stats.counter("bytes_sent")
-        self.s_inj_wait = self.stats.accumulator("injection_wait_ps")
-        self.set_handler("cpu", self.on_send)
-        self.set_handler("net", self.on_deliver)
 
     def on_send(self, event) -> None:
         """Endpoint handed us a message: throttle, then inject."""

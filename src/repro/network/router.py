@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..core.units import SimTime, bytes_time
 from .message import NetMessage
@@ -73,11 +73,30 @@ class Router(Component):
     ``queue_wait_ps``.
     """
 
-    PORTS = {
-        "dim<d>_pos / dim<d>_neg": "torus/mesh neighbours",
-        "up<j> / down<i>": "fat-tree uplinks/downlinks",
-        "local<i>": "endpoint attach points",
-    }
+    # Port families are kind-dependent; all are declared optional and the
+    # constructor binds the subset the topology actually uses.
+    dim_pos = port("torus/mesh positive-direction neighbours",
+                   name="dim<d>_pos", required=False, event=NetMessage)
+    dim_neg = port("torus/mesh negative-direction neighbours",
+                   name="dim<d>_neg", required=False, event=NetMessage)
+    up = port("fat-tree leaf uplinks (one per spine)", name="up<j>",
+              required=False, event=NetMessage)
+    down = port("fat-tree spine downlinks (one per leaf)", name="down<i>",
+                required=False, event=NetMessage)
+    l = port("dragonfly intra-group links", name="l<j>",  # noqa: E741
+             required=False, event=NetMessage)
+    g = port("dragonfly global links", name="g<k>",
+             required=False, event=NetMessage)
+    local = port("endpoint attach points", name="local<i>",
+                 required=False, event=NetMessage)
+
+    _port_free = state(dict, doc="output port -> time it next frees up")
+
+    s_forwarded = stat.counter(doc="messages sent to another router")
+    s_delivered = stat.counter(doc="messages handed to a local endpoint")
+    s_bytes = stat.counter(doc="message bytes through this router")
+    s_queue_wait = stat.accumulator("queue_wait_ps",
+                                    doc="output-port serialisation wait")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -86,11 +105,9 @@ class Router(Component):
         self.locals_per_router = p.find_int("locals", 1)
         self.link_bw = p.find_bandwidth("link_bandwidth", "4.8GB/s")
         self.hop_latency = p.find_time("hop_latency", "10ns")
-        self._port_free: Dict[str, SimTime] = {}
-        self.s_forwarded = self.stats.counter("forwarded")
-        self.s_delivered = self.stats.counter("delivered")
-        self.s_bytes = self.stats.counter("bytes")
-        self.s_queue_wait = self.stats.accumulator("queue_wait_ps")
+        # The topology builders hand every router the full shape
+        # description; each kind deliberately reads only its slice.
+        p.accept("leaves", "spines", "down_locals")
 
         if self.kind in ("torus", "mesh"):
             self.dims = tuple(int(d) for d in p.find_str("dims").split("x"))
@@ -138,8 +155,8 @@ class Router(Component):
         else:
             raise ValueError(f"{name}: unknown router kind {self.kind!r}")
 
-        for port in ports:
-            self.set_handler(port, self.on_message)
+        for port_name in ports:
+            self.set_handler(port_name, self.on_message)
 
     # ------------------------------------------------------------------
     # routing

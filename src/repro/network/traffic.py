@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from .message import NetMessage
 
@@ -41,7 +41,15 @@ class PatternEndpoint(Component):
     Statistics: ``sent``, ``received``, ``latency_ps``, ``hops``.
     """
 
-    PORTS = {"nic": "messages out to / in from the local NIC"}
+    nic = port("messages out to / in from the local NIC",
+               event=NetMessage, handler="on_message")
+
+    _sent = state(0, gauge=True, doc="emissions so far (including skips)")
+
+    s_sent = stat.counter(doc="messages actually sent")
+    s_received = stat.counter(doc="messages received")
+    s_latency = stat.accumulator("latency_ps", doc="end-to-end latency")
+    s_hops = stat.accumulator(doc="router hops per message")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -64,16 +72,10 @@ class PatternEndpoint(Component):
         if expected < 0:
             expected = self._auto_expected()
         self.expected = expected
-        self._sent = 0
-        self.s_sent = self.stats.counter("sent")
-        self.s_received = self.stats.counter("received")
-        self.s_latency = self.stats.accumulator("latency_ps")
-        self.s_hops = self.stats.accumulator("hops")
-        self.set_handler("nic", self.on_message)
         if self.count > 0 or self.expected > 0:
             self.register_as_primary()
 
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         if self.count > 0:
             self.schedule(self.gap, self._emit)
 

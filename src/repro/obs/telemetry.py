@@ -163,7 +163,7 @@ class TelemetryRecorder:
         d_wall = wall - self._last_wall
         d_events = events - self._last_events
         d_sim = sim.now - self._last_sim
-        self._emit({
+        record: Dict[str, Any] = {
             "kind": "sample",
             "wall_s": wall,
             "sim_ps": sim.now,
@@ -171,7 +171,16 @@ class TelemetryRecorder:
             "pending": sim.pending_events,
             "events_per_s": d_events / d_wall if d_wall > 0 else 0.0,
             "sim_ps_per_s": d_sim / d_wall if d_wall > 0 else 0.0,
-        })
+        }
+        # Declared-state gauges (``state(..., gauge=True)``) ride along
+        # on every sample, keyed ``<component>.<attribute>``.
+        gauges: Dict[str, float] = {}
+        for comp in sim._components.values():
+            for attr, value in comp.telemetry_gauges().items():
+                gauges[f"{comp.name}.{attr}"] = value
+        if gauges:
+            record["gauges"] = gauges
+        self._emit(record)
         self._last_wall = wall
         self._last_events = events
         self._last_sim = sim.now

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.event import Event, IdSource
 from ..core.registry import register
 from ..core.units import SimTime
@@ -197,7 +197,23 @@ class MixCore(Component):
     ``stall_ps``, ``runtime_ps``.
     """
 
-    PORTS = {"mem": "bulk DRAM traffic to the node memory (optional)"}
+    mem = port("bulk DRAM traffic to the node memory (optional)",
+               required=False, event=BulkMemResponse,
+               handler="on_mem_response")
+
+    _retired = state(0, gauge=True, doc="instructions retired so far")
+    _block_started = state(0, doc="start time of the in-flight block")
+    _pending_compute_done = state(0, doc="latency-bound finish time of "
+                                         "the in-flight block")
+    _current_block = state(None, doc="BlockTiming of the in-flight block")
+    _advertised_tech = state(None, doc="DRAMTech advertised by the "
+                                       "attached node memory at setup")
+
+    s_instructions = stat.counter(doc="instructions retired")
+    s_blocks = stat.counter(doc="blocks completed")
+    s_compute = stat.counter("compute_ps", doc="issue-limited time")
+    s_stall = stat.counter("stall_ps", doc="memory stall exposure")
+    s_runtime = stat.counter("runtime_ps", doc="time to retire everything")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -216,18 +232,9 @@ class MixCore(Component):
         #: behind the longer — 0 would be a perfect roofline overlap.
         self.overlap_penalty = p.find_float("overlap_penalty", 0.3)
         self.model = CoreTimingModel(self.config, self.spec)
-        self._retired = 0
-        self._block_started: SimTime = 0
-        self._pending_compute_done: SimTime = 0
-        self.s_instructions = self.stats.counter("instructions")
-        self.s_blocks = self.stats.counter("blocks")
-        self.s_compute = self.stats.counter("compute_ps")
-        self.s_stall = self.stats.counter("stall_ps")
-        self.s_runtime = self.stats.counter("runtime_ps")
-        self.set_handler("mem", self.on_mem_response)
         self.register_as_primary()
 
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         self._start_block()
 
     # -- block state machine ------------------------------------------------
@@ -253,8 +260,8 @@ class MixCore(Component):
 
     def _dram_tech(self) -> Optional[DRAMTech]:
         # The attached node memory advertises its technology during wiring
-        # (see NodeMemory.setup); fall back to latency-free if absent.
-        return getattr(self, "_advertised_tech", None)
+        # (see NodeMemory.on_setup); fall back to latency-free if absent.
+        return self._advertised_tech
 
     def advertise_tech(self, tech: DRAMTech) -> None:
         self._advertised_tech = tech
@@ -306,7 +313,16 @@ class TrafficGenerator(Component):
     ``runtime_ps``.
     """
 
-    PORTS = {"mem": "MemRequest out / MemResponse in"}
+    mem = port("MemRequest out / MemResponse in",
+               event=MemResponse, handler="on_response")
+
+    _issued = state(0, gauge=True, doc="requests issued so far")
+    _inflight = state(dict, gauge=True, doc="req id -> issue time")
+
+    s_issued = stat.counter(doc="requests issued")
+    s_completed = stat.counter(doc="responses received")
+    s_latency = stat.accumulator("latency_ps", doc="request round trip")
+    s_runtime = stat.counter("runtime_ps", doc="time to drain everything")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -321,16 +337,9 @@ class TrafficGenerator(Component):
         self.stride = p.find_int("stride", 64)
         self.write_fraction = p.find_float("write_fraction", 0.0)
         self.req_size = p.find_int("size", 64)
-        self._issued = 0
-        self._inflight = {}
-        self.s_issued = self.stats.counter("issued")
-        self.s_completed = self.stats.counter("completed")
-        self.s_latency = self.stats.accumulator("latency_ps")
-        self.s_runtime = self.stats.counter("runtime_ps")
-        self.set_handler("mem", self.on_response)
         self.register_as_primary()
 
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         for _ in range(min(self.window, self.n_requests)):
             self._issue()
 

@@ -25,7 +25,7 @@ import io
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Tuple, Union
 
-from ..core.component import Component
+from ..core.component import Component, port, stat, state
 from ..core.registry import register
 from ..memory.events import MemRequest, MemResponse
 from .trace import TraceSpec
@@ -111,7 +111,21 @@ class TraceReplayCore(Component):
     ``runtime_ps``.
     """
 
-    PORTS = {"mem": "MemRequest out / MemResponse in"}
+    mem = port("MemRequest out / MemResponse in",
+               event=MemResponse, handler="on_response")
+
+    # The live file iterator is not picklable: it is excluded from
+    # checkpoints and rebuilt from ``_issued`` after a restore.
+    _iterator = state(None, save=False, reconstruct="_reopen_trace",
+                      doc="live trace iterator")
+    _issued = state(0, gauge=True, doc="records consumed from the trace")
+    _inflight = state(dict, gauge=True, doc="req id -> issue time")
+    _drained = state(False, doc="trace exhausted (or max_records hit)")
+
+    s_issued = stat.counter(doc="requests issued")
+    s_completed = stat.counter(doc="responses received")
+    s_latency = stat.accumulator("latency_ps", doc="request round trip")
+    s_runtime = stat.counter("runtime_ps", doc="time to drain the trace")
 
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
@@ -119,18 +133,9 @@ class TraceReplayCore(Component):
         self.trace_path = p.find_str("trace")
         self.window = p.find_int("outstanding", 4)
         self.max_records = p.find_int("max_records", 0)
-        self._iterator = None
-        self._issued = 0
-        self._inflight = {}
-        self._drained = False
-        self.s_issued = self.stats.counter("issued")
-        self.s_completed = self.stats.counter("completed")
-        self.s_latency = self.stats.accumulator("latency_ps")
-        self.s_runtime = self.stats.counter("runtime_ps")
-        self.set_handler("mem", self.on_response)
         self.register_as_primary()
 
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         self._iterator = read_trace(self.trace_path)
         for _ in range(self.window):
             if not self._issue():
@@ -138,14 +143,7 @@ class TraceReplayCore(Component):
         if self._drained and not self._inflight:
             self.primary_ok_to_end()  # empty trace
 
-    # -- checkpoint protocol (repro.ckpt) -----------------------------------
-    def capture_state(self):
-        """Everything but the live file iterator (not picklable)."""
-        state = super().capture_state()
-        state.pop("_iterator", None)
-        return state
-
-    def restore_state(self, state) -> None:
+    def _reopen_trace(self) -> None:
         """Re-open the trace and skip to the captured read position.
 
         ``_issued`` counts records consumed from the iterator, so
@@ -154,7 +152,6 @@ class TraceReplayCore(Component):
         immutable inputs; a changed file would desynchronise the
         replay exactly as it would any re-run).
         """
-        super().restore_state(state)
         self._iterator = read_trace(self.trace_path)
         for _ in range(self._issued):
             try:

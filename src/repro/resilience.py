@@ -37,7 +37,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from .core.component import Component
+from .core.component import Component, stat, state
 from .core.registry import register
 from .core.units import SimTime, bytes_time
 
@@ -173,6 +173,17 @@ class CheckpointedJob(Component):
     resuming.  (Failures during restart restart the restart.)
     """
 
+    _done_work = state(0, gauge=True, doc="checkpointed progress (ps)")
+    _next_failure = state(0, doc="absolute time of the next drawn failure")
+    _phase_started = state(0, doc="start time of the interruptible phase")
+    _pending_progress = state(0, doc="computed but not yet checkpointed")
+
+    s_completed = stat.counter("completed_work_ps", doc="work finished")
+    s_failures = stat.counter(doc="failures struck")
+    s_rework = stat.counter("rework_ps", doc="progress lost to failures")
+    s_checkpoint = stat.counter("checkpoint_ps", doc="overhead written")
+    s_runtime = stat.counter("runtime_ps", doc="wall time of the job")
+
     def __init__(self, sim, name, params=None):
         super().__init__(sim, name, params)
         p = self.params
@@ -184,14 +195,6 @@ class CheckpointedJob(Component):
         self.max_failures = p.find_int("max_failures", 10_000)
         if min(self.total_work, self.interval, self.mtbf) <= 0:
             raise ValueError(f"{name}: work, interval, mtbf must be positive")
-        self._done_work: SimTime = 0  # checkpointed progress
-        self._next_failure: SimTime = 0
-        self._phase_started: SimTime = 0
-        self.s_completed = self.stats.counter("completed_work_ps")
-        self.s_failures = self.stats.counter("failures")
-        self.s_rework = self.stats.counter("rework_ps")
-        self.s_checkpoint = self.stats.counter("checkpoint_ps")
-        self.s_runtime = self.stats.counter("runtime_ps")
         self.register_as_primary()
 
     # -- failure sampling ----------------------------------------------
@@ -201,7 +204,7 @@ class CheckpointedJob(Component):
         self._next_failure = self.now + gap
 
     # -- state machine ----------------------------------------------------
-    def setup(self) -> None:
+    def on_setup(self) -> None:
         self._draw_failure()
         self._start_segment()
 

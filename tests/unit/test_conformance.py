@@ -1,0 +1,210 @@
+"""Parametric conformance sweep over the whole component catalogue.
+
+Every library component rides through :func:`repro.testing.run_conformance`
+on a minimal graph that exercises it: build with event validation →
+run → mid-run engine snapshot → restore → bit-identical statistics.
+A component that regresses any auto-wired engine service (port
+validation, checkpoint capture, reconstruct hooks, telemetry gauges)
+fails here by name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ConfigGraph, build_crossbar
+from repro.testing import run_conformance
+
+
+def tg_simple_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-tg")
+    g.component("cpu", "processor.TrafficGenerator",
+                {"requests": 64, "pattern": "random", "footprint": "256KB",
+                 "outstanding": 4})
+    g.component("mem", "memory.SimpleMemory", {"latency": "40ns"})
+    g.link("cpu", "mem", "mem", "cpu", latency="1ns")
+    return g
+
+
+def cache_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-cache")
+    g.component("cpu", "processor.TrafficGenerator",
+                {"requests": 96, "pattern": "random", "footprint": "64KB"})
+    g.component("l1", "memory.Cache",
+                {"size": "8KB", "ways": 4, "hit_latency": "1ns",
+                 "level": "L1"})
+    g.component("mem", "memory.SimpleMemory", {"latency": "40ns"})
+    g.link("cpu", "mem", "l1", "cpu", latency="1ns")
+    g.link("l1", "mem", "mem", "cpu", latency="2ns")
+    return g
+
+
+def main_memory_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-dram")
+    g.component("cpu", "processor.TrafficGenerator",
+                {"requests": 48, "pattern": "stream", "stride": 64})
+    g.component("mem", "memory.MainMemory", {"technology": "DDR3-1333"})
+    g.link("cpu", "mem", "mem", "cpu", latency="1ns")
+    return g
+
+
+def controller_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-ctrl")
+    g.component("cpu", "processor.TrafficGenerator",
+                {"requests": 48, "pattern": "random", "footprint": "1MB"})
+    g.component("ctrl", "memory.MemController",
+                {"technology": "DDR3-1333", "policy": "frfcfs"})
+    g.link("cpu", "mem", "ctrl", "cpu", latency="1ns")
+    return g
+
+
+def shared_bus_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-bus")
+    g.component("bus", "memory.SharedBus",
+                {"n_ports": 2, "bandwidth": "10GB/s"})
+    g.component("mem", "memory.SimpleMemory", {"latency": "40ns"})
+    g.link("bus", "mem", "mem", "cpu", latency="1ns")
+    for i in range(2):
+        g.component(f"cpu{i}", "processor.TrafficGenerator",
+                    {"requests": 32, "pattern": "stream", "stride": 64,
+                     "outstanding": 2})
+        g.link(f"cpu{i}", "mem", "bus", f"cpu{i}", latency="1ns")
+    return g
+
+
+def coherence_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-coherence")
+    g.component("bus", "memory.CoherentBus",
+                {"n_caches": 2, "capacity_lines": 32})
+    for i in range(2):
+        g.component(f"cpu{i}", "processor.TrafficGenerator",
+                    {"requests": 48, "pattern": "random",
+                     "footprint": "16KB"})
+        g.component(f"l1_{i}", "memory.CoherentCache", {"cache_id": i})
+        g.link(f"cpu{i}", "mem", f"l1_{i}", "cpu", latency="1ns")
+        g.link(f"l1_{i}", "bus", "bus", f"cache{i}", latency="1ns")
+    return g
+
+
+def mixcore_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-mixcore")
+    g.component("core", "processor.MixCore",
+                {"workload": "hpccg", "instructions": 300_000,
+                 "issue_width": 2, "clock": "2GHz"})
+    g.component("mem", "memory.NodeMemory",
+                {"technology": "DDR3-1333", "n_ports": 1})
+    g.link("core", "mem", "mem", "core0", latency="1ns")
+    return g
+
+
+def network_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-net")
+    topo = build_crossbar(g, 2)
+    for i in range(2):
+        g.component(f"nic{i}", "network.Nic",
+                    {"injection_bandwidth": "3.2GB/s"})
+        g.component(f"ep{i}", "network.PatternEndpoint",
+                    {"endpoint_id": i, "n_endpoints": 2,
+                     "pattern": "neighbor", "count": 6, "size": "4KB",
+                     "gap": "3us"})
+        g.link(f"ep{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+        topo.attach(g, i, f"nic{i}", "net", latency="10ns")
+    return g
+
+
+def miniapp_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-miniapp")
+    topo = build_crossbar(g, 2)
+    for i in range(2):
+        g.component(f"rank{i}", "miniapps.HPCCG",
+                    {"rank": i, "n_ranks": 2, "iterations": 2,
+                     "noise_frequency": 100.0, "noise_duration": "1us"})
+        g.component(f"nic{i}", "network.Nic",
+                    {"injection_bandwidth": "3.2GB/s"})
+        g.link(f"rank{i}", "nic", f"nic{i}", "cpu", latency="1ns")
+        topo.attach(g, i, f"nic{i}", "net", latency="10ns")
+    return g
+
+
+def sampler_graph() -> ConfigGraph:
+    g = tg_simple_graph()
+    g.component("sampler", "analysis.StatSampler",
+                {"period": "100ns", "patterns": "cpu.*"})
+    return g
+
+
+def job_graph() -> ConfigGraph:
+    g = ConfigGraph("conf-job")
+    g.component("job", "resilience.CheckpointedJob",
+                {"work": "2s", "interval": "200ms",
+                 "checkpoint_time": "10ms", "restart_time": "30ms",
+                 "mtbf": "5s"})
+    return g
+
+
+def trace_graph_factory(tmp_path):
+    from repro.processor import TraceSpec
+    from repro.processor.tracefile import record_trace
+
+    trace = tmp_path / "conf.trace"
+    spec = TraceSpec.hot_cold(1024, 65536, hot_fraction=0.8,
+                              stream_probability=0.1, seed=5)
+    record_trace(spec, 80, trace)
+
+    def make() -> ConfigGraph:
+        g = ConfigGraph("conf-trace")
+        g.component("cpu", "processor.TraceReplayCore",
+                    {"trace": str(trace), "outstanding": 4})
+        g.component("mem", "memory.SimpleMemory", {"latency": "40ns"})
+        g.link("cpu", "mem", "mem", "cpu", latency="1ns")
+        return g
+
+    return make
+
+
+GRAPHS = {
+    "traffic-gen+simple-memory": tg_simple_graph,
+    "cache": cache_graph,
+    "main-memory": main_memory_graph,
+    "mem-controller": controller_graph,
+    "shared-bus": shared_bus_graph,
+    "coherent-cache+bus": coherence_graph,
+    "mixcore+node-memory": mixcore_graph,
+    "nic+endpoint+router": network_graph,
+    "miniapp-ranks": miniapp_graph,
+    "stat-sampler": sampler_graph,
+    "checkpointed-job": job_graph,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_component_conformance(name, tmp_path):
+    run_conformance(GRAPHS[name], tmp_path)
+
+
+def test_trace_replay_conformance(tmp_path):
+    run_conformance(trace_graph_factory(tmp_path), tmp_path)
+
+
+def test_conformance_covers_every_registered_component():
+    """The sweep above must name every library component at least once."""
+    from repro.core.registry import load_all_libraries, registered_types
+
+    load_all_libraries()
+    covered = set()
+    for make in list(GRAPHS.values()):
+        for comp in make().components():
+            covered.add(comp.type_name)
+    covered.add("processor.TraceReplayCore")
+    missing = set()
+    for type_name in registered_types():
+        library = type_name.split(".", 1)[0]
+        if library == "miniapps":
+            # One AppRank subclass exercises the shared base; the
+            # apps differ only in declarative phase programs.
+            continue
+        if library == "testlib":
+            continue  # the suite's own fixtures, not library components
+        if type_name not in covered:
+            missing.add(type_name)
+    assert not missing, f"components without conformance coverage: {missing}"

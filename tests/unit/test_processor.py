@@ -133,10 +133,12 @@ class TestMixCoreComponent:
         params = {"workload": "hpccg", "instructions": 300_000,
                   "issue_width": 2, "clock": "2GHz"}
         params.update(overrides)
+        # "technology" configures the memory side, not the core.
+        technology = params.pop("technology", "DDR3-1333")
         sim = Simulation(seed=3)
         core = MixCore(sim, "core", Params(params))
         mem = NodeMemory(sim, "mem", Params({
-            "technology": overrides.get("technology", "DDR3-1333"),
+            "technology": technology,
             "n_ports": 1}))
         sim.connect(core, "mem", mem, "core0", latency="1ns")
         result = sim.run()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Component-hygiene lint: keep the model library declarative.
+
+PR 7 migrated every library component onto the declarative API
+(``port()`` / ``state()`` / ``stat`` descriptors plus the
+``on_setup`` / ``on_finish`` / ``on_restore`` hooks); the imperative
+checkpoint protocol (``STATE_EXCLUDE``, hand-written ``capture_state``
+/ ``restore_state`` overrides) survives only in ``repro.core`` as the
+compat layer.  This lint fails CI when a class **outside**
+``src/repro/core`` reintroduces it:
+
+* a ``STATE_EXCLUDE`` class attribute — declare the attribute with
+  ``state(..., save=False)`` instead;
+* a ``capture_state`` / ``restore_state`` method — declare a
+  ``state(..., reconstruct="...")`` hook or ``on_restore`` instead.
+
+Usage: ``python tools/lint_components.py [root]`` (default
+``src/repro``).  Exit status 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: (construct, remedy) — what we ban and what to use instead.
+BANNED_METHODS = {
+    "capture_state": 'declare transient state with state(..., save=False) '
+                     'and a reconstruct="..." hook',
+    "restore_state": 'declare a reconstruct="..." state hook or override '
+                     'on_restore()',
+}
+BANNED_ATTRS = {
+    "STATE_EXCLUDE": "declare the attribute with state(..., save=False)",
+}
+
+
+def _assigned_names(node: ast.stmt):
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        yield node.target.id
+
+
+def lint_file(path: Path):
+    """Yield (lineno, message) violations for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and stmt.name in BANNED_METHODS:
+                yield (stmt.lineno,
+                       f"{node.name}.{stmt.name}: imperative checkpoint "
+                       f"override — {BANNED_METHODS[stmt.name]}")
+            for name in _assigned_names(stmt):
+                if name in BANNED_ATTRS:
+                    yield (stmt.lineno,
+                           f"{node.name}.{name}: imperative state "
+                           f"bookkeeping — {BANNED_ATTRS[name]}")
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path("src/repro")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    violations = 0
+    for path in sorted(root.rglob("*.py")):
+        # repro.core hosts the engine-side compat layer; everything
+        # else must stay declarative.
+        if "core" in path.relative_to(root).parts[:1]:
+            continue
+        for lineno, message in lint_file(path):
+            print(f"{path}:{lineno}: {message}")
+            violations += 1
+    if violations:
+        print(f"\n{violations} violation(s); see docs/COMPONENTS.md "
+              "for the declarative API", file=sys.stderr)
+        return 1
+    print(f"component lint OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
