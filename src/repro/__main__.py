@@ -59,10 +59,10 @@ def _positive_int(text: str) -> int:
 def _make_observability(args: argparse.Namespace, target):
     """Attach the repro.obs instruments requested on the command line.
 
-    Returns ``(telemetry, profiler, chrome, progress)`` — any of which
-    may be None — already attached to ``target``.
+    Returns ``(telemetry, profiler, chrome, progress, causal)`` — any
+    of which may be None — already attached to ``target``.
     """
-    telemetry = profiler = chrome = progress = None
+    telemetry = profiler = chrome = progress = causal = None
     if args.metrics:
         from .obs import TelemetryRecorder
 
@@ -82,7 +82,14 @@ def _make_observability(args: argparse.Namespace, target):
 
         progress = ProgressReporter(max_time=args.max_time)
         progress.attach(target)
-    return telemetry, profiler, chrome, progress
+    if args.trace_causal:
+        from .obs import CausalCapture
+
+        # Shards sit next to the metrics stream when there is one, so
+        # `obs critpath <metrics>` and `obs merge --flows` find them.
+        causal = CausalCapture(args.metrics or args.config)
+        causal.attach(target)
+    return telemetry, profiler, chrome, progress, causal
 
 
 def _make_live(args: argparse.Namespace, target, telemetry):
@@ -159,9 +166,15 @@ def _run_with_live(args, target, telemetry, run_fn):
 
 
 def _finish_observability(args, result, graph, telemetry, profiler, chrome,
-                          progress) -> None:
+                          progress, causal=None) -> None:
     if progress is not None:
         progress.detach()
+    if causal is not None:
+        causal.close()
+        shards = causal.shard_paths()
+        print(f"causal shards -> {causal.base}.causal.rank* "
+              f"({len(shards)} shard(s); analyze with "
+              f"'python -m repro obs critpath {causal.base}')")
     if telemetry is not None:
         invocation = {
             "argv": ["run", args.config],
@@ -379,7 +392,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     if args.obs_command == "merge":
         try:
-            out = merge_to_file(args.metrics, args.output)
+            out = merge_to_file(args.metrics, args.output, flows=args.flows)
             artifacts = RunArtifacts(args.metrics)
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: cannot merge {args.metrics}: {exc}",
@@ -392,6 +405,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
               f"{len(artifacts.epochs)} epochs, "
               f"{len(artifacts.shards)} shards, {spans} handler spans; "
               f"load in Perfetto)")
+        return 0
+
+    if args.obs_command == "critpath":
+        from .obs.critpath import CausalAnalysisError, analyze
+
+        try:
+            path = analyze(args.metrics, component=args.component)
+        except (CausalAnalysisError, OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot analyze causal shards for "
+                  f"{args.metrics}: {exc}", file=sys.stderr)
+            return 1
+        print(path.render(top=args.top))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(path.as_dict(), fh, indent=2)
+            print(f"critical-path report -> {args.json}")
         return 0
 
     if args.obs_command == "imbalance":
@@ -649,6 +680,11 @@ def make_parser() -> argparse.ArgumentParser:
                           "Chrome/Perfetto trace-event JSON file")
     run.add_argument("--progress", action="store_true",
                      help="print periodic progress/ETA lines to stderr")
+    run.add_argument("--trace-causal", action="store_true",
+                     help="capture event provenance into per-rank "
+                          "causal shards (<metrics>.causal.rank<k>); "
+                          "analyze with 'obs critpath' or render "
+                          "cross-rank arrows with 'obs merge --flows'")
     run.add_argument("--checkpoint-every", default=None,
                      help='snapshot the engine every interval of '
                           'simulated time, e.g. "10us" (repro.ckpt)')
@@ -732,7 +768,28 @@ def make_parser() -> argparse.ArgumentParser:
     merge.add_argument("-o", "--output", default=None,
                        help="merged trace path "
                             "(default: <metrics>.trace.json)")
+    merge.add_argument("--flows", action="store_true",
+                       help="draw cross-rank causal edges as Perfetto "
+                            "flow arrows (needs a --trace-causal run)")
     merge.set_defaults(func=_cmd_obs)
+    crit = obs_sub.add_parser(
+        "critpath", help="walk the causal shards backward from run end "
+                         "and report the simulated critical path, "
+                         "latency attribution and cut edges")
+    crit.add_argument("metrics", help="the base the causal shards sit "
+                                      "next to (the run's --metrics "
+                                      "path, or its config path when "
+                                      "run without --metrics)")
+    crit.add_argument("--component", default=None,
+                      help="anchor the walk at this component's latest "
+                           "event instead of the run end")
+    crit.add_argument("--top", type=_positive_int, default=40,
+                      help="path events to print (the newest; "
+                           "default: 40)")
+    crit.add_argument("--json", default=None,
+                      help="also write the full report as JSON here "
+                           "(path, by_class, cut_edges)")
+    crit.set_defaults(func=_cmd_obs)
     imb = obs_sub.add_parser(
         "imbalance", help="diagnose sync/load imbalance: straggler "
                           "attribution, busy vs barrier, events skew")

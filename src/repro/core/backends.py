@@ -141,12 +141,24 @@ def deliver_cross_rank(psim: "ParallelSimulation", rank: int,
     from the link id, so this works identically in-process and inside a
     forked worker (which inherited the same cross-link table).
     """
-    queue = psim._sims[rank]._queue
+    sim = psim._sims[rank]
+    queue = sim._queue
     cross = psim._cross_links
-    for when, priority, link_id, dest_rank, _seq, event in entries:
+    causal = sim._causal
+    if causal is None:
+        for when, priority, link_id, dest_rank, _seq, event in entries:
+            link = cross[link_id]
+            port = link.port_b if dest_rank == link.rank_b else link.port_a
+            queue.push(when, priority, port.deliver, event)
+        return
+    # Causal tracing (repro.obs.causal): record each arrival's local
+    # node id against its (link, send_seq) identity so the analyzer can
+    # stitch the cross-rank edge back to the sender's cause node.
+    for when, priority, link_id, dest_rank, send_seq, event in entries:
         link = cross[link_id]
         port = link.port_b if dest_rank == link.rank_b else link.port_a
-        queue.push(when, priority, port.deliver, event)
+        record = queue.push(when, priority, port.deliver, event)
+        causal.on_cross_recv(record.seq, link_id, send_seq, when, priority)
 
 
 def _timed_step(sim: "Simulation", epoch_end: SimTime) -> RankStep:

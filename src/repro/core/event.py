@@ -163,7 +163,7 @@ class EventRecord:
     compare handler objects.
     """
 
-    __slots__ = ("time", "priority", "seq", "handler", "event")
+    __slots__ = ("time", "priority", "seq", "handler", "event", "cause")
 
     def __init__(
         self,
@@ -178,6 +178,10 @@ class EventRecord:
         self.seq = seq
         self.handler = handler
         self.event = event
+        # Provenance slot (repro.obs.causal): local seq of the event whose
+        # handler scheduled this one, or None for a root.  Stamped only by
+        # the causal tracer's queue proxy — the bare path never writes it.
+        self.cause = None
 
     def key(self) -> tuple:
         return (self.time, self.priority, self.seq)
@@ -252,6 +256,7 @@ def release_record(record: EventRecord) -> None:
     """
     record.handler = None
     record.event = None
+    record.cause = None  # provenance must never leak across reuses
     pool = _RECORD_POOL
     if len(pool) < _RECORD_POOL_MAX:
         pool.append(record)

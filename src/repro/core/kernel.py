@@ -109,6 +109,12 @@ def kernel_run(sim: "Simulation", ctx: RunContext) -> "RunResult":
     re-probes and falls through to the bare loop).  Records dispatched
     while instrumented are never pooled — observers may retain them
     (see docs/PERFORMANCE.md, the observer-vs-pool aliasing rule).
+
+    Causal tracing (:mod:`repro.obs.causal`) rides the same switch: an
+    attached tracer forces ``sim._instr`` non-None, and the compiled
+    ``_instr`` closure notes each record and arms/clears the tracer's
+    cause cell around dispatch.  The bare loop is never touched —
+    ``--trace-causal`` off means zero added cost here.
     """
     from .simulation import RunResult, SimulationError
 

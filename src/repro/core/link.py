@@ -113,6 +113,13 @@ class LinkEndpoint:
         return when
 
     def set_remote(self, sender: Callable[[SimTime, int, Event], None]) -> None:
+        """Re-target cross-rank sends to ``sender`` (or back to a saved one).
+
+        The parallel engine points this at the rank outbox; the causal
+        tracer (:mod:`repro.obs.causal`) additionally wraps the outbox
+        sender to record link/send-seq provenance, restoring the
+        original on detach via this same method.
+        """
         self._remote_send = sender
 
     @property

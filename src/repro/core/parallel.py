@@ -314,6 +314,23 @@ class ParallelSimulation:
     def cross_link_count(self) -> int:
         return len(self._cross_links)
 
+    def cross_endpoints(self, rank: int):
+        """Yield ``(link_id, cross_link, endpoint)`` for ``rank``'s side
+        of every cross-rank link.
+
+        The endpoint is the :class:`~repro.core.link.LinkEndpoint` whose
+        ``send()`` has been retargeted at this rank's outbox
+        (:meth:`_make_remote_sender`).  Observability instruments — the
+        causal tracer (:mod:`repro.obs.causal`) interposes on outbound
+        sends here — should wrap via ``endpoint.set_remote`` and restore
+        the original sender on detach.
+        """
+        for link_id, cross in self._cross_links.items():
+            for end_rank, port in ((cross.rank_a, cross.port_a),
+                                   (cross.rank_b, cross.port_b)):
+                if end_rank == rank:
+                    yield link_id, cross, port.endpoint
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

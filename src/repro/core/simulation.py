@@ -144,6 +144,11 @@ class Simulation:
         self._span_observers: List[Any] = []
         self._heartbeats: Dict[Any, int] = {}
         self._instr = None
+        #: causal tracer (repro.obs.causal); duck-typed — anything with
+        #: on_dispatch(record) and a `cell` one-slot list.  Folded into
+        #: the instrumented dispatcher, so with tracing off the bare
+        #: path pays nothing and the instrumented path pays one check.
+        self._causal = None
         #: live-plane publisher (repro.obs.live); duck-typed — anything
         #: with on_kernel_enter()/on_kernel_exit().  The kernel loop
         #: pays one `is not None` check per *invocation* (not per
@@ -472,18 +477,25 @@ class Simulation:
         trace_fns.extend(self._trace_observers)
         span_fns = tuple(self._span_observers)
         heartbeats = tuple(self._heartbeats.items())
-        if not trace_fns and not span_fns and not heartbeats:
+        causal = self._causal
+        if not trace_fns and not span_fns and not heartbeats and causal is None:
             self._instr = None
             return
         traces = tuple(trace_fns)
         hb_counts = [0] * len(heartbeats)
         perf = _wall_time.perf_counter
         sim = self
+        causal_note = causal.on_dispatch if causal is not None else None
+        causal_cell = causal.cell if causal is not None else None
 
         def _instr(record) -> None:
             time = record.time
             handler = record.handler
             event = record.event
+            if causal_note is not None:
+                # Record this node and arm the cause cell: every push the
+                # handler makes is stamped with this record's seq.
+                causal_note(record)
             if type(event) is _ArbiterTickEvent:
                 # Shared clock chain: let the arbiter fire its members
                 # with per-member trace/span calls, so observers see
@@ -505,6 +517,10 @@ class Simulation:
                 elif handler is not None:
                     handler(event)
                 count = 1
+            if causal_cell is not None:
+                # Disarm before heartbeats: events a heartbeat callback
+                # schedules are roots, not children of this event.
+                causal_cell[0] = None
             for i, (fn, every) in enumerate(heartbeats):
                 n = hb_counts[i] + count
                 if n >= every:

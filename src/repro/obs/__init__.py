@@ -24,6 +24,11 @@ the *simulated machine*, which the statistics system covers):
 * :func:`analyze` (:mod:`repro.obs.imbalance`) — post-hoc sync/load
   diagnostics: straggler attribution, busy-vs-barrier wall time,
   events-per-rank skew (``python -m repro obs imbalance``);
+* :class:`CausalCapture` / :class:`CriticalPath`
+  (:mod:`repro.obs.causal`, :mod:`repro.obs.critpath`) — opt-in event
+  provenance capture and the backward critical-path walk with
+  component-class latency attribution and the cross-rank cut-edge
+  report (``run --trace-causal``, ``python -m repro obs critpath``);
 * :mod:`repro.obs.live` — the *live* plane: per-rank metrics published
   into a shared-memory segment while the run is in flight, an
   OpenMetrics/JSON HTTP endpoint (``run --serve-metrics``), the
@@ -37,7 +42,12 @@ installed.  See ``docs/OBSERVABILITY.md`` for the schemas and usage.
 """
 
 from ..core.backends import RankObservabilityWarning
-from .chrome_trace import ChromeTraceExporter, build_trace_dict
+from .causal import (CAUSAL_SCHEMA, CausalCapture, CausalTracer,
+                     causal_shard_path, find_causal_shards)
+from .chrome_trace import ChromeTraceExporter, build_trace_dict, flow_pair
+from .critpath import (CausalAnalysisError, CausalGraph, CriticalPath,
+                       critical_path, cut_edge_report, load_causal)
+from .critpath import analyze as analyze_critical_path
 from .format import fmt_age, fmt_count, fmt_duration, fmt_rate
 from .imbalance import ImbalanceReport, RankSummary, analyze
 from .live import (LiveMetrics, LiveSegment, LiveView, MetricsRegistry,
@@ -53,7 +63,13 @@ from .rank_stream import (RANK_STREAM_SCHEMA, RankRecorder, RankStreamPlan,
 from .telemetry import METRICS_SCHEMA, TelemetryRecorder
 
 __all__ = [
+    "CAUSAL_SCHEMA",
+    "CausalAnalysisError",
+    "CausalCapture",
+    "CausalGraph",
+    "CausalTracer",
     "ChromeTraceExporter",
+    "CriticalPath",
     "HandlerProfiler",
     "ImbalanceReport",
     "LiveMetrics",
@@ -74,14 +90,21 @@ __all__ = [
     "StallWatchdog",
     "TelemetryRecorder",
     "analyze",
+    "analyze_critical_path",
     "append_json_record",
     "attribute_event",
     "build_manifest",
     "build_trace_dict",
+    "causal_shard_path",
+    "critical_path",
+    "cut_edge_report",
     "default_segment_path",
     "ensure_rank_plan",
     "environment_info",
+    "find_causal_shards",
     "find_rank_shards",
+    "flow_pair",
+    "load_causal",
     "fmt_age",
     "fmt_count",
     "fmt_duration",

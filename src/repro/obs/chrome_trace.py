@@ -56,6 +56,26 @@ def build_trace_dict(events: List[Dict[str, Any]], *,
     }
 
 
+def flow_pair(*, flow_id: int, name: str, cat: str,
+              src: Tuple[int, int, float],
+              dest: Tuple[int, int, float]) -> List[Dict[str, Any]]:
+    """One Perfetto flow arrow as its ("s", "f") trace-event pair.
+
+    ``src``/``dest`` are ``(pid, tid, ts_us)`` triples; the timestamps
+    must fall inside enclosing "X" slices on those lanes for the UI to
+    bind the arrow.  Used by :mod:`repro.obs.merge` to draw cross-rank
+    causal edges (``obs merge --flows``).
+    """
+    src_pid, src_tid, src_ts = src
+    dest_pid, dest_tid, dest_ts = dest
+    return [
+        {"ph": "s", "id": flow_id, "name": name, "cat": cat,
+         "ts": src_ts, "pid": src_pid, "tid": src_tid},
+        {"ph": "f", "bp": "e", "id": flow_id, "name": name, "cat": cat,
+         "ts": dest_ts, "pid": dest_pid, "tid": dest_tid},
+    ]
+
+
 class ChromeTraceExporter:
     """Collect handler/epoch spans and write a ``trace.json``.
 

@@ -30,10 +30,12 @@ rank-local epoch records exist.
 from __future__ import annotations
 
 import json
+import warnings
+from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from .chrome_trace import build_trace_dict
+from .chrome_trace import build_trace_dict, flow_pair
 
 _RANK_KINDS = ("rank_start", "rank_epoch", "rank_sample", "span", "rank_end")
 
@@ -93,6 +95,34 @@ class RunArtifacts:
         self.shards = find_rank_shards(self.metrics_path)
         for rank, shard in self.shards.items():
             self.rank_records.setdefault(rank, []).extend(load_stream(shard))
+        # Degraded-run detection: a processes run that streamed rank
+        # records should have a complete stream (ending in rank_end) for
+        # every rank named by run_start.  A crashed or still-running
+        # worker leaves a missing or truncated shard; merge the rest and
+        # say so once, instead of failing (or silently lying about) the
+        # whole merge.
+        self.missing_ranks: List[int] = []
+        self.truncated_ranks: List[int] = []
+        if self.backend == "processes" and self.rank_records:
+            expected = int(self.run_start.get("ranks", 0) or 0)
+            for rank in range(expected):
+                records = self.rank_records.get(rank)
+                if not records:
+                    self.missing_ranks.append(rank)
+                elif not any(r.get("kind") == "rank_end" for r in records):
+                    self.truncated_ranks.append(rank)
+        if self.missing_ranks or self.truncated_ranks:
+            parts = []
+            if self.missing_ranks:
+                parts.append("missing rank shard(s): "
+                             + ", ".join(map(str, self.missing_ranks)))
+            if self.truncated_ranks:
+                parts.append("truncated rank shard(s) (no rank_end): "
+                             + ", ".join(map(str, self.truncated_ranks)))
+            warnings.warn(
+                f"obs merge: {'; '.join(parts)} — merging the remaining "
+                "ranks; affected lanes are marked in the trace",
+                RuntimeWarning, stacklevel=2)
 
     # ------------------------------------------------------------------
     # derived views
@@ -150,8 +180,14 @@ class RunArtifacts:
         return lowest if lowest is not None else 0.0
 
 
-def merge_trace(artifacts: RunArtifacts) -> Dict[str, Any]:
-    """Build the merged Trace Event dict: rank lanes plus a sync lane."""
+def merge_trace(artifacts: RunArtifacts, *,
+                flows: bool = False) -> Dict[str, Any]:
+    """Build the merged Trace Event dict: rank lanes plus a sync lane.
+
+    With ``flows`` enabled, cross-rank causal edges captured by
+    ``--trace-causal`` (see :mod:`repro.obs.causal`) are rendered as
+    Perfetto flow arrows between the rank epoch lanes.
+    """
     num_ranks = artifacts.num_ranks
     t0 = artifacts.time_zero()
     events: List[Dict[str, Any]] = []
@@ -295,26 +331,147 @@ def merge_trace(artifacts: RunArtifacts) -> Dict[str, Any]:
                 "args": {"exchanged": epoch.get("exchanged")},
             })
 
+    # Mark degraded lanes (missing/truncated shards) so the gap is
+    # visible in the trace itself, not only in the merge warning.
+    for label, ranks in (("shard missing", artifacts.missing_ranks),
+                         ("shard truncated", artifacts.truncated_ranks)):
+        for rank in ranks:
+            events.append({
+                "ph": "I", "s": "p",
+                "name": f"rank {rank} {label} — lane incomplete",
+                "cat": "merge",
+                "ts": 0.0,
+                "pid": rank,
+                "tid": tid(rank, "[engine] epochs", f"rank {rank}"),
+            })
+
+    extra: Dict[str, Any] = {
+        "metrics": str(artifacts.metrics_path),
+        "backend": artifacts.backend,
+        "ranks": num_ranks,
+        "rank_shards": {str(r): str(p)
+                        for r, p in sorted(artifacts.shards.items())},
+        "sync": sync_info,
+    }
+    if artifacts.missing_ranks:
+        extra["missing_rank_shards"] = list(artifacts.missing_ranks)
+    if artifacts.truncated_ranks:
+        extra["truncated_rank_shards"] = list(artifacts.truncated_ranks)
+    if flows:
+        flow_events, flow_note = _causal_flows(artifacts, us, tid)
+        events.extend(flow_events)
+        extra["causal_flows"] = flow_note
+
     events.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)))
-    return build_trace_dict(
-        events,
-        exporter="repro.obs.merge",
-        extra={
-            "metrics": str(artifacts.metrics_path),
-            "backend": artifacts.backend,
-            "ranks": num_ranks,
-            "rank_shards": {str(r): str(p)
-                            for r, p in sorted(artifacts.shards.items())},
-            "sync": sync_info,
-        },
-    )
+    return build_trace_dict(events, exporter="repro.obs.merge", extra=extra)
+
+
+#: flow arrows kept in a merged trace before truncation
+_FLOW_LIMIT = 2000
+
+
+def _causal_flows(artifacts: RunArtifacts, us, tid) -> Tuple[List[Dict[str, Any]],
+                                                             Dict[str, Any]]:
+    """Cross-rank causal edges as Perfetto flow ("s"/"f") event pairs.
+
+    Each stitched send→recv edge becomes an arrow between the sender's
+    and receiver's *epoch* slices: a rank's ``rank_epoch`` records map
+    simulated time (``window_end_ps``) onto the wall-clock span of the
+    epoch that executed it, and the arrow endpoints are pinned inside
+    those spans so Perfetto binds them.  Ranks without ``rank_epoch``
+    records (serial/threads backends) have no wall-clock anchor and
+    contribute no arrows.
+    """
+    from .causal import find_causal_shards
+
+    note: Dict[str, Any] = {"flows": 0}
+    if not find_causal_shards(artifacts.metrics_path):
+        note["note"] = ("no causal shards next to the metrics stream "
+                        "(run with --trace-causal)")
+        return [], note
+    from .critpath import load_causal
+
+    graph = load_causal(artifacts.metrics_path)
+
+    # Per-rank epoch windows: sorted (window_end_ps, ts_us, dur_us).
+    windows: Dict[int, Tuple[List[int], List[Tuple[float, float]]]] = {}
+    for rank, records in artifacts.rank_records.items():
+        ends: List[int] = []
+        spans: List[Tuple[float, float]] = []
+        for record in records:
+            if record.get("kind") != "rank_epoch":
+                continue
+            end_ps = record.get("window_end_ps")
+            mono = record.get("mono_s")
+            if end_ps is None or mono is None:
+                continue
+            ends.append(int(end_ps))
+            spans.append((us(mono), float(record.get("wall_s", 0.0)) * 1e6))
+        if ends:
+            windows[rank] = (ends, spans)
+
+    def anchor(rank: int, sim_ps: int) -> Optional[float]:
+        """A wall-clock ts inside the epoch slice that ran ``sim_ps``."""
+        mapped = windows.get(rank)
+        if mapped is None:
+            return None
+        ends, spans = mapped
+        index = bisect_left(ends, sim_ps)
+        if index >= len(ends):
+            index = len(ends) - 1
+        start, dur = spans[index]
+        return start + dur * 0.5
+
+    events: List[Dict[str, Any]] = []
+    emitted = dropped = unanchored = 0
+    for (dest_rank, seq), (link_id, send_seq) in sorted(graph.recvs.items()):
+        link = graph.links.get(link_id)
+        dest_node = graph.nodes.get((dest_rank, seq))
+        if link is None or dest_node is None:
+            continue
+        src_rank = (link["rank_a"] if dest_rank == link["rank_b"]
+                    else link["rank_b"])
+        send = graph.sends.get((src_rank, send_seq))
+        deliver_ps = dest_node[0]
+        if send is not None and send[0] is not None \
+                and (src_rank, send[0]) in graph.nodes:
+            send_ps = graph.nodes[(src_rank, send[0])][0]
+        else:
+            send_ps = max(0, deliver_ps - int(link.get("latency_ps") or 0))
+        src_ts = anchor(src_rank, send_ps)
+        dest_ts = anchor(dest_rank, deliver_ps)
+        if src_ts is None or dest_ts is None:
+            unanchored += 1
+            continue
+        if emitted >= _FLOW_LIMIT:
+            dropped += 1
+            continue
+        emitted += 1
+        events.extend(flow_pair(
+            flow_id=emitted,
+            name=str(link.get("name", f"link{link_id}")),
+            cat="causal",
+            src=(src_rank, tid(src_rank, "[engine] epochs",
+                               f"rank {src_rank}"), src_ts),
+            dest=(dest_rank, tid(dest_rank, "[engine] epochs",
+                                 f"rank {dest_rank}"),
+                  max(dest_ts, src_ts)),
+        ))
+    note["flows"] = emitted
+    if dropped:
+        note["dropped"] = dropped
+        note["note"] = f"flow arrows capped at {_FLOW_LIMIT}"
+    if unanchored:
+        note["unanchored"] = unanchored
+    return events, note
 
 
 def merge_to_file(metrics_path: Union[str, Path],
-                  out_path: Union[str, Path, None] = None) -> Path:
+                  out_path: Union[str, Path, None] = None, *,
+                  flows: bool = False) -> Path:
     """Merge a run's streams and write ``<metrics>.trace.json``."""
     artifacts = RunArtifacts(metrics_path)
-    trace = merge_trace(artifacts)
+    trace = merge_trace(artifacts, flows=flows)
     if out_path is None:
         base = Path(metrics_path)
         out_path = base.with_name(base.name + ".trace.json")

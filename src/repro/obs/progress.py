@@ -111,9 +111,15 @@ class ProgressReporter:
                 f"sim {units.format_time(sim_ps)} | "
                 f"{fmt_count(rate)} ev/s | "
                 f"sim-rate {units.format_time(int(sim_rate))}/s{extra}")
-        if self.limit_ps is not None and sim_rate > 0:
+        if self.limit_ps is not None:
+            # A window that executed nothing (warm-up, an idle epoch, a
+            # zero-length wall delta) has no sim-rate to extrapolate
+            # from; show a placeholder rather than dividing by zero.
             remaining = max(0, self.limit_ps - sim_ps)
-            line += f" | ETA {remaining / sim_rate:.0f}s"
+            if sim_rate > 0:
+                line += f" | ETA {remaining / sim_rate:.0f}s"
+            else:
+                line += " | ETA --"
         print(line, file=self.stream, flush=True)
         self.lines_emitted += 1
         self._last_emit = wall

@@ -100,6 +100,10 @@ class RankStreamPlan:
         #: handler into ``<live_dump_base>.stack.rank<k>`` at startup so
         #: the stall watchdog can extract stacks from hung workers.
         self.live_dump_base: Optional[str] = None
+        # --- causal tracing (repro.obs.causal) ------------------------
+        #: when set, each worker attaches a CausalTracer writing
+        #: ``<causal_base>.causal.rank<k>``.  None = no capture.
+        self.causal_base: Optional[str] = None
         self._profilers: List[Any] = []
         self._recorders: List[Any] = []
         self._exporters: List[Any] = []
@@ -152,7 +156,8 @@ class RankStreamPlan:
         """Anything at all for a worker to re-attach?"""
         return (self.has_record_sink or self.profile
                 or (self.span_records and self.has_record_sink)
-                or self.live_path is not None)
+                or self.live_path is not None
+                or self.causal_base is not None)
 
     def shard_paths(self, num_ranks: int) -> List[str]:
         """Expected shard paths for a ``num_ranks`` run ([] if shard-less)."""
@@ -269,6 +274,18 @@ class RankRecorder:
             except Exception:  # pragma: no cover - defensive
                 self._live = None
                 self._live_sampler = None
+        # Causal tracing: this worker owns its rank's causal shard.
+        # The tracer splices into the rank sim's queue + instrumented
+        # dispatch; failures degrade to a rank without causal capture.
+        self._causal = None
+        if plan.causal_base is not None:
+            try:
+                from .causal import CausalTracer
+
+                self._causal = CausalTracer(self.sim, plan.causal_base,
+                                            psim=psim)
+            except Exception:  # pragma: no cover - defensive
+                self._causal = None
 
     @property
     def _has_sink(self) -> bool:
@@ -365,6 +382,11 @@ class RankRecorder:
             self._buffer = []
         if self._sink is not None:
             self._sink.flush()
+        if self._causal is not None:
+            try:
+                self._causal.flush()
+            except Exception:  # pragma: no cover - defensive
+                self._causal = None
 
     def finish(self) -> Dict[str, Any]:
         """Close the shard and package the harvest for the parent."""
@@ -390,9 +412,16 @@ class RankRecorder:
             "epochs": self._epoch,
             "records": self._c_records.count,
         })
+        if self._causal is not None:
+            try:
+                self._causal.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
         payload: Dict[str, Any] = {
             "rank": self.rank,
             "shard": self.shard_path,
+            "causal_shard": (str(self._causal.path)
+                             if self._causal is not None else None),
             "epochs": self._epoch,
             "records": self._c_records.count,
             "samples": self._c_samples.count,

@@ -333,6 +333,18 @@ class TestProgress:
         rep.detach()
         assert "ETA" in out.getvalue()
 
+    def test_eta_placeholder_when_window_advances_nothing(self):
+        """Satellite: a reporting window that executed zero events (and
+        so advanced no sim time) must print an ETA placeholder, not
+        divide by the zero sim-rate."""
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out, interval_s=0.0, max_time="1ms")
+        rep._t0 = 0.0  # the window is open; nothing has run in it
+        rep._maybe_emit(0, 0, extra="")
+        line = out.getvalue().strip()
+        assert line.startswith("[progress]")
+        assert line.endswith("| ETA --")
+
     def test_parallel_progress_reports_epochs(self):
         psim = _parallel_pingpong(n=30)
         out = io.StringIO()
