@@ -317,20 +317,31 @@ def test_eng2_processes_speedup(benchmark, report):
     """Wall-clock scaling of the processes backend on a compute-bound
     4-rank design, recorded to BENCH_engine_parallel.json.
 
-    The speedup is always *recorded*; it is only *asserted* > 1 when
-    the host actually has multiple usable cores (CI runners do, some
-    containers pin to one).
+    Best-of-3 per backend (forks and page-cache warmup make single
+    shots noisy).  The speedup is always *recorded*, annotated with the
+    sched-affinity CPU count; it is only *asserted* > 1 when the host
+    actually has at least as many usable cores as ranks — gating a
+    4-rank fork fleet on a 1- or 2-core container measures
+    oversubscription, not the backend.
     """
     from repro.core import ParallelSimulation
     from repro.obs import environment_info
     from repro.obs.manifest import append_json_record
 
+    ROUNDS = 3
+
     def run_backend(backend):
-        psim = ParallelSimulation(SIM_RANKS, seed=3, backend=backend)
-        _heavy_compute_machine(psim)
-        result = psim.run()
-        assert result.reason == "exhausted"
-        return psim.stat_values(), result
+        stats, best = None, None
+        for _ in range(ROUNDS):
+            psim = ParallelSimulation(SIM_RANKS, seed=3, backend=backend)
+            _heavy_compute_machine(psim)
+            result = psim.run()
+            assert result.reason == "exhausted"
+            stats = psim.stat_values()
+            psim.close()
+            if best is None or result.wall_seconds < best.wall_seconds:
+                best = result
+        return stats, best
 
     def run():
         serial_stats, serial_result = run_backend("serial")
@@ -351,6 +362,7 @@ def test_eng2_processes_speedup(benchmark, report):
             "kind": "backend_speedup",
             "ranks": SIM_RANKS,
             "usable_cpus": cpus,
+            "rounds": ROUNDS,
             "serial_wall_seconds": serial_result.wall_seconds,
             "processes_wall_seconds": procs_result.wall_seconds,
             "speedup": speedup,
@@ -360,9 +372,150 @@ def test_eng2_processes_speedup(benchmark, report):
         },
     )
     report(f"ENG-2 processes speedup over serial at {SIM_RANKS} ranks: "
-           f"{speedup:.2f}x ({cpus} usable CPUs)")
-    if cpus >= 2:
+           f"{speedup:.2f}x (best of {ROUNDS}, {cpus} usable CPUs)")
+    if cpus >= SIM_RANKS:
         assert speedup > 1.0, (
             f"processes backend slower than serial on a {cpus}-core host: "
             f"{speedup:.2f}x"
+        )
+
+
+FABRIC_RANKS = 8
+FABRIC_COMPONENTS = 1000
+
+
+def _fabric_machine(psim, *, components=FABRIC_COMPONENTS, ticks=3,
+                    work=300):
+    """~1k compute components spread across the ranks, ring-linked.
+
+    Every component self-schedules ``ticks`` compute windows; the first
+    component of each rank additionally tokens the next rank over a
+    1 ms ring link each tick, so the shm exchange path carries real
+    cross-rank traffic while the conservative window stays wide.
+    """
+    from repro.core import Component, Event, Params
+
+    class FabricWorker(Component):
+        def __init__(self, sim, name, params=None):
+            super().__init__(sim, name, params)
+            self.ticks = self.params.find_int("ticks", 3)
+            self.work = self.params.find_int("work", 300)
+            self.emit = self.params.find_bool("emit", False)
+            self.done = self.stats.counter("done")
+            self.tokens = self.stats.counter("tokens")
+            self.checksum = self.stats.accumulator("checksum")
+            self.set_handler("in", self.on_token)
+
+        def setup(self):
+            self.schedule(1000, self._tick)
+
+        def _tick(self, _):
+            acc = 0
+            for i in range(self.work):
+                acc += i * i
+            self.checksum.add(acc % 1_000_003)
+            self.done.add()
+            if self.emit:
+                self.send("ring_out", Event())
+            if self.done.count < self.ticks:
+                self.schedule(1000, self._tick)
+
+        def on_token(self, event):
+            self.tokens.add()
+
+    num_ranks = psim.num_ranks
+    per_rank = components // num_ranks
+    firsts = []
+    for rank in range(num_ranks):
+        sim = psim.rank_sim(rank)
+        for i in range(per_rank):
+            worker = FabricWorker(
+                sim, f"r{rank}w{i}",
+                Params({"ticks": ticks, "work": work, "emit": i == 0}))
+            if i == 0:
+                firsts.append(worker)
+    for rank in range(num_ranks):
+        psim.connect(firsts[rank], "ring_out",
+                     firsts[(rank + 1) % num_ranks], "in", latency="1ms")
+    return firsts
+
+
+def test_eng2_parallel_fabric_speedup(benchmark, report):
+    """The PR 9 acceptance bench: an 8-rank ~1k-component fabric on the
+    processes backend with the shm transport and adaptive lookahead,
+    against the serial reference.
+
+    Records ``workload=parallel_fabric queue=shm`` into
+    BENCH_engine_throughput.json so the CI parallel-speedup job can
+    gate events/sec through check_throughput_regression.py
+    (``--only parallel_fabric``).  The >= 3x speedup target is asserted
+    only when the host exposes at least FABRIC_RANKS usable CPUs; the
+    measurement is recorded either way.
+    """
+    from repro.core import ParallelSimulation
+    from repro.obs import environment_info
+    from repro.obs.manifest import append_json_record
+
+    ROUNDS = 3
+
+    def run_backend(backend, **kwargs):
+        stats, best = None, None
+        for _ in range(ROUNDS):
+            psim = ParallelSimulation(FABRIC_RANKS, seed=5, backend=backend,
+                                      **kwargs)
+            _fabric_machine(psim)
+            result = psim.run()
+            assert result.reason == "exhausted"
+            stats = psim.stat_values()
+            psim.close()
+            if best is None or result.wall_seconds < best.wall_seconds:
+                best = result
+        return stats, best
+
+    def run():
+        serial_stats, serial_result = run_backend("serial")
+        procs_stats, procs_result = run_backend(
+            "processes", transport="shm", sync="adaptive")
+        assert procs_stats == serial_stats
+        return serial_result, procs_result
+
+    serial_result, procs_result = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    cpus = _usable_cpus()
+    speedup = serial_result.wall_seconds / procs_result.wall_seconds
+    eps = (procs_result.events_executed / procs_result.wall_seconds
+           if procs_result.wall_seconds else 0.0)
+    append_json_record(
+        Path(__file__).parent.parent / "BENCH_engine_throughput.json",
+        {
+            "schema": "repro-bench-record/1",
+            "experiment": "engine_parallel",
+            "test": "eng2_parallel_fabric_speedup",
+            "kind": "parallel_fabric_speedup",
+            "workload": "parallel_fabric",
+            "queue": "shm",
+            "transport": "shm",
+            "sync": "adaptive",
+            "ranks": FABRIC_RANKS,
+            "components": FABRIC_COMPONENTS,
+            "usable_cpus": cpus,
+            "rounds": ROUNDS,
+            "serial_wall_seconds": serial_result.wall_seconds,
+            "processes_wall_seconds": procs_result.wall_seconds,
+            "speedup": speedup,
+            "events_per_second": eps,
+            "epochs": procs_result.epochs,
+            "exchange_bytes": procs_result.exchange_bytes,
+            "lookahead_utilization": procs_result.lookahead_utilization,
+            "events": procs_result.events_executed,
+            "environment": environment_info(),
+        },
+    )
+    report(f"ENG-2 parallel fabric ({FABRIC_COMPONENTS} components, "
+           f"{FABRIC_RANKS} ranks, shm+adaptive): {speedup:.2f}x vs serial, "
+           f"{eps:,.0f} events/s ({cpus} usable CPUs)")
+    if cpus >= FABRIC_RANKS:
+        assert speedup >= 3.0, (
+            f"shm+adaptive fabric below the 3x target on a {cpus}-core "
+            f"host: {speedup:.2f}x"
         )

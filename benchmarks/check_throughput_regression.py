@@ -76,8 +76,24 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default {DEFAULT_TOLERANCE})")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline at a quarter of the "
-                             "measured events/sec (conservative CI headroom)")
+                             "measured events/sec (conservative CI headroom); "
+                             "with --only/--skip the untouched keys are "
+                             "preserved (merge, not overwrite)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="PREFIX",
+                        help="gate only baseline keys starting with PREFIX "
+                             "(repeatable); lets a job that runs one bench "
+                             "suite skip the other suites' keys")
+    parser.add_argument("--skip", action="append", default=[],
+                        metavar="PREFIX",
+                        help="ignore baseline keys starting with PREFIX "
+                             "(repeatable)")
     args = parser.parse_args(argv)
+
+    def selected(key: str) -> bool:
+        if args.only and not any(key.startswith(p) for p in args.only):
+            return False
+        return not any(key.startswith(p) for p in args.skip)
 
     if not args.records.exists():
         print(f"no records at {args.records} — run the engine benches first",
@@ -90,9 +106,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if args.update:
-        baseline = {key: round(eps / 4) for key, eps in sorted(measured.items())}
+        updated = {key: round(eps / 4) for key, eps in measured.items()
+                   if selected(key)}
+        if (args.only or args.skip) and args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            baseline.update(updated)
+        else:
+            baseline = updated
+        baseline = dict(sorted(baseline.items()))
         args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"wrote {args.baseline} ({len(baseline)} keys)")
+        print(f"wrote {args.baseline} ({len(baseline)} keys, "
+              f"{len(updated)} updated)")
         return 0
 
     if not args.baseline.exists():
@@ -102,8 +126,13 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
 
     failures = []
+    gated = {key: val for key, val in baseline.items() if selected(key)}
+    if not gated:
+        print("no baseline keys match the --only/--skip filters",
+              file=sys.stderr)
+        return 2
     print(f"{'key':<40} {'baseline':>12} {'measured':>12}  verdict")
-    for key, expected in sorted(baseline.items()):
+    for key, expected in sorted(gated.items()):
         floor = expected * (1.0 - args.tolerance)
         got = measured.get(key)
         if got is None:
@@ -122,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"  - {line}", file=sys.stderr)
         return 1
-    print(f"\nthroughput gate ok ({len(baseline)} keys, "
+    print(f"\nthroughput gate ok ({len(gated)} keys, "
           f"tolerance {args.tolerance:.0%})")
     return 0
 

@@ -182,6 +182,8 @@ def _finish_observability(args, result, graph, telemetry, profiler, chrome,
             "ranks": args.ranks,
             "strategy": args.strategy,
             "backend": args.backend,
+            "transport": args.transport,
+            "sync": args.sync,
             "queue": args.queue,
             "seed": args.seed,
         }
@@ -219,7 +221,8 @@ def _cmd_run_impl(args: argparse.Namespace) -> int:
     if args.ranks > 1:
         psim = build_parallel(graph, args.ranks, strategy=args.strategy,
                               seed=args.seed, queue=args.queue,
-                              backend=args.backend)
+                              backend=args.backend,
+                              transport=args.transport, sync=args.sync)
         instruments = _make_observability(args, psim)
         result, code = _run_with_live(
             args, psim, instruments[0],
@@ -443,6 +446,24 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(f"imbalance report -> {args.json}")
         return 0
 
+    if args.obs_command == "partition-advise":
+        from .obs.advise import AdviseError, advise_to_file
+
+        try:
+            advice, out = advise_to_file(
+                args.metrics, args.config, args.output,
+                num_ranks=args.ranks, original_strategy=args.original_strategy,
+                strategy=args.strategy)
+        except (AdviseError, ConfigError, OSError, ValueError,
+                KeyError) as exc:
+            print(f"error: cannot advise on {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(advice.report())
+        print(f"advised assignment -> {out} "
+              f"(resume with 'ckpt resume <snapshot> --assignment {out}')")
+        return 0
+
     if args.obs_command == "report":
         from .obs.imbalance import analyze_artifacts
 
@@ -534,9 +555,29 @@ def _cmd_ckpt(args: argparse.Namespace) -> int:
         return 0 if info.get("intact", True) else 1
 
     if args.ckpt_command == "resume":
+        assignment = None
+        if args.assignment:
+            try:
+                with open(args.assignment, encoding="utf-8") as fh:
+                    payload = _json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read assignment {args.assignment}: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+            # Accept both the partition-advise advice document and a
+            # bare {component: rank} map.
+            assignment = payload.get("assignment") \
+                if isinstance(payload, dict) and "assignment" in payload \
+                else payload
+            if not isinstance(assignment, dict) or not assignment:
+                print(f"error: {args.assignment} holds no assignment map",
+                      file=sys.stderr)
+                return 1
         try:
             sim = restore(args.snapshot, backend=args.backend,
-                          ranks=args.ranks, queue=args.queue)
+                          ranks=args.ranks, queue=args.queue,
+                          assignment=assignment,
+                          transport=args.transport, sync=args.sync)
         except CheckpointError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -651,6 +692,15 @@ def make_parser() -> argparse.ArgumentParser:
                      choices=["serial", "threads", "processes"],
                      help="execution substrate for --ranks > 1 "
                           "(processes = one forked worker per rank)")
+    run.add_argument("--transport", default="pipe", choices=["pipe", "shm"],
+                     help="processes-backend data plane: pickled pipe "
+                          "batches, or shared-memory rings with the flat "
+                          "event codec (control stays on pipes)")
+    run.add_argument("--sync", default="conservative",
+                     choices=["conservative", "adaptive"],
+                     help="epoch-window strategy: fixed lookahead, or "
+                          "adaptive widening from per-rank earliest-send "
+                          "bounds (same deterministic exchange order)")
     run.add_argument("--queue", default="heap", choices=["heap", "binned"])
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--stats", action="store_true",
@@ -803,6 +853,29 @@ def make_parser() -> argparse.ArgumentParser:
         "report", help="summarize a recorded run's artifacts")
     rep.add_argument("metrics")
     rep.set_defaults(func=_cmd_obs)
+    adv = obs_sub.add_parser(
+        "partition-advise",
+        help="fold a recorded run's straggler attribution and cut-edge "
+             "traffic into a profile-guided repartition; writes an "
+             "assignment JSON for 'ckpt resume --assignment'")
+    adv.add_argument("metrics", help="the run's JSONL metrics stream")
+    adv.add_argument("--config", required=True,
+                     help="the serialized ConfigGraph the run was built "
+                          "from (same file passed to 'run')")
+    adv.add_argument("-o", "--output", default=None,
+                     help="advice JSON path "
+                          "(default: <metrics>.advice.json)")
+    adv.add_argument("--ranks", type=int, default=None,
+                     help="target rank count (default: the run's)")
+    adv.add_argument("--strategy", default="kl",
+                     choices=["linear", "round_robin", "bfs", "kl"],
+                     help="partition strategy for the advised split "
+                          "(default: kl, the refining one)")
+    adv.add_argument("--original-strategy", default=None,
+                     choices=["linear", "round_robin", "bfs", "kl"],
+                     help="strategy the recorded run used (default: "
+                          "from the run manifest)")
+    adv.set_defaults(func=_cmd_obs)
     top = obs_sub.add_parser(
         "top", help="live console view of a running simulation "
                     "(attaches read-only to its .live segment)")
@@ -861,6 +934,17 @@ def make_parser() -> argparse.ArgumentParser:
                            "snapshot's)")
     cres.add_argument("--queue", default=None, choices=["heap", "binned"],
                       help="event-queue kind (default: the snapshot's)")
+    cres.add_argument("--assignment", default=None,
+                      help="component->rank assignment JSON (a "
+                           "partition-advise advice file or a bare map); "
+                           "forces a pinned repartition restore")
+    cres.add_argument("--transport", default="pipe",
+                      choices=["pipe", "shm"],
+                      help="processes-backend exchange transport "
+                           "(default: pipe)")
+    cres.add_argument("--sync", default="conservative",
+                      choices=["conservative", "adaptive"],
+                      help="epoch-window strategy (default: conservative)")
     cres.add_argument("--stats", action="store_true",
                       help="print final statistic values")
     cres.add_argument("--stats-json", default=None,

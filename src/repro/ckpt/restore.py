@@ -58,6 +58,9 @@ def restore(path: Union[str, Path], *,
             ranks: Optional[int] = None,
             queue: Optional[str] = None,
             verbose: bool = False,
+            assignment: Optional[Dict[str, int]] = None,
+            transport: str = "pipe",
+            sync: str = "conservative",
             ) -> Union[Simulation, ParallelSimulation]:
     """Rebuild a runnable engine from a snapshot directory.
 
@@ -69,10 +72,31 @@ def restore(path: Union[str, Path], *,
     switches to the stats-equivalent re-partition mode (see module
     docstring).  The result's ``checkpoint_lineage`` records where it
     came from and flows into run manifests (:mod:`repro.obs.manifest`).
+
+    ``assignment`` — an explicit component→rank map (e.g. the output of
+    ``python -m repro obs partition-advise``) — forces the re-partition
+    path with every listed component pinned, even at the snapshot's own
+    rank count: the feedback loop's "resume under the advised layout"
+    step.  Unlisted components are placed by the partitioner.
     """
     root = Path(path)
     manifest = load_manifest(root)
     graph = _rebuild_graph(manifest)
+    if assignment:
+        bad = [n for n, r in assignment.items() if not isinstance(r, int) or r < 0]
+        if bad:
+            raise CheckpointError(
+                f"assignment pins non-rank values for: {sorted(bad)[:5]}")
+        target_ranks = ranks if ranks is not None else \
+            max(max(assignment.values()) + 1, 1)
+        if max(assignment.values(), default=0) >= target_ranks:
+            raise CheckpointError(
+                f"assignment pins rank "
+                f"{max(assignment.values())} >= ranks {target_ranks}")
+        return _restore_repartition(root, manifest, graph, target_ranks,
+                                    backend=backend, queue=queue,
+                                    verbose=verbose, assignment=assignment,
+                                    transport=transport, sync=sync)
     target_ranks = ranks if ranks is not None else manifest["num_ranks"]
     if target_ranks < 1:
         raise CheckpointError(f"ranks must be >= 1, got {target_ranks}")
@@ -81,9 +105,11 @@ def restore(path: Union[str, Path], *,
                                    verbose=verbose)
     if manifest["mode"] == "parallel" and target_ranks == manifest["num_ranks"]:
         return _restore_parallel_exact(root, manifest, graph, backend=backend,
-                                       queue=queue, verbose=verbose)
+                                       queue=queue, verbose=verbose,
+                                       transport=transport, sync=sync)
     return _restore_repartition(root, manifest, graph, target_ranks,
-                                backend=backend, queue=queue, verbose=verbose)
+                                backend=backend, queue=queue, verbose=verbose,
+                                transport=transport, sync=sync)
 
 
 def _rebuild_graph(manifest: Dict[str, Any]):
@@ -145,7 +171,8 @@ def _restore_sequential(root: Path, manifest: Dict[str, Any], graph, *,
 
 def _restore_parallel_exact(root: Path, manifest: Dict[str, Any], graph, *,
                             backend: Optional[str], queue: Optional[str],
-                            verbose: bool) -> ParallelSimulation:
+                            verbose: bool, transport: str = "pipe",
+                            sync: str = "conservative") -> ParallelSimulation:
     from ..config.builder import build_parallel
     from ..config.serialize import from_dict
 
@@ -161,7 +188,8 @@ def _restore_parallel_exact(root: Path, manifest: Dict[str, Any], graph, *,
         strategy=manifest["partition_strategy"] or "linear",
         seed=manifest["seed"], queue=queue or manifest["queue"],
         backend=backend or manifest["backend"] or "serial",
-        verbose=verbose, clock_arbiter=manifest["clock_arbiter"])
+        verbose=verbose, clock_arbiter=manifest["clock_arbiter"],
+        transport=transport, sync=sync)
     # Future snapshots of the restored engine must hash to the same
     # graph, so carry the *original* (unpinned) graph forward.
     psim.config_graph = graph
@@ -240,6 +268,9 @@ def _deliver_pending(sims: List[Simulation], pending: List[Tuple]) -> None:
 def _restore_repartition(root: Path, manifest: Dict[str, Any], graph,
                          target_ranks: int, *, backend: Optional[str],
                          queue: Optional[str], verbose: bool,
+                         assignment: Optional[Dict[str, int]] = None,
+                         transport: str = "pipe",
+                         sync: str = "conservative",
                          ) -> Union[Simulation, ParallelSimulation]:
     """Restore onto a different rank count (stats-equivalent mode).
 
@@ -255,8 +286,14 @@ def _restore_repartition(root: Path, manifest: Dict[str, Any], graph,
     from ..config.serialize import from_dict
 
     stripped_dict = copy.deepcopy(manifest["graph"])
+    known = {comp["name"] for comp in stripped_dict["components"]}
+    if assignment:
+        unknown = sorted(set(assignment) - known)
+        if unknown:
+            raise CheckpointError(
+                f"assignment pins unknown component(s): {unknown[:5]}")
     for comp in stripped_dict["components"]:
-        comp["rank"] = None
+        comp["rank"] = (assignment or {}).get(comp["name"])
     stripped = from_dict(stripped_dict)
     queue_kind = queue or manifest["queue"]
     psim: Optional[ParallelSimulation] = None
@@ -272,7 +309,8 @@ def _restore_repartition(root: Path, manifest: Dict[str, Any], graph,
             strategy=manifest["partition_strategy"] or "linear",
             seed=manifest["seed"], queue=queue_kind,
             backend=backend or manifest["backend"] or "serial",
-            verbose=verbose, clock_arbiter=manifest["clock_arbiter"])
+            verbose=verbose, clock_arbiter=manifest["clock_arbiter"],
+            transport=transport, sync=sync)
         sims = psim._sims
         psim.setup()
         for by_dest in psim._outboxes:

@@ -22,10 +22,12 @@ from .kernel import RunContext, kernel_run, kernel_step
 from .link import Link, LinkError, Port
 from .params import ParamError, Params, UnusedParamsWarning
 from .parallel import ParallelRunResult, ParallelSimulation
-from .partition import PartitionEdge, PartitionResult, partition
+from .partition import (PartitionEdge, PartitionProfile, PartitionResult,
+                        partition)
 from .registry import register, registered_types, resolve
 from .simulation import RunResult, Simulation, SimulationError
-from .sync import ConservativeSync, SyncStrategy
+from .sync import (SYNC_STRATEGIES, AdaptiveConservativeSync, ConservativeSync,
+                   SyncStrategy, make_sync)
 from .statistics import Accumulator, Counter, Histogram, Statistic, StatisticGroup
 from .tracelog import EventTraceLog, describe_handler
 from .units import (SimTime, UnitError, bytes_time, format_bytes, format_time,
@@ -34,6 +36,7 @@ from .units import (SimTime, UnitError, bytes_time, format_bytes, format_time,
 
 __all__ = [
     "Accumulator",
+    "AdaptiveConservativeSync",
     "BACKENDS",
     "BinnedEventQueue",
     "CallbackEvent",
@@ -56,6 +59,7 @@ __all__ = [
     "ParallelRunResult",
     "ParallelSimulation",
     "PartitionEdge",
+    "PartitionProfile",
     "PartitionResult",
     "PRIORITY_CLOCK",
     "PRIORITY_EVENT",
@@ -70,6 +74,7 @@ __all__ = [
     "Simulation",
     "SimulationError",
     "SpecError",
+    "SYNC_STRATEGIES",
     "StateSpec",
     "StatSpec",
     "Statistic",
@@ -89,6 +94,7 @@ __all__ = [
     "make_backend",
     "make_job_pool",
     "make_queue",
+    "make_sync",
     "parse_bandwidth",
     "parse_freq_hz",
     "parse_size_bytes",

@@ -183,6 +183,11 @@ class ExecutionBackend:
 
     name = "base"
 
+    #: bytes moved by the most recent :meth:`step`'s exchange (transport
+    #: payload both directions); 0 for in-process backends, surfaced per
+    #: epoch through :class:`~repro.core.parallel.EpochInfo`.
+    last_exchange_bytes: int = 0
+
     def __init__(self, psim: "ParallelSimulation"):
         self.psim = psim
 
@@ -308,13 +313,25 @@ def _recv_msg(conn) -> Any:
 
 
 class ProcessesBackend(ExecutionBackend):
-    """One forked worker process per rank, event batches over pipes.
+    """One forked worker process per rank, event batches over pipes or
+    shared memory.
 
     The parent process runs the sync strategy and the epoch loop; each
     worker owns one rank's :class:`Simulation` (inherited fully wired
     via fork) and runs its kernel windows on command.  Only exchanged
     events, step metadata and the final statistics harvest cross the
-    process boundary — each as one pickled batch per pipe write.
+    process boundary.
+
+    Two data-plane transports (``ParallelSimulation(transport=...)``):
+
+    * ``"pipe"`` — one pickled batch per pipe write (the historical
+      path, and the fallback when ``multiprocessing.shared_memory`` is
+      unavailable);
+    * ``"shm"`` — per-rank shared-memory ring buffers carrying
+      flat-encoded entries, with counter-spin epoch barriers
+      (:mod:`repro.core.shm`).  Control commands — snapshots, the final
+      harvest, shutdown, errors — stay on the pipes under either
+      transport.
     """
 
     name = "processes"
@@ -331,18 +348,27 @@ class ProcessesBackend(ExecutionBackend):
         self._ctx = mp.get_context("fork")
         self._procs: List[Any] = []
         self._conns: List[Any] = []
+        self.transport = getattr(psim, "transport", "pipe")
+        self._exchange: Optional[Any] = None
 
     def start(self) -> None:
         if self._procs:
             return
         self._warn_uncovered_observers()
+        if self.transport == "shm" and self._exchange is None:
+            from .shm import ShmExchange
+
+            # Created before the fork so every worker inherits the
+            # mapped segment — nothing is re-attached by name.
+            self._exchange = ShmExchange(self.psim.num_ranks)
         # Fork AFTER setup(): workers inherit wired graphs, queued
         # setup events and registered primaries.  The parent keeps the
         # setup-time outbox entries (workers clear their copies).
         for rank in range(self.psim.num_ranks):
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
-                target=_worker_main, args=(self.psim, rank, child_conn),
+                target=_worker_main,
+                args=(self.psim, rank, child_conn, self._exchange),
                 name=f"repro-rank{rank}", daemon=True,
             )
             proc.start()
@@ -392,18 +418,64 @@ class ProcessesBackend(ExecutionBackend):
 
     def step(self, epoch_end: SimTime,
              deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
-        for conn, entries in zip(self._conns, deliveries):
-            _send_msg(conn, ("step", epoch_end, entries))
-        steps = [self._recv(rank) for rank in range(self.psim.num_ranks)]
+        if self._exchange is not None:
+            steps = self._step_shm(epoch_end, deliveries)
+        else:
+            steps = self._step_pipe(epoch_end, deliveries)
         plan = getattr(self.psim, "rank_plan", None)
         if plan is not None:
-            # Bounded rank-local record batches ride the pipe alongside
-            # the step results (shard-less mode); hand them to the plan
-            # before the sync strategy ever sees the steps.
+            # Bounded rank-local record batches ride the transport
+            # alongside the step results (shard-less mode); hand them to
+            # the plan before the sync strategy ever sees the steps.
             for rank, step in enumerate(steps):
                 if step.obs_records:
                     plan.deliver(rank, step.obs_records)
                     step.obs_records = None
+        return steps
+
+    def _step_pipe(self, epoch_end: SimTime,
+                   deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        sent = 0
+        for conn, entries in zip(self._conns, deliveries):
+            blob = pickle.dumps(("step", epoch_end, entries),
+                                pickle.HIGHEST_PROTOCOL)
+            conn.send_bytes(blob)
+            sent += len(blob)
+        self.last_exchange_bytes = sent
+        steps = []
+        for rank in range(self.psim.num_ranks):
+            raw = self._recv_raw(rank)
+            self.last_exchange_bytes += len(raw)
+            msg = pickle.loads(raw)
+            if msg[0] == "error":
+                raise msg[1]
+            steps.append(msg[1])
+        return steps
+
+    def _step_shm(self, epoch_end: SimTime,
+                  deliveries: List[List[OutboxEntry]]) -> List[RankStep]:
+        from .event import encode_entries
+        from .shm import decode_step
+
+        exchange = self._exchange
+        num_ranks = self.psim.num_ranks
+        before = exchange.bytes_posted + exchange.bytes_collected
+        for rank in range(num_ranks):
+            exchange.post(rank, epoch_end, encode_entries(deliveries[rank]),
+                          alive_check=self._procs[rank].is_alive)
+        steps = []
+        for rank in range(num_ranks):
+            blob = exchange.collect(rank,
+                                    alive_check=self._procs[rank].is_alive)
+            if blob is None:
+                # the worker flagged a failure; the exception itself is
+                # waiting on the control pipe
+                self._recv(rank)
+                raise SimulationError(  # pragma: no cover - _recv raises
+                    f"rank {rank} flagged an error without details")
+            steps.append(decode_step(blob, num_ranks))
+        self.last_exchange_bytes = (exchange.bytes_posted
+                                    + exchange.bytes_collected - before)
         return steps
 
     def finalize(self) -> None:
@@ -484,13 +556,16 @@ class ProcessesBackend(ExecutionBackend):
             return None
         return request_stack_dump(pid, dump_path, timeout_s=timeout_s)
 
-    def _recv(self, rank: int):
+    def _recv_raw(self, rank: int) -> bytes:
         try:
-            msg = _recv_msg(self._conns[rank])
+            return self._conns[rank].recv_bytes()
         except (EOFError, OSError) as exc:
             raise SimulationError(
                 f"rank {rank} worker process died unexpectedly"
             ) from exc
+
+    def _recv(self, rank: int):
+        msg = pickle.loads(self._recv_raw(rank))
         if msg[0] == "error":
             raise msg[1]
         return msg[1]
@@ -512,6 +587,9 @@ class ProcessesBackend(ExecutionBackend):
                 proc.join(timeout=1)
         self._procs = []
         self._conns = []
+        if self._exchange is not None:
+            self._exchange.close(unlink=True)
+            self._exchange = None
 
 
 def _adopt_stat(local, remote) -> None:
@@ -529,8 +607,17 @@ def _adopt_stat(local, remote) -> None:
         raise SimulationError(str(exc)) from None
 
 
-def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
-    """Per-rank worker loop (runs in a forked child process)."""
+def _worker_main(psim: "ParallelSimulation", rank: int, conn,
+                 exchange: Any = None) -> None:
+    """Per-rank worker loop (runs in a forked child process).
+
+    With ``exchange`` (a :class:`~repro.core.shm.ShmExchange` inherited
+    through fork), epoch steps arrive as shared-memory counter bumps and
+    results return on the rank's up ring; the pipe is polled while
+    idle-spinning so control commands (snapshot / finish / close) keep
+    working mid-run.  Without it, everything — steps included — arrives
+    on the pipe.
+    """
     import traceback
 
     sim = psim._sims[rank]
@@ -582,73 +669,140 @@ def _worker_main(psim: "ParallelSimulation", rank: int, conn) -> None:
                 f"rank {rank} worker failed:\n{traceback.format_exc()}"
             )))
 
-    try:
-        while True:
+    def run_step_pipe(epoch_end, entries) -> None:
+        try:
+            deliver_cross_rank(psim, rank, entries)
+            result = _timed_step(sim, epoch_end)
+        except Exception as exc:
+            send_error(exc)
+            return
+        result.outbox = drain_outbox(psim, rank)
+        nonlocal recorder
+        if recorder is not None:
             try:
-                msg = _recv_msg(conn)
-            except (EOFError, OSError):
-                return
-            cmd = msg[0]
-            if cmd == "step":
-                _, epoch_end, entries = msg
+                recorder.on_step(result, epoch_end)
+            except Exception:  # pragma: no cover - defensive
+                recorder = None
+        try:
+            _send_msg(conn, ("ok", result))
+        except Exception as exc:
+            send_error(SimulationError(
+                f"rank {rank}: a cross-rank event is not "
+                f"serializable (events crossing ranks under the "
+                f"processes backend must be picklable): {exc}"
+            ))
+
+    def run_step_shm() -> None:
+        """One shm-transport epoch: deliveries off the down ring, kernel
+        window, result onto the up ring (errors: flag + pipe)."""
+        from .event import decode_entries
+        from .shm import encode_step
+
+        nonlocal recorder
+        try:
+            epoch_end = exchange.epoch_end(rank)
+            entries, _ = decode_entries(exchange.read_deliveries(rank))
+            deliver_cross_rank(psim, rank, entries)
+            result = _timed_step(sim, epoch_end)
+            result.outbox = drain_outbox(psim, rank)
+            if recorder is not None:
                 try:
-                    deliver_cross_rank(psim, rank, entries)
-                    result = _timed_step(sim, epoch_end)
-                except Exception as exc:
-                    send_error(exc)
-                    continue
-                result.outbox = drain_outbox(psim, rank)
+                    recorder.on_step(result, epoch_end)
+                except Exception:  # pragma: no cover - defensive
+                    recorder = None
+            payload = encode_step(result)
+        except pickle.PicklingError as exc:
+            send_error(SimulationError(
+                f"rank {rank}: a cross-rank event is not serializable "
+                f"(events crossing ranks must be flat-encodable or "
+                f"picklable): {exc}"))
+            exchange.fail(rank)
+            return
+        except Exception as exc:
+            send_error(exc)
+            exchange.fail(rank)
+            return
+        exchange.complete(rank, payload)
+
+    def handle_control(msg) -> bool:
+        """Dispatch one pipe control command; False = stop the worker."""
+        cmd = msg[0]
+        if cmd == "snapshot":
+            _, shard_path = msg
+            try:
+                from ..ckpt.state import capture_sim_state
+                from ..ckpt.snapshot import write_shard
+
+                state = capture_sim_state(
+                    sim, send_seq=psim._send_seq[rank][0])
+                meta = write_shard(shard_path, state)
+                meta["now"] = state["meta"]["now"]
+                _send_msg(conn, ("ok", meta))
+            except Exception as exc:
+                send_error(exc)
+        elif cmd == "finish":
+            nonlocal recorder
+            try:
+                sim.finish()
+                obs_payload = None
                 if recorder is not None:
                     try:
-                        recorder.on_step(result, epoch_end)
+                        obs_payload = recorder.finish()
                     except Exception:  # pragma: no cover - defensive
-                        recorder = None
-                try:
-                    _send_msg(conn, ("ok", result))
-                except Exception as exc:
-                    send_error(SimulationError(
-                        f"rank {rank}: a cross-rank event is not "
-                        f"serializable (events crossing ranks under the "
-                        f"processes backend must be picklable): {exc}"
-                    ))
-            elif cmd == "snapshot":
-                _, shard_path = msg
-                try:
-                    from ..ckpt.state import capture_sim_state
-                    from ..ckpt.snapshot import write_shard
+                        obs_payload = None
+                    recorder = None
+                payload = {
+                    "stats": harvest_stats(sim),
+                    "engine_stats": harvest_engine_stats(sim),
+                    "obs": obs_payload,
+                    "events_executed": sim._events_executed,
+                    "now": sim.now,
+                    "last_event_time": sim.last_event_time,
+                    "primaries_pending": sim.primaries_pending,
+                }
+                _send_msg(conn, ("ok", payload))
+            except Exception as exc:
+                send_error(exc)
+        elif cmd == "close":
+            return False
+        return True
 
-                    state = capture_sim_state(
-                        sim, send_seq=psim._send_seq[rank][0])
-                    meta = write_shard(shard_path, state)
-                    meta["now"] = state["meta"]["now"]
-                    _send_msg(conn, ("ok", meta))
-                except Exception as exc:
-                    send_error(exc)
-            elif cmd == "finish":
+    try:
+        if exchange is None:
+            while True:
                 try:
-                    sim.finish()
-                    obs_payload = None
-                    if recorder is not None:
-                        try:
-                            obs_payload = recorder.finish()
-                        except Exception:  # pragma: no cover - defensive
-                            obs_payload = None
-                        recorder = None
-                    payload = {
-                        "stats": harvest_stats(sim),
-                        "engine_stats": harvest_engine_stats(sim),
-                        "obs": obs_payload,
-                        "events_executed": sim._events_executed,
-                        "now": sim.now,
-                        "last_event_time": sim.last_event_time,
-                        "primaries_pending": sim.primaries_pending,
-                    }
-                    _send_msg(conn, ("ok", payload))
-                except Exception as exc:
-                    send_error(exc)
-            elif cmd == "close":
-                return
+                    msg = _recv_msg(conn)
+                except (EOFError, OSError):
+                    return
+                if msg[0] == "step":
+                    run_step_pipe(msg[1], msg[2])
+                elif not handle_control(msg):
+                    return
+        else:
+            # shm transport: steps arrive as counter bumps; the pipe is
+            # polled between spins so control commands still land.
+            last_cmd = 0
+            spins = 0
+            while True:
+                if exchange.cmd_seq(rank) > last_cmd:
+                    last_cmd += 1
+                    spins = 0
+                    run_step_shm()
+                    continue
+                try:
+                    if conn.poll(0):
+                        msg = _recv_msg(conn)
+                        spins = 0
+                        if not handle_control(msg):
+                            return
+                        continue
+                except (EOFError, OSError):
+                    return
+                spins += 1
+                _wall_time.sleep(0 if spins < 100 else 0.0002)
     finally:
+        if exchange is not None:
+            exchange.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover

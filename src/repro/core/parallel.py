@@ -43,10 +43,13 @@ from .component import Component
 from .event import Event, EventRecord
 from .link import Link, LinkError, Port
 from .simulation import Simulation, SimulationError
-from .sync import ConservativeSync
+from .sync import SyncStrategy, make_sync
 from .units import SimTime
 
 _INF = float("inf")
+
+#: processes-backend data-plane transports (see repro.core.backends)
+TRANSPORTS = ("pipe", "shm")
 
 
 @dataclass
@@ -70,10 +73,13 @@ class ParallelRunResult:
     exchange_seconds: float = 0.0
     #: per-rank cumulative barrier-wait seconds
     per_rank_barrier_wait: List[float] = field(default_factory=list)
-    #: fraction of the theoretical epoch budget (epochs * lookahead)
-    #: the run actually advanced through — low values mean the
-    #: conservative window is forcing many near-empty epochs
+    #: fraction of the granted epoch windows (sum of per-epoch widths)
+    #: the run actually advanced through — low values mean the sync
+    #: windows are forcing many near-empty epochs
     lookahead_utilization: float = 0.0
+    #: transport payload bytes moved by the cross-rank exchange
+    #: (both directions; 0 for in-process backends)
+    exchange_bytes: int = 0
     #: events executed per wall-clock second (engine throughput)
     events_per_second: float = field(init=False)
 
@@ -99,6 +105,7 @@ class ParallelRunResult:
             "exchange_seconds": self.exchange_seconds,
             "per_rank_barrier_wait": list(self.per_rank_barrier_wait),
             "lookahead_utilization": self.lookahead_utilization,
+            "exchange_bytes": self.exchange_bytes,
         }
 
 
@@ -123,6 +130,14 @@ class EpochInfo:
     per_rank_barrier_wait: List[float]
     events_total: int  #: cumulative events executed so far in this run
     now: SimTime  #: engine sim-time high-water mark after the epoch
+    #: transport payload bytes this epoch's exchange moved (both
+    #: directions; 0 for in-process backends)
+    exchange_bytes: int = 0
+
+    @property
+    def window_width(self) -> SimTime:
+        """Simulated width of this epoch's safe window (ps, inclusive)."""
+        return self.window_end - self.window_start + 1
 
 
 class _CrossRankLink:
@@ -157,15 +172,24 @@ class ParallelSimulation:
 
     def __init__(self, num_ranks: int, *, seed: int = 1, queue: str = "heap",
                  backend: str = "serial", verbose: bool = False,
-                 clock_arbiter: Optional[bool] = None):
+                 clock_arbiter: Optional[bool] = None,
+                 transport: str = "pipe", sync: str = "conservative"):
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; options: {sorted(BACKENDS)}"
             )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; options: {list(TRANSPORTS)}"
+            )
         self.num_ranks = num_ranks
         self.backend = backend
+        #: processes-backend data plane: "pipe" (pickled batches) or
+        #: "shm" (shared-memory rings; in-process backends ignore it)
+        self.transport = transport
+        self.sync_name = sync
         self.seed = seed
         self.queue_kind = queue
         #: partitioner strategy label; set by config.build_parallel for
@@ -209,7 +233,7 @@ class ParallelSimulation:
         self._cross_links: Dict[int, _CrossRankLink] = {}
         self._next_link_id = 0
         #: epoch-window / exchange policy (layer 2)
-        self._sync = ConservativeSync()
+        self._sync = make_sync(sync)
         #: execution substrate (layer 3); created per run(), closed in
         #: its finally block so failed runs never leak pools/workers.
         self._backend: Optional[ExecutionBackend] = None
@@ -279,7 +303,7 @@ class ParallelSimulation:
         end_a, end_b = link.endpoints
         end_a.set_remote(self._make_remote_sender(rank_a, rank_b, link_id))
         end_b.set_remote(self._make_remote_sender(rank_b, rank_a, link_id))
-        self._sync.note_cross_link(lat)
+        self._sync.note_cross_link(lat, rank_a, rank_b)
 
     def _make_remote_sender(self, src_rank: int, dest_rank: int, link_id: int):
         # Hot path: capture the destination bucket's append and the
@@ -306,7 +330,7 @@ class ParallelSimulation:
         return self._sync.lookahead
 
     @property
-    def sync_strategy(self) -> ConservativeSync:
+    def sync_strategy(self) -> SyncStrategy:
         """The epoch-window/exchange policy object (layer 2)."""
         return self._sync
 
@@ -447,6 +471,8 @@ class ParallelSimulation:
         per_rank_barrier = [0.0] * self.num_ranks
         first_window: Optional[SimTime] = None
         run_events = 0
+        window_total = 0  #: sum of granted epoch window widths (ps)
+        exchange_bytes_total = 0
         backend = make_backend(self.backend, self)
         self._backend = backend
         try:
@@ -475,10 +501,13 @@ class ParallelSimulation:
                     exchange_seconds += ex_dt
                     self.total_remote_events += exchanged
                     epoch_end = sync.window_end(global_min, limit)
+                    window_total += epoch_end - int(global_min) + 1
                     ep_t0 = perf()
                     steps = backend.step(epoch_end, deliveries)
                     ep_dt = perf() - ep_t0
                     exec_seconds += ep_dt
+                    ep_bytes = backend.last_exchange_bytes
+                    exchange_bytes_total += ep_bytes
                     sync.absorb(steps)
                     per_rank_wall = [s.wall_seconds for s in steps]
                     per_rank_ev = [s.events for s in steps]
@@ -508,6 +537,7 @@ class ParallelSimulation:
                             per_rank_barrier_wait=[slowest - w for w in per_rank_wall],
                             events_total=run_events,
                             now=max(s.now for s in steps),
+                            exchange_bytes=ep_bytes,
                         )
                         for fn in self._epoch_observers:
                             fn(info)
@@ -553,9 +583,9 @@ class ParallelSimulation:
             sim.events_executed - s0 for sim, s0 in zip(self._sims, start_events)
         ]
         utilization = 0.0
-        if epochs and lookahead and first_window is not None:
+        if epochs and window_total and first_window is not None:
             span = max(0, end_time - first_window) + 1
-            utilization = min(1.0, span / (epochs * lookahead))
+            utilization = min(1.0, span / window_total)
         return ParallelRunResult(
             reason=reason,
             end_time=end_time,
@@ -570,6 +600,7 @@ class ParallelSimulation:
             exchange_seconds=exchange_seconds,
             per_rank_barrier_wait=per_rank_barrier,
             lookahead_utilization=utilization,
+            exchange_bytes=exchange_bytes_total,
         )
 
     # ------------------------------------------------------------------

@@ -20,12 +20,19 @@ Four strategies (experiment ENG-2 ablates them):
 * ``kl``          — ``bfs`` followed by Kernighan–Lin-style boundary
   refinement passes that greedily move nodes to reduce the weighted cut
   while respecting a balance tolerance.
+
+All strategies also accept a :class:`PartitionProfile` of *observed*
+feedback from a previous run (per-component work multipliers from the
+imbalance report, per-link traffic from the causal tracer's cut-edge
+report) which is folded into the configured node and edge weights
+before partitioning — the profile-guided repartitioning loop driven by
+``python -m repro obs partition-advise``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -68,6 +75,47 @@ class PartitionResult:
         return groups
 
 
+@dataclass
+class PartitionProfile:
+    """Observed-run feedback folded into a :func:`partition` call.
+
+    Built from a recorded run's telemetry (see
+    :mod:`repro.obs.advise`): per-rank busy time becomes per-component
+    work multipliers — components that lived on straggler ranks look
+    heavier, so balance-aware strategies spread them out — and the
+    causal tracer's cut-edge report becomes extra edge weight, so the
+    KL refinement pulls the endpoints of observed-chatty cut links onto
+    one rank.  Multipliers scale the configured node weights; traffic
+    adds to the configured edge weights (keyed by the unordered
+    endpoint pair).
+    """
+
+    #: node -> observed work multiplier (missing nodes default to 1.0)
+    node_multipliers: Dict[NodeId, float] = field(default_factory=dict)
+    #: frozenset({u, v}) -> observed traffic weight added to the edge
+    edge_traffic: Dict[FrozenSet[NodeId], float] = field(default_factory=dict)
+
+    def scaled_node_weights(
+        self, node_weight: Dict[NodeId, float]
+    ) -> Dict[NodeId, float]:
+        return {n: w * self.node_multipliers.get(n, 1.0)
+                for n, w in node_weight.items()}
+
+    def weighted_edges(
+        self, edges: List[PartitionEdge]
+    ) -> List[PartitionEdge]:
+        if not self.edge_traffic:
+            return edges
+        out: List[PartitionEdge] = []
+        for e in edges:
+            extra = self.edge_traffic.get(frozenset((e.u, e.v)), 0.0)
+            if extra:
+                e = PartitionEdge(u=e.u, v=e.v, weight=e.weight + extra,
+                                  latency=e.latency)
+            out.append(e)
+        return out
+
+
 STRATEGIES = ("linear", "round_robin", "bfs", "kl")
 
 
@@ -79,6 +127,7 @@ def partition(
     weights: Optional[Dict[NodeId, float]] = None,
     balance_tolerance: float = 1.10,
     refine_passes: int = 4,
+    profile: Optional[PartitionProfile] = None,
 ) -> PartitionResult:
     """Partition ``nodes`` into ``num_ranks`` groups.
 
@@ -93,6 +142,11 @@ def partition(
         Per-node work estimate (default 1.0 each).
     balance_tolerance:
         For ``kl``: maximum allowed (rank weight / ideal weight).
+    profile:
+        Observed-run feedback (:class:`PartitionProfile`) multiplied
+        onto node weights and added onto edge weights before
+        partitioning.  The returned result's quality metrics are
+        computed against the profiled weights.
     """
     nodes = list(nodes)
     edge_list = list(edges)
@@ -107,6 +161,9 @@ def partition(
     for e in edge_list:
         if e.u not in known or e.v not in known:
             raise ValueError(f"edge {e.u!r}--{e.v!r} references unknown node")
+    if profile is not None:
+        node_weight = profile.scaled_node_weights(node_weight)
+        edge_list = profile.weighted_edges(edge_list)
 
     if num_ranks == 1:
         assignment = {n: 0 for n in nodes}

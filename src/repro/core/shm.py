@@ -1,0 +1,426 @@
+"""Shared-memory epoch exchange for the processes backend.
+
+The pipe transport pays one pickled round-trip per rank per epoch —
+wakeup, framing and serialization costs that dominate fine-grained
+epochs.  This module replaces the *data plane* with
+``multiprocessing.shared_memory``:
+
+* **one segment for the run**, carved into per-rank regions.  Each
+  region holds a control block (epoch counters) plus two single-writer
+  byte rings: a *down* ring (parent → worker: this epoch's deliveries)
+  and an *up* ring (worker → parent: the step result and outbox);
+* **framed slots** on the rings carry flat-encoded outbox entries
+  ``(time, priority, link_id, dest_rank, send_seq, payload)`` — see the
+  flat event codec in :mod:`repro.core.event` (pickle fallback for
+  arbitrary payloads);
+* **the barrier is a counter spin**: the parent bumps a per-rank
+  ``cmd`` counter to open an epoch and waits on the worker's ``done``
+  counter — a few dozen shared-memory reads plus a short sleep instead
+  of a pipe round-trip per rank.
+
+The *control plane* stays on the pipes: snapshot requests, the final
+statistics harvest (``finish``), shutdown and error reporting all use
+the existing pickled pipe commands, so ``repro.ckpt`` snapshots work
+unchanged under ``transport="shm"``.
+
+Memory model: every multi-byte control word (ring head/tail, epoch
+counters) has exactly one writer, is 8-byte aligned, and is written
+with a single ``struct.pack_into`` — the same single-writer seqlock
+discipline the live-metrics segment (:mod:`repro.obs.live.segment`)
+already relies on.  Payload bytes are always written before the counter
+that announces them.
+
+Cross-process reads of those words are additionally *validated before
+they are trusted*: on some kernels a freshly-forked worker's first
+faults into the shared mapping can transiently observe a zero page
+where the parent has long since written nonzero counters (observed in
+practice as an 8-byte head word reading 0 while the true value was
+~90k — and still 0 on an immediate re-read).  Every counter here is
+monotonic, so each side keeps a process-local copy of the largest
+value it has proven and treats any read below it (or otherwise
+impossible, e.g. a ring occupancy above the capacity) as "no news
+yet": wait and re-read.  A side's *own* counters are never re-read
+from shared memory at all.  ``epoch_end`` is published with a ``+1``
+bias so a transient zero is distinguishable from a real window end.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import time as _wall_time
+from typing import Callable, List, Optional, Tuple
+
+from .simulation import SimulationError
+
+__all__ = ["RingBuffer", "ShmExchange", "encode_step", "decode_step",
+           "DEFAULT_RING_CAPACITY"]
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+
+#: per-direction ring capacity in bytes (``REPRO_SHM_RING_BYTES`` overrides).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: control block per rank: cmd_seq(u64), done_seq(u64), epoch_end(i64),
+#: err_flag(u64) — padded to a cache line so ranks never share one.
+_CTRL_SIZE = 64
+#: ring header: head(u64, producer-owned) + tail(u64, consumer-owned),
+#: cache-line padded for the same reason.
+_RING_HEADER = 64
+
+_SPIN_BEFORE_SLEEP = 100
+_SLEEP_S = 0.0002
+_ALIVE_CHECK_EVERY_S = 0.1
+
+
+def _make_waiter(alive_check: Optional[Callable[[], bool]] = None,
+                 what: str = "shm transport peer") -> Callable[[], None]:
+    """A backoff callable for spin loops: yield first, then short-sleep,
+    periodically verifying the peer process is still alive."""
+    spins = [0]
+    last_alive = [_wall_time.monotonic()]
+
+    def wait() -> None:
+        spins[0] += 1
+        if spins[0] < _SPIN_BEFORE_SLEEP:
+            _wall_time.sleep(0)
+            return
+        _wall_time.sleep(_SLEEP_S)
+        if alive_check is not None:
+            now = _wall_time.monotonic()
+            if now - last_alive[0] >= _ALIVE_CHECK_EVERY_S:
+                last_alive[0] = now
+                if not alive_check():
+                    raise SimulationError(
+                        f"{what} died while the shm exchange was waiting")
+
+    return wait
+
+
+class RingBuffer:
+    """Single-producer single-consumer byte ring over a shared buffer.
+
+    ``head`` (producer-owned) and ``tail`` (consumer-owned) are
+    monotonically increasing byte counters; occupancy is ``head - tail``
+    and positions wrap modulo the capacity.  Frames are a ``u32`` length
+    prefix plus payload, and both sides move data in chunks while
+    advancing their counter — so a frame *larger than the whole ring*
+    still streams through, with the writer backpressured by ``wait()``
+    whenever the ring is full and the reader whenever it is empty.
+    """
+
+    __slots__ = ("_buf", "_head_off", "_tail_off", "_data_off", "capacity",
+                 "_known_head", "_known_tail")
+
+    def __init__(self, buf, offset: int, capacity: int):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self._buf = buf
+        self._head_off = offset
+        self._tail_off = offset + 8
+        self._data_off = offset + _RING_HEADER
+        self.capacity = capacity
+        # Largest counter values this process has proven (reads below
+        # them are transient-zero/stale artifacts — see module docs).
+        # The producer trusts _known_head as its own counter and only
+        # validates the consumer's tail against _known_tail; the
+        # consumer does the reverse.
+        self._known_head = 0
+        self._known_tail = 0
+
+    # counters ---------------------------------------------------------
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, self._head_off)[0]
+
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, self._tail_off)[0]
+
+    # producer side ----------------------------------------------------
+    def write(self, data, wait: Callable[[], None]) -> None:
+        buf = self._buf
+        cap = self.capacity
+        base = self._data_off
+        head = self._known_head  # producer-owned: never re-read from shm
+        pos, n = 0, len(data)
+        while pos < n:
+            tail = self.tail
+            if tail < self._known_tail or tail > head:
+                # transient-zero / torn read of the consumer's counter:
+                # tail is monotonic and can never pass the producer.
+                wait()
+                continue
+            self._known_tail = tail
+            free = cap - (head - tail)
+            if free == 0:
+                wait()
+                continue
+            chunk = min(free, n - pos)
+            start = head % cap
+            first = min(chunk, cap - start)
+            buf[base + start:base + start + first] = data[pos:pos + first]
+            if chunk > first:
+                buf[base:base + chunk - first] = data[pos + first:pos + chunk]
+            head += chunk
+            pos += chunk
+            self._known_head = head
+            # payload bytes land before the head that announces them
+            _U64.pack_into(buf, self._head_off, head)
+
+    def write_frame(self, payload, wait: Callable[[], None]) -> None:
+        self.write(_U32.pack(len(payload)), wait)
+        self.write(payload, wait)
+
+    # consumer side ----------------------------------------------------
+    def read(self, n: int, wait: Callable[[], None]) -> bytes:
+        buf = self._buf
+        cap = self.capacity
+        base = self._data_off
+        tail = self._known_tail  # consumer-owned: never re-read from shm
+        out = bytearray(n)
+        pos = 0
+        while pos < n:
+            head = self.head
+            if head < self._known_head or head - tail > cap:
+                # transient-zero / torn read of the producer's counter:
+                # head is monotonic and never runs more than one
+                # capacity ahead of the tail it observed.
+                wait()
+                continue
+            self._known_head = head
+            avail = head - tail
+            if avail == 0:
+                wait()
+                continue
+            chunk = min(avail, n - pos)
+            start = tail % cap
+            first = min(chunk, cap - start)
+            out[pos:pos + first] = buf[base + start:base + start + first]
+            if chunk > first:
+                out[pos + first:pos + chunk] = buf[base:base + chunk - first]
+            tail += chunk
+            pos += chunk
+            self._known_tail = tail
+            # freeing space only after the bytes were copied out
+            _U64.pack_into(buf, self._tail_off, tail)
+        return bytes(out)
+
+    def read_frame(self, wait: Callable[[], None]) -> bytes:
+        (length,) = _U32.unpack_from(self.read(4, wait))
+        return self.read(length, wait)
+
+
+class ShmExchange:
+    """The per-run shared segment: control blocks plus two rings per rank.
+
+    Created by the parent before forking; workers inherit the mapped
+    segment through ``fork`` (nothing is re-attached by name).  The
+    parent drives :meth:`post`/:meth:`collect`, the workers
+    :meth:`read_deliveries`/:meth:`complete`.
+    """
+
+    def __init__(self, num_ranks: int,
+                 ring_capacity: Optional[int] = None):
+        from multiprocessing import shared_memory
+
+        if ring_capacity is None:
+            ring_capacity = int(os.environ.get("REPRO_SHM_RING_BYTES", 0)
+                                ) or DEFAULT_RING_CAPACITY
+        self.num_ranks = num_ranks
+        self.ring_capacity = ring_capacity
+        self._per_rank = _CTRL_SIZE + 2 * (_RING_HEADER + ring_capacity)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=num_ranks * self._per_rank)
+        self.buf = self._shm.buf
+        # Control words and ring headers start at zero (shm segments are
+        # zero-filled on Linux, but be explicit — correctness hinges on it).
+        for rank in range(num_ranks):
+            base = rank * self._per_rank
+            self.buf[base:base + _CTRL_SIZE] = b"\0" * _CTRL_SIZE
+            down = base + _CTRL_SIZE
+            up = down + _RING_HEADER + ring_capacity
+            self.buf[down:down + _RING_HEADER] = b"\0" * _RING_HEADER
+            self.buf[up:up + _RING_HEADER] = b"\0" * _RING_HEADER
+        self._down = [RingBuffer(self.buf, r * self._per_rank + _CTRL_SIZE,
+                                 ring_capacity) for r in range(num_ranks)]
+        self._up = [RingBuffer(self.buf, r * self._per_rank + _CTRL_SIZE
+                               + _RING_HEADER + ring_capacity,
+                               ring_capacity) for r in range(num_ranks)]
+        #: parent-side traffic counters (bytes of frame payload + framing)
+        self.bytes_posted = 0
+        self.bytes_collected = 0
+        # Process-local copies of the counters each side owns: the
+        # parent's cmd sequence and the workers' done sequences are
+        # written to shared memory for the *other* side and never read
+        # back from it (a transient-zero read-back would regress a
+        # counter and wedge the handshake).
+        self._cmd = [0] * num_ranks
+        self._done = [0] * num_ranks
+
+    # control words ----------------------------------------------------
+    def _ctrl(self, rank: int) -> int:
+        return rank * self._per_rank
+
+    def cmd_seq(self, rank: int) -> int:
+        return _U64.unpack_from(self.buf, self._ctrl(rank))[0]
+
+    def done_seq(self, rank: int) -> int:
+        return _U64.unpack_from(self.buf, self._ctrl(rank) + 8)[0]
+
+    def epoch_end(self, rank: int) -> int:
+        """The posted window end (stored ``+1`` so zero means "not yet
+        visible" and a transient zero-page read just retries)."""
+        off = self._ctrl(rank) + 16
+        spins = 0
+        while True:
+            (raw,) = _I64.unpack_from(self.buf, off)
+            if raw:
+                return raw - 1
+            spins += 1
+            _wall_time.sleep(0 if spins < _SPIN_BEFORE_SLEEP else _SLEEP_S)
+
+    def err_flag(self, rank: int) -> int:
+        return _U64.unpack_from(self.buf, self._ctrl(rank) + 24)[0]
+
+    # parent side ------------------------------------------------------
+    def post(self, rank: int, epoch_end: int, payload: bytes,
+             alive_check: Optional[Callable[[], bool]] = None) -> None:
+        """Open an epoch for ``rank``: publish the window end, bump the
+        command counter, then stream the delivery frame (the counter is
+        bumped *first* so the worker consumes concurrently — frames
+        larger than the ring cannot deadlock)."""
+        base = self._ctrl(rank)
+        _I64.pack_into(self.buf, base + 16, epoch_end + 1)
+        self._cmd[rank] += 1
+        _U64.pack_into(self.buf, base, self._cmd[rank])
+        self._down[rank].write_frame(
+            payload, _make_waiter(alive_check, f"rank {rank} worker"))
+        self.bytes_posted += len(payload) + 4
+
+    def collect(self, rank: int,
+                alive_check: Optional[Callable[[], bool]] = None,
+                ) -> Optional[bytes]:
+        """Wait for ``rank``'s epoch completion and return its step
+        frame, or ``None`` when the worker flagged an error (the actual
+        exception is waiting on the control pipe)."""
+        wait = _make_waiter(alive_check, f"rank {rank} worker")
+        target = self._cmd[rank]
+        while self.done_seq(rank) < target:
+            wait()
+        # The frame is read unconditionally: fail() writes an empty
+        # sentinel frame, so a transiently-zero err_flag read cannot
+        # strand the parent waiting for a result that never comes.
+        blob = self._up[rank].read_frame(
+            _make_waiter(alive_check, f"rank {rank} worker"))
+        if self.err_flag(rank) or not blob:
+            _U64.pack_into(self.buf, self._ctrl(rank) + 24, 0)
+            return None
+        self.bytes_collected += len(blob) + 4
+        return blob
+
+    # worker side ------------------------------------------------------
+    def read_deliveries(self, rank: int) -> bytes:
+        return self._down[rank].read_frame(_make_waiter(what="parent"))
+
+    def complete(self, rank: int, payload: bytes) -> None:
+        """Report epoch completion: bump ``done`` first, then stream the
+        result frame (mirror of :meth:`post`, same no-deadlock shape)."""
+        base = self._ctrl(rank)
+        self._done[rank] += 1
+        _U64.pack_into(self.buf, base + 8, self._done[rank])
+        self._up[rank].write_frame(payload, _make_waiter(what="parent"))
+
+    def fail(self, rank: int) -> None:
+        """Report epoch failure: the error itself travels over the
+        control pipe; the flag (set before the ``done`` bump) plus an
+        empty sentinel frame tell the parent there is no result."""
+        base = self._ctrl(rank)
+        _U64.pack_into(self.buf, base + 24, 1)
+        self._done[rank] += 1
+        _U64.pack_into(self.buf, base + 8, self._done[rank])
+        self._up[rank].write_frame(b"", _make_waiter(what="parent"))
+
+    # lifecycle --------------------------------------------------------
+    def close(self, *, unlink: bool = False) -> None:
+        """Unmap the segment (every process); ``unlink`` additionally
+        removes it from the system (creator only, after workers joined)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self._down = []
+        self._up = []
+        self.buf = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view still exported
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------------------
+# step-result framing (worker -> parent, rides the up ring)
+# ----------------------------------------------------------------------
+
+#: wall_s, events, next_time (-1 = drained), primaries_pending,
+#: last_event_time, now, has_obs
+_STEP_META = struct.Struct("<dqqqqqB")
+
+
+def encode_step(result) -> bytes:
+    """One :class:`~repro.core.backends.RankStep` as an up-ring frame:
+    struct-packed metadata, the flat-encoded outbox (flattened across
+    destinations — entries carry their dest rank), and an optional
+    pickled batch of rank-local telemetry records."""
+    from .event import encode_entries
+
+    flat = []
+    if result.outbox:
+        for bucket in result.outbox:
+            flat.extend(bucket)
+    obs_blob = b""
+    has_obs = 0
+    if result.obs_records:
+        obs_blob = pickle.dumps(result.obs_records, pickle.HIGHEST_PROTOCOL)
+        has_obs = 1
+    next_time = -1 if result.next_time is None else result.next_time
+    meta = _STEP_META.pack(result.wall_seconds, result.events, next_time,
+                           result.primaries_pending, result.last_event_time,
+                           result.now, has_obs)
+    blob = meta + encode_entries(flat)
+    if has_obs:
+        blob += _U32.pack(len(obs_blob)) + obs_blob
+    return blob
+
+
+def decode_step(blob: bytes, num_ranks: int):
+    """Inverse of :func:`encode_step`; rebuilds the per-destination
+    outbox buckets (entry order within each destination is preserved —
+    the flatten walked destinations in order)."""
+    from .backends import RankStep
+    from .event import decode_entries
+
+    (wall, events, next_time, primaries, last_event, now,
+     has_obs) = _STEP_META.unpack_from(blob)
+    entries, offset = decode_entries(blob, _STEP_META.size)
+    outbox: List[List[Tuple]] = []
+    if entries:
+        outbox = [[] for _ in range(num_ranks)]
+        for entry in entries:
+            outbox[entry[3]].append(entry)
+    obs_records = None
+    if has_obs:
+        (obs_len,) = _U32.unpack_from(blob, offset)
+        offset += 4
+        obs_records = pickle.loads(blob[offset:offset + obs_len])
+    return RankStep(wall_seconds=wall, events=events, outbox=outbox,
+                    next_time=None if next_time < 0 else next_time,
+                    primaries_pending=primaries, last_event_time=last_event,
+                    now=now, obs_records=obs_records)

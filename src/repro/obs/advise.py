@@ -1,0 +1,258 @@
+"""Feedback-driven repartitioning advice from recorded runs.
+
+A parallel run leaves behind exactly the evidence a partitioner wants
+and a static config cannot provide: which ranks actually did the work
+(the imbalance report's per-rank busy time) and which cut links
+actually carried the traffic (the causal tracer's cut-edge report).
+This module closes the loop:
+
+1. re-derive the run's original assignment from its config graph and
+   manifest (the partition is deterministic: same graph, strategy and
+   rank count give the same split);
+2. turn per-rank busy time into per-component work multipliers —
+   components that lived on a straggler rank look proportionally
+   heavier — and cut-edge crossings into extra edge weight, as a
+   :class:`~repro.core.partition.PartitionProfile`;
+3. re-partition with the profile folded in and emit the advised
+   assignment as JSON, consumable by ``ckpt resume --assignment`` (a
+   pinned repartition restore) or by re-building the graph with rank
+   pins.
+
+Exposed as ``python -m repro obs partition-advise <metrics> --config
+<graph.json>``.  Cut-edge traffic needs a ``--trace-causal`` run;
+without causal shards the advice uses the work profile alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..config import load
+from ..config.graph import ConfigGraph
+from ..core.partition import (PartitionProfile, PartitionResult, evaluate,
+                              partition)
+from .imbalance import analyze_artifacts
+from .merge import RunArtifacts
+
+
+class AdviseError(ValueError):
+    """The artifacts cannot support partition advice."""
+
+
+@dataclass
+class PartitionAdvice:
+    """An advised assignment plus the evidence behind it."""
+
+    num_ranks: int
+    strategy: str
+    baseline: PartitionResult  #: the run's (re-derived) original split
+    advised: PartitionResult  #: the profile-guided split
+    #: per-rank observed busy seconds the multipliers were derived from
+    rank_busy_s: List[float] = field(default_factory=list)
+    #: link name -> observed crossings folded into edge weights
+    cut_traffic: Dict[str, int] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def moved(self) -> List[str]:
+        """Components whose rank changed, in graph order."""
+        return [str(n) for n, r in self.advised.assignment.items()
+                if self.baseline.assignment.get(n) != r]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "num_ranks": self.num_ranks,
+            "strategy": self.strategy,
+            "assignment": {str(n): r
+                           for n, r in self.advised.assignment.items()},
+            "moved": self.moved,
+            "baseline": {
+                "edge_cut": self.baseline.edge_cut,
+                "cut_edges": self.baseline.cut_edges,
+                "imbalance": self.baseline.imbalance,
+            },
+            "advised": {
+                "edge_cut": self.advised.edge_cut,
+                "cut_edges": self.advised.cut_edges,
+                "imbalance": self.advised.imbalance,
+            },
+            "rank_busy_s": list(self.rank_busy_s),
+            "cut_traffic": dict(self.cut_traffic),
+            "notes": list(self.notes),
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"partition advice: {self.num_ranks} ranks, "
+            f"strategy={self.strategy}",
+            f"baseline: cut={self.baseline.edge_cut:.1f} "
+            f"({self.baseline.cut_edges} edges) "
+            f"imbalance={self.baseline.imbalance:.3f}",
+            f"advised:  cut={self.advised.edge_cut:.1f} "
+            f"({self.advised.cut_edges} edges) "
+            f"imbalance={self.advised.imbalance:.3f}",
+            f"moves: {len(self.moved)} component(s)",
+        ]
+        for name in self.moved[:20]:
+            lines.append(
+                f"  {name}: rank {self.baseline.assignment[name]}"
+                f" -> {self.advised.assignment[name]}")
+        if len(self.moved) > 20:
+            lines.append(f"  ... and {len(self.moved) - 20} more")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _original_assignment(graph: ConfigGraph, num_ranks: int,
+                         strategy: str) -> PartitionResult:
+    """Re-derive the split build_parallel made for this run."""
+    nodes, edges, weights = graph.partition_inputs()
+    result = partition(nodes, edges, num_ranks, strategy=strategy,
+                       weights=weights)
+    pinned = dict(result.assignment)
+    for conf in graph.components():
+        if conf.rank is not None:
+            pinned[conf.name] = conf.rank
+    if pinned != result.assignment:
+        node_weight = {n: weights.get(n, 1.0) for n in nodes}
+        result = evaluate(pinned, edges, node_weight, num_ranks)
+    return result
+
+
+def build_profile(graph: ConfigGraph, baseline: PartitionResult,
+                  rank_busy_s: List[float],
+                  cut_edges: Optional[List[Dict[str, Any]]] = None
+                  ) -> PartitionProfile:
+    """Fold observed evidence into a :class:`PartitionProfile`.
+
+    Every component inherits its rank's ``busy / mean_busy`` ratio as a
+    work multiplier; each cut-edge report row adds its crossing count
+    onto the named link's edge weight.
+    """
+    profile = PartitionProfile()
+    busy = [b for b in rank_busy_s if b > 0]
+    if busy and len(rank_busy_s) == baseline.num_ranks:
+        mean = sum(rank_busy_s) / len(rank_busy_s)
+        if mean > 0:
+            ratios = [b / mean for b in rank_busy_s]
+            for node, rank in baseline.assignment.items():
+                if ratios[rank] != 1.0:
+                    profile.node_multipliers[node] = ratios[rank]
+    for edge in cut_edges or []:
+        name = edge.get("name")
+        crossings = int(edge.get("crossings", 0) or 0)
+        if not name or crossings <= 0:
+            continue
+        try:
+            link = graph.get_link(str(name))
+        except Exception:
+            continue  # hand-named cross link not present in the graph
+        if link.comp_a == link.comp_b:
+            continue
+        key = frozenset((link.comp_a, link.comp_b))
+        profile.edge_traffic[key] = profile.edge_traffic.get(key, 0.0) \
+            + float(crossings)
+    return profile
+
+
+def advise(metrics_path: Union[str, Path], graph: ConfigGraph, *,
+           num_ranks: Optional[int] = None,
+           original_strategy: Optional[str] = None,
+           strategy: str = "kl") -> PartitionAdvice:
+    """Produce profile-guided partition advice for a recorded run.
+
+    ``num_ranks`` and ``original_strategy`` default to what the run
+    manifest (or the metrics stream's ``run_start`` record) says the
+    run used; pass them explicitly for streams recorded without a
+    manifest.
+    """
+    artifacts = RunArtifacts(Path(metrics_path))
+    manifest_engine = _manifest_engine(Path(metrics_path))
+    notes: List[str] = []
+    ranks = num_ranks or int(manifest_engine.get("ranks") or 0) \
+        or artifacts.num_ranks
+    if ranks < 2:
+        raise AdviseError(
+            f"run used {ranks} rank(s) — nothing to repartition")
+    orig_strategy = (original_strategy
+                     or manifest_engine.get("partitioner") or "linear")
+    report = analyze_artifacts(artifacts)
+    if not report.epochs:
+        raise AdviseError(
+            "metrics stream has no epoch records — record the run with "
+            "--metrics on a parallel build")
+    rank_busy = [r.busy_s for r in report.ranks]
+    baseline = _original_assignment(graph, ranks, str(orig_strategy))
+    cut_edges: Optional[List[Dict[str, Any]]] = None
+    try:
+        from .causal import find_causal_shards
+        if find_causal_shards(Path(metrics_path)):
+            from .critpath import critical_path, cut_edge_report, load_causal
+            cut_edges = cut_edge_report(
+                critical_path(load_causal(Path(metrics_path))))
+        else:
+            notes.append("no causal shards — advice uses the work "
+                         "profile only (re-run with --trace-causal for "
+                         "cut-edge traffic)")
+    except Exception as exc:
+        notes.append(f"causal analysis unavailable ({exc}); advice uses "
+                     "the work profile only")
+    profile = build_profile(graph, baseline, rank_busy, cut_edges)
+    nodes, edges, weights = graph.partition_inputs()
+    advised = partition(nodes, edges, ranks, strategy=strategy,
+                        weights=weights, profile=profile)
+    cut_traffic = {}
+    for edge in cut_edges or []:
+        if edge.get("name") and int(edge.get("crossings", 0) or 0) > 0:
+            cut_traffic[str(edge["name"])] = int(edge["crossings"])
+    return PartitionAdvice(
+        num_ranks=ranks,
+        strategy=strategy,
+        baseline=baseline,
+        advised=advised,
+        rank_busy_s=rank_busy,
+        cut_traffic=cut_traffic,
+        notes=notes,
+    )
+
+
+def _manifest_engine(metrics_path: Path) -> Dict[str, Any]:
+    manifest_path = metrics_path.with_name(metrics_path.name
+                                           + ".manifest.json")
+    if not manifest_path.exists():
+        return {}
+    try:
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    engine = manifest.get("engine")
+    return dict(engine) if isinstance(engine, dict) else {}
+
+
+def advise_to_file(metrics_path: Union[str, Path],
+                   config_path: Union[str, Path],
+                   out_path: Union[str, Path, None] = None, *,
+                   num_ranks: Optional[int] = None,
+                   original_strategy: Optional[str] = None,
+                   strategy: str = "kl") -> tuple:
+    """CLI helper: load the graph, advise, write ``<metrics>.advice.json``.
+
+    Returns ``(advice, out_path)``.
+    """
+    graph = load(str(config_path))
+    advice = advise(metrics_path, graph, num_ranks=num_ranks,
+                    original_strategy=original_strategy, strategy=strategy)
+    if out_path is None:
+        base = Path(metrics_path)
+        out_path = base.with_name(base.name + ".advice.json")
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(advice.as_dict(), indent=2,
+                                   sort_keys=True) + "\n", encoding="utf-8")
+    return advice, out_path

@@ -87,6 +87,9 @@ class ImbalanceReport:
     ranks: List[RankSummary]
     attributions: List[EpochAttribution]
     exchange_s: float = 0.0
+    exchange_bytes: int = 0
+    avg_window_ps: float = 0.0
+    lookahead_utilization: Optional[float] = None
     notes: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -132,6 +135,9 @@ class ImbalanceReport:
             "events_skew": self.events_skew,
             "total_barrier_s": self.total_barrier_s,
             "exchange_s": self.exchange_s,
+            "exchange_bytes": self.exchange_bytes,
+            "avg_window_ps": self.avg_window_ps,
+            "lookahead_utilization": self.lookahead_utilization,
             "critical_rank": critical.rank if critical else None,
             "per_rank": [r.as_dict() for r in self.ranks],
             "per_epoch": [a.as_dict() for a in self.attributions],
@@ -156,6 +162,17 @@ class ImbalanceReport:
             f"barrier total: {self.total_barrier_s * 1e3:.2f} ms   "
             f"exchange total: {self.exchange_s * 1e3:.2f} ms"
         )
+        if self.avg_window_ps or self.exchange_bytes:
+            per_epoch = (self.exchange_bytes / self.epochs
+                         if self.epochs else 0.0)
+            util = (f"{self.lookahead_utilization:.1%}"
+                    if self.lookahead_utilization is not None else "n/a")
+            lines.append(
+                f"epoch window avg: {self.avg_window_ps:.0f} ps   "
+                f"lookahead utilization: {util}   "
+                f"exchange bytes: {self.exchange_bytes} "
+                f"({per_epoch:.0f}/epoch)"
+            )
         critical = self.critical_rank
         if critical is not None:
             lines.append(
@@ -201,6 +218,10 @@ def analyze_artifacts(artifacts: RunArtifacts) -> ImbalanceReport:
     summaries = [RankSummary(rank=r) for r in range(num_ranks)]
     attributions: List[EpochAttribution] = []
     exchange_s = 0.0
+    exchange_bytes = 0
+    window_total = 0
+    first_window: Optional[int] = None
+    last_end: Optional[int] = None
     notes: List[str] = []
     for epoch in epochs:
         walls = [float(w) for w in (epoch.get("per_rank_wall_s") or [])]
@@ -208,6 +229,13 @@ def analyze_artifacts(artifacts: RunArtifacts) -> ImbalanceReport:
                  (epoch.get("per_rank_barrier_wait_s") or [])]
         events = epoch.get("per_rank_events") or []
         exchange_s += float(epoch.get("exchange_s", 0.0))
+        exchange_bytes += int(epoch.get("exchange_bytes", 0))
+        window = epoch.get("window_ps")
+        if window and len(window) == 2:
+            window_total += int(window[1]) - int(window[0]) + 1
+            if first_window is None:
+                first_window = int(window[0])
+            last_end = int(epoch.get("sim_ps", window[1]))
         if not walls:
             continue
         bounding = max(range(len(walls)), key=lambda r: walls[r])
@@ -234,6 +262,9 @@ def analyze_artifacts(artifacts: RunArtifacts) -> ImbalanceReport:
         notes.append("stream predates per-rank wall fields; barrier waits "
                      "only (re-record with a current build for full "
                      "attribution)")
+    utilization: Optional[float] = None
+    if window_total and first_window is not None and last_end is not None:
+        utilization = min(1.0, (last_end - first_window + 1) / window_total)
     return ImbalanceReport(
         backend=artifacts.backend,
         num_ranks=num_ranks,
@@ -242,6 +273,9 @@ def analyze_artifacts(artifacts: RunArtifacts) -> ImbalanceReport:
         ranks=summaries,
         attributions=attributions,
         exchange_s=exchange_s,
+        exchange_bytes=exchange_bytes,
+        avg_window_ps=(window_total / len(epochs) if epochs else 0.0),
+        lookahead_utilization=utilization,
         notes=notes,
     )
 

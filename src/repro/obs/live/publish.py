@@ -102,6 +102,10 @@ class LiveMetrics:
         self._exchanged = 0
         self._exchange_s = 0.0
         self._exec_s = 0.0
+        self._exchange_bytes = 0
+        self._window_ps = 0          # last epoch's window width
+        self._window_total = 0       # cumulative window width (util denom)
+        self._first_window: Optional[int] = None
         self._barrier: List[float] = []
         self._run_state = STATE_RUNNING
         self._reason = ""
@@ -210,6 +214,12 @@ class LiveMetrics:
         self._exchanged += info.exchanged_events
         self._exchange_s += info.exchange_seconds
         self._exec_s += sum(info.per_rank_wall)
+        self._exchange_bytes += getattr(info, "exchange_bytes", 0)
+        width = info.window_end - info.window_start + 1
+        self._window_ps = width
+        self._window_total += width
+        if self._first_window is None:
+            self._first_window = info.window_start
         for rank, wait in enumerate(info.per_rank_barrier_wait):
             if rank < len(self._barrier):
                 self._barrier[rank] += wait
@@ -238,12 +248,19 @@ class LiveMetrics:
         segment = self.segment
         if segment is None:
             return
+        util = 0.0
+        if self._window_total and self._first_window is not None:
+            span = self._now_ps - self._first_window + 1
+            util = min(1.0, span / self._window_total)
         with self._run_mutex:
             try:
                 segment.write_run(
                     state=self._run_state, epoch=self._epoch,
                     events=self._events, exchanged=self._exchanged,
                     now_ps=self._now_ps, limit_ps=self.limit_ps,
+                    window_ps=self._window_ps,
+                    exchange_bytes=self._exchange_bytes,
+                    lookahead_util=util,
                     mono_s=_wall_time.perf_counter(),
                     unix_s=_wall_time.time(),
                     start_mono=self._start_mono,

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 MAGIC = b"RPLIVE1\x00"
-VERSION = 1
+VERSION = 2
 
 KIND_RUN = 0
 KIND_SWEEP = 1
@@ -65,9 +65,12 @@ _RANK_BODY_FMT = "<6Q8Q4d"
 RANK_SLOT_SIZE = 176  # 8 + struct.calcsize(_RANK_BODY_FMT) == 168, padded
 
 # run slot body (after the seq): state, epoch, events, exchanged,
-# now_ps, limit_ps, mono_s, unix_s, start_mono, exchange_s, exec_s,
-# reserved, reason; then per-rank barrier_s doubles.
-_RUN_BODY_FMT = "<6Q6d16s"
+# now_ps, limit_ps, window_ps (current epoch window width),
+# exchange_bytes (cumulative); mono_s, unix_s, start_mono, exchange_s,
+# exec_s, lookahead_util; reason; then per-rank barrier_s doubles.
+# (V2: grew window_ps + exchange_bytes, repurposed the reserved double
+# as lookahead_util.)
+_RUN_BODY_FMT = "<8Q6d16s"
 _RUN_FIXED = 8 + struct.calcsize(_RUN_BODY_FMT)
 
 
@@ -185,6 +188,8 @@ class LiveSegment:
                   exchanged: int, now_ps: int, limit_ps: int,
                   mono_s: float, unix_s: float, start_mono: float,
                   exchange_s: float, exec_s: float, reason: str,
+                  window_ps: int = 0, exchange_bytes: int = 0,
+                  lookahead_util: float = 0.0,
                   barrier_s: Optional[List[float]] = None) -> None:
         """Seqlock-write the run slot (parent epoch loop only)."""
         mm = self._mm
@@ -193,8 +198,9 @@ class LiveSegment:
         struct.pack_into(_SEQ_FMT, mm, off, seq + 1)
         struct.pack_into(
             _RUN_BODY_FMT, mm, off + 8, state, epoch, events, exchanged,
-            now_ps, limit_ps, mono_s, unix_s, start_mono, exchange_s,
-            exec_s, 0.0, reason.encode("utf-8")[:16])
+            now_ps, limit_ps, window_ps, exchange_bytes,
+            mono_s, unix_s, start_mono, exchange_s,
+            exec_s, lookahead_util, reason.encode("utf-8")[:16])
         if barrier_s:
             struct.pack_into(f"<{len(barrier_s)}d", mm, off + _RUN_FIXED,
                              *barrier_s)
@@ -358,17 +364,21 @@ class LiveView:
         body = self._read_slot(off, f"<{fmt}{n}d")
         if body is None:
             return None
-        (state, epoch, events, exchanged, now_ps, limit_ps, mono_s,
-         unix_s, start_mono, exchange_s, exec_s, _res, reason) = body[:13]
+        (state, epoch, events, exchanged, now_ps, limit_ps, window_ps,
+         exchange_bytes, mono_s, unix_s, start_mono, exchange_s, exec_s,
+         lookahead_util, reason) = body[:15]
         return {
             "state": state,
             "state_name": STATE_NAMES.get(state, str(state)),
             "epoch": epoch, "events": events, "exchanged": exchanged,
-            "now_ps": now_ps, "limit_ps": limit_ps, "mono_s": mono_s,
+            "now_ps": now_ps, "limit_ps": limit_ps,
+            "window_ps": window_ps, "exchange_bytes": exchange_bytes,
+            "mono_s": mono_s,
             "unix_s": unix_s, "start_mono": start_mono,
             "exchange_s": exchange_s, "exec_s": exec_s,
+            "lookahead_util": lookahead_util,
             "reason": reason.rstrip(b"\x00").decode("utf-8", "replace"),
-            "barrier_s": list(body[13:13 + n]),
+            "barrier_s": list(body[15:15 + n]),
         }
 
     def snapshot(self) -> Dict[str, Any]:

@@ -96,6 +96,15 @@ def render_frame(snapshot: Dict[str, Any],
     if eta is not None:
         head += f" | ETA {fmt_duration(eta)}"
     lines.append(head)
+    if run.get("window_ps") or run.get("exchange_bytes"):
+        sync_line = (f"sync: window {units.format_time(run['window_ps'])} "
+                     f"| lookahead util {run.get('lookahead_util', 0.0):.0%} "
+                     f"| exchanged {fmt_count(run.get('exchange_bytes', 0))}B")
+        epochs = run.get("epoch") or 0
+        if epochs:
+            sync_line += (f" ({fmt_count(run.get('exchange_bytes', 0) / epochs)}"
+                          f"B/epoch)")
+        lines.append(sync_line)
     lines.append(f"{'rank':>4} {'state':>5} {'events':>9} {'ev/s':>9} "
                  f"{'queue':>7} {'sim time':>11} {'busy%':>6} "
                  f"{'barrier%':>8} {'hb age':>7}")

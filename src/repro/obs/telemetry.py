@@ -198,6 +198,7 @@ class TelemetryRecorder:
             "sim_ps": info.now,
             "events": info.events_total,
             "exchanged": info.exchanged_events,
+            "exchange_bytes": info.exchange_bytes,
             "exchange_s": info.exchange_seconds,
             "epoch_wall_s": info.wall_seconds,
             "per_rank_events": info.per_rank_events,

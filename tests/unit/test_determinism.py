@@ -170,6 +170,54 @@ class TestArbiterAblationEquivalence:
         assert run_parallel_traced(backend)[1] == baseline
 
 
+class TestTransportSyncDeterminism:
+    """PR 9 acceptance: the shm exchange transport and the adaptive
+    lookahead are pure performance knobs.  Every (backend, transport,
+    sync) combination lands on the serial conservative reference's
+    stats, end time, event count and remote-event count; in-process
+    backends additionally pop bit-identical (time, priority, seq)
+    traces.  Epoch counts are excluded deliberately — widening the
+    window (fewer, fatter epochs) is the adaptive strategy's entire
+    point."""
+
+    def _run(self, backend, transport="pipe", sync="conservative"):
+        psim = build_parallel(mixed_graph(), 2, strategy="round_robin",
+                              seed=7, backend=backend,
+                              transport=transport, sync=sync)
+        traces = []
+        for rank in range(psim.num_ranks):
+            sim = psim.rank_sim(rank)
+            sim._queue = RecordingQueue(sim._queue, [])
+            traces.append(sim._queue.trace)
+        result = psim.run()
+        stats = psim.stat_values()
+        psim.close()
+        invariant = (result.reason, result.end_time,
+                     result.events_executed, result.remote_events)
+        return traces, stats, invariant, result
+
+    def test_all_combos_match_serial_conservative_reference(self):
+        ref_traces, ref_stats, ref_inv, _ = self._run("serial")
+        combos = [(backend, "pipe", sync) for backend in ALL_BACKENDS
+                  for sync in ("conservative", "adaptive")]
+        combos += [("processes", "shm", "conservative"),
+                   ("processes", "shm", "adaptive")]
+        for backend, transport, sync in combos:
+            traces, stats, inv, _ = self._run(backend, transport, sync)
+            assert stats == ref_stats, (backend, transport, sync)
+            assert inv == ref_inv, (backend, transport, sync)
+            if backend != "processes":
+                # Forked workers keep their traces; in-process engines
+                # must pop the exact reference sequence.
+                assert traces == ref_traces, (backend, transport, sync)
+
+    def test_adaptive_never_adds_epochs(self):
+        conservative = self._run("serial", sync="conservative")[3]
+        adaptive = self._run("serial", sync="adaptive")[3]
+        assert adaptive.epochs <= conservative.epochs
+        assert adaptive.events_executed == conservative.events_executed
+
+
 class TestCheckpointResumeBitIdentity:
     """PR 5 acceptance: checkpoint/resume is bit-identical, not merely
     stats-equivalent.  The queue seq counter and the bare/instrumented
