@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Scheduling-policy ablation on a simulated HPC cluster.
+
+The simulated system here is itself a service under load: a batch
+scheduler absorbing bursty job-arrival floods.  The scheduling policy
+is a *subcomponent slot* on ``cluster.Scheduler`` — this study swaps
+FCFS, EASY backfill and priority order purely by changing the
+``policy`` param (no component classes are touched), the ablation axis
+coming straight from the declared slot via
+:func:`repro.sweep_axes`.
+
+Under bursty arrivals a wide job at the queue head strands free nodes
+in plain FCFS; EASY backfill slips small jobs into the hole without
+delaying the head's reservation, so it finishes the same trace with
+strictly higher utilization and a shorter makespan.
+
+Run:
+    python examples/cluster_scheduling.py --jobs 100000
+    python examples/cluster_scheduling.py --jobs 1000000        # full study
+    python examples/cluster_scheduling.py --policy backfill --ranks 2 \\
+        --backend processes --manifest run-manifest.json
+"""
+
+import argparse
+import json
+
+from repro import sweep_axes
+from repro.analysis import ResultTable
+from repro.cluster import Scheduler
+from repro.config import ConfigGraph, build, build_parallel
+from repro.obs import build_manifest, write_manifest
+
+#: CLI short names for the slot's registered policy types.
+SHORT = {"cluster.FCFS": "fcfs", "cluster.EASYBackfill": "backfill",
+         "cluster.Priority": "priority"}
+BY_SHORT = {v: k for k, v in SHORT.items()}
+
+
+def make_graph(args, policy: str) -> ConfigGraph:
+    """The cluster under test: source -> scheduler -> pool, SLO tap.
+
+    Arrivals come in bursts (``burst_size`` simultaneous submissions)
+    so the pending-event set floods the way fabric benches never do,
+    and the queue is deep enough for policies to actually differ.
+    """
+    g = ConfigGraph(f"cluster-{SHORT[policy]}")
+    g.component("src", "cluster.JobSource", {
+        "mode": args.mode, "jobs": args.jobs, "trace": args.trace,
+        "burst_size": args.burst_size, "burst_gap": args.burst_gap,
+        "mean_interarrival": args.mean_interarrival,
+        "mean_runtime": args.mean_runtime,
+        "max_nodes": max(1, args.nodes // 4), "window": 32,
+    }, rank=1 if args.ranks > 1 else None)
+    g.component("sched", "cluster.Scheduler",
+                {"nodes": args.nodes, "policy": policy}, rank=0)
+    g.component("pool", "cluster.NodePool",
+                {"nodes": args.nodes, "topology": "torus"}, rank=0)
+    g.component("slo", "cluster.SLOStats", {"capacity": args.nodes},
+                rank=1 if args.ranks > 1 else None)
+    g.link("src", "out", "sched", "submit", latency=args.latency)
+    g.link("sched", "pool", "pool", "sched", latency="100ns")
+    g.link("sched", "report", "slo", "report", latency=args.latency)
+    return g
+
+
+def run_policy(args, policy: str):
+    graph = make_graph(args, policy)
+    if args.ranks > 1:
+        sim = build_parallel(graph, args.ranks, backend=args.backend,
+                             seed=args.seed)
+        result = sim.run()
+    else:
+        sim = build(graph, seed=args.seed)
+        result = sim.run(checkpoint_every=args.checkpoint_every,
+                         checkpoint_dir=args.checkpoint_dir)
+    manifest = build_manifest(sim, result, graph=graph,
+                              invocation=vars(args))
+    return result, manifest
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--policy", default="all",
+                        choices=["all"] + sorted(BY_SHORT),
+                        help="scheduling policy (all = ablation)")
+    parser.add_argument("--jobs", type=int, default=1_000_000,
+                        help="jobs in the arrival trace")
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--mode", default="burst",
+                        choices=["poisson", "burst", "trace"])
+    parser.add_argument("--trace", default="",
+                        help="SWF-style trace path (mode=trace)")
+    parser.add_argument("--burst-size", type=int, default=64)
+    parser.add_argument("--burst-gap", default="220ms")
+    parser.add_argument("--mean-interarrival", default="3ms")
+    parser.add_argument("--mean-runtime", default="20ms")
+    parser.add_argument("--latency", default="1ms",
+                        help="submit/report link latency (bounds the "
+                             "parallel lookahead)")
+    parser.add_argument("--ranks", type=int, default=1)
+    parser.add_argument("--backend", default="processes",
+                        choices=["serial", "threads", "processes"])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--checkpoint-every", default=None,
+                        help="snapshot interval for long runs, e.g. 30s "
+                             "(sequential only)")
+    parser.add_argument("--checkpoint-dir", default="cluster-ckpts")
+    parser.add_argument("--manifest", default=None,
+                        help="write the (last) run's manifest JSON here")
+    args = parser.parse_args()
+
+    # The ablation axis comes from the Scheduler's declared slot.
+    axes = sweep_axes(Scheduler)
+    if args.policy == "all":
+        policies = list(axes["policy"])
+    else:
+        policies = [BY_SHORT[args.policy]]
+    print(f"policy axis (from sweep_axes(Scheduler)): "
+          f"{[SHORT[p] for p in axes['policy']]}")
+    print(f"running {len(policies)} polic{'ies' if len(policies) > 1 else 'y'}"
+          f" x {args.jobs:,} jobs on {args.nodes} nodes "
+          f"({args.ranks} rank(s))\n")
+
+    table = ResultTable(["policy", "jobs", "utilization", "mean_wait_s",
+                         "p95_slowdown", "makespan_s", "events_per_s"],
+                        title="Scheduling-policy ablation")
+    manifest = None
+    for policy in policies:
+        result, manifest = run_policy(args, policy)
+        slo = manifest["summary"]["slo"]
+        table.add_row(policy=SHORT[policy], jobs=slo["jobs"],
+                      utilization=round(slo["utilization"], 4),
+                      mean_wait_s=round(slo["mean_wait_s"], 4),
+                      p95_slowdown=round(slo["p95_bounded_slowdown"], 2),
+                      makespan_s=round(slo["makespan_s"], 3),
+                      events_per_s=f"{result.events_per_second:,.0f}")
+        print(f"  {SHORT[policy]}: done in {result.wall_seconds:.1f}s wall")
+    print()
+    print(table.render())
+
+    if args.manifest:
+        path = write_manifest(manifest, args.manifest)
+        print(f"\nmanifest written to {path}")
+    if len(policies) > 1:
+        print("""
+Backfill's gain is structural: whenever the FCFS head is too wide for
+the free nodes, EASY computes the head's reservation from runtime
+*estimates* and launches any queued job that fits in the hole without
+pushing that reservation back — idle node-time becomes useful work, so
+utilization rises and the same trace finishes sooner.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ Layering (import whichever level you need):
 
 from . import core
 from .core import (Component, Params, ParallelSimulation, Simulation,
-                   register)
+                   SubComponent, register, sweep_axes)
 
 __version__ = "1.0.0"
 
@@ -30,7 +30,9 @@ __all__ = [
     "Params",
     "ParallelSimulation",
     "Simulation",
+    "SubComponent",
     "core",
     "register",
+    "sweep_axes",
     "__version__",
 ]

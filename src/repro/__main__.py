@@ -636,8 +636,12 @@ def _cmd_component(args: argparse.Namespace) -> int:
     if args.component_command == "describe":
         try:
             cls = resolve(args.type)
-        except RegistryError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+        except RegistryError:
+            # One line, no traceback, no registry dump — the catalogue
+            # is a `component list` away.
+            print(f"error: unknown component type {args.type!r} "
+                  f"(run 'python -m repro component list' for the "
+                  f"catalogue)", file=sys.stderr)
             return 1
         info = describe_component(cls)
         if args.json:
@@ -650,6 +654,22 @@ def _cmd_component(args: argparse.Namespace) -> int:
                 flags = "required" if spec["required"] else "optional"
                 event = f" event={spec['event']}" if spec["event"] else ""
                 print(f"  {spec['name']:20s} {flags}{event}  {spec['doc']}")
+        if info["slots"]:
+            print("slots:")
+            for spec in info["slots"]:
+                choices = (f" choices={','.join(spec['choices'])}"
+                           if spec["choices"] else "")
+                default = (f" default={spec['default']}"
+                           if spec["default"] else "")
+                print(f"  {spec['name']:20s} base={spec['base']}"
+                      f"{default}{choices}  {spec['doc']}")
+        if info["params"]:
+            print("params:")
+            for spec in info["params"]:
+                choices = (f" choices={','.join(map(str, spec['choices']))}"
+                           if spec["choices"] else "")
+                print(f"  {spec['name']:20s} {spec['kind']:8s} "
+                      f"default={spec['default']!r}{choices}  {spec['doc']}")
         if info["legacy_ports"]:
             print("legacy ports (undeclared):")
             for name, doc in sorted(info["legacy_ports"].items()):

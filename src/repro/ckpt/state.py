@@ -19,6 +19,7 @@ pieces:
   reference             resolved to
   ====================  ==================================================
   ``("comp", name)``    the component of that name
+  ``("subc", c, a)``    the subcomponent filling component ``c``'s slot ``a``
   ``("port", c, p)``    component ``c``'s port ``p``
   ``("stat", c, s)``    component ``c``'s registered statistic ``s``
   ``("clock", n, i)``   the ``i``-th registered clock named ``n``
@@ -117,6 +118,15 @@ def build_ref_table(sims: Sequence[Simulation]) -> Dict[int, Tuple]:
         table[id(sim)] = ("simobj", sim.rank)
         for name, comp in sim._components.items():
             table[id(comp)] = ("comp", name)
+            for attr in getattr(type(comp), "_slot_specs", {}):
+                sub = comp.__dict__.get(attr)
+                if sub is not None:
+                    # Slot subcomponents keep identity across a restore
+                    # (Component.capture_state snapshots their state
+                    # through a marker, never the object itself), so
+                    # events holding one — or a bound method of one —
+                    # resolve to the rebuilt instance.
+                    table[id(sub)] = ("subc", name, attr)
             for pname, port in comp._ports.items():
                 table[id(port)] = ("port", name, pname)
                 endpoint = port.endpoint
@@ -191,6 +201,11 @@ def make_resolver(sims: Sequence[Simulation],
         try:
             if kind == "comp":
                 return comps[ref[1]]
+            if kind == "subc":
+                sub = comps[ref[1]].__dict__.get(ref[2])
+                if sub is None:
+                    raise KeyError(ref[2])
+                return sub
             if kind == "port":
                 return comps[ref[1]].port(ref[2])
             if kind == "stat":
@@ -335,8 +350,13 @@ def restore_sim_state(sim: Simulation, state: Dict[str, Any]) -> Dict[str, Any]:
     for comp_name, comp_state in linked["components"].items():
         sim._components[comp_name].restore_state(comp_state)
     # Every component's state is in place (reconstruct= hooks included);
-    # fire the on_restore lifecycle hook in registration order.
+    # fire the on_restore lifecycle hook in registration order — slot
+    # subcomponents first, so the parent hook sees restored policies.
     for comp in sim._components.values():
+        for attr in getattr(type(comp), "_slot_specs", {}):
+            sub = comp.__dict__.get(attr)
+            if sub is not None:
+                sub.on_restore()
         comp.on_restore()
     clock_states = meta["clocks"]
     if len(clock_states) != len(sim._clocks):

@@ -1,0 +1,38 @@
+"""PySST HPC cluster-scheduling workload family.
+
+Batch jobs flow source → scheduler → node pool → SLO collector:
+arrival streams (Poisson, burst, SWF-style traces) from
+:mod:`~repro.cluster.source`, a queue whose scheduling *policy* is a
+pluggable subcomponent slot (FCFS / EASY backfill / priority) in
+:mod:`~repro.cluster.scheduler`, topology- and energy-aware node
+allocation in :mod:`~repro.cluster.node`, and wait/slowdown/
+utilization/makespan accounting in :mod:`~repro.cluster.slostats`.
+
+Component types registered: ``cluster.JobSource``,
+``cluster.Scheduler``, ``cluster.NodePool``, ``cluster.SLOStats``;
+subcomponent types (for the scheduler's ``policy`` slot):
+``cluster.FCFS``, ``cluster.EASYBackfill``, ``cluster.Priority``.
+"""
+
+from .events import Job, JobArrival, JobCompletion, JobLaunch, JobReport
+from .node import NodePool
+from .scheduler import (EASYBackfillPolicy, FCFSPolicy, PriorityPolicy,
+                        SchedPolicy, Scheduler)
+from .slostats import SLOStats
+from .source import JobSource
+
+__all__ = [
+    "EASYBackfillPolicy",
+    "FCFSPolicy",
+    "Job",
+    "JobArrival",
+    "JobCompletion",
+    "JobLaunch",
+    "JobReport",
+    "JobSource",
+    "NodePool",
+    "PriorityPolicy",
+    "SchedPolicy",
+    "Scheduler",
+    "SLOStats",
+]

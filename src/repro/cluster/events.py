@@ -1,0 +1,100 @@
+"""Job descriptions and the events of the cluster workload family.
+
+A :class:`Job` is the unit of work flowing through the scheduling
+pipeline: emitted by :class:`~repro.cluster.source.JobSource` inside a
+:class:`JobArrival`, queued and placed by
+:class:`~repro.cluster.scheduler.Scheduler` (a :class:`JobLaunch` to the
+node pool), timed out by :class:`~repro.cluster.node.NodePool` (a
+:class:`JobCompletion` back), and finally accounted by
+:class:`~repro.cluster.slostats.SLOStats` via a :class:`JobReport`.
+
+Everything here is plain, slot-based and picklable — jobs ride engine
+checkpoints inside scheduler queues and in-flight events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core import Event
+from ..core.units import SimTime
+
+
+class Job:
+    """One batch job: resource request, timing, and accounting fields.
+
+    ``runtime_ps`` is the *actual* runtime (known to the simulator, not
+    to the scheduler); ``estimate_ps`` is the user-supplied runtime
+    estimate that backfill reservations are computed from (SWF's
+    "requested time").  ``start_ps``/``end_ps`` are filled in by the
+    scheduler as the job progresses.
+    """
+
+    __slots__ = ("job_id", "submit_ps", "nodes", "runtime_ps",
+                 "estimate_ps", "priority", "user", "start_ps", "end_ps")
+
+    def __init__(self, job_id: int, submit_ps: SimTime, nodes: int,
+                 runtime_ps: SimTime, estimate_ps: SimTime,
+                 priority: int = 0, user: int = 0):
+        self.job_id = job_id
+        self.submit_ps = submit_ps
+        self.nodes = nodes
+        self.runtime_ps = runtime_ps
+        self.estimate_ps = estimate_ps
+        self.priority = priority
+        self.user = user
+        self.start_ps: Optional[SimTime] = None
+        self.end_ps: Optional[SimTime] = None
+
+    @property
+    def wait_ps(self) -> SimTime:
+        return (self.start_ps or 0) - self.submit_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Job {self.job_id} nodes={self.nodes} "
+                f"runtime={self.runtime_ps}ps prio={self.priority}>")
+
+
+class JobArrival(Event):
+    """A job entering the system.  ``last=True`` marks the end of the
+    stream (``job`` is None on that sentinel), letting the scheduler
+    release the exit protocol once its queue drains."""
+
+    __slots__ = ("job", "last")
+
+    def __init__(self, job: Optional[Job], last: bool = False):
+        self.job = job
+        self.last = last
+
+
+class JobLaunch(Event):
+    """Scheduler -> node pool: start this job now."""
+
+    __slots__ = ("job",)
+
+    def __init__(self, job: Job):
+        self.job = job
+
+
+class JobCompletion(Event):
+    """Node pool -> scheduler: the job's actual runtime elapsed."""
+
+    __slots__ = ("job", "node_ids")
+
+    def __init__(self, job: Job, node_ids: Tuple[int, ...] = ()):
+        self.job = job
+        self.node_ids = node_ids
+
+
+class JobReport(Event):
+    """Scheduler -> SLO collector: one finished job, fully timestamped.
+
+    ``last=True`` (``job`` None) marks the final report of the run so a
+    primary collector can hold the exit protocol open until every
+    in-flight report has drained off the link."""
+
+    __slots__ = ("job", "last")
+
+    def __init__(self, job: Optional[Job], last: bool = False):
+        self.job = job
+        self.last = last

@@ -1,0 +1,262 @@
+"""The cluster scheduler and its pluggable policy subcomponents.
+
+:class:`Scheduler` owns the job queue and the free-node mirror; *which*
+queued jobs start on each scheduling pass is delegated to a
+:class:`SchedPolicy` subcomponent loaded through a declared
+:func:`~repro.core.describe.slot` — swapping FCFS for EASY backfill is
+a one-param config change (``{"policy": "cluster.EASYBackfill"}``),
+no component-class edits, exactly SST's subcomponent idiom.
+
+Policies:
+
+* ``cluster.FCFS`` — strict arrival order; the queue head blocks
+  everything behind it.
+* ``cluster.EASYBackfill`` — FCFS plus EASY backfill: when the head
+  does not fit, a reservation (*shadow time*) is computed from running
+  jobs' runtime *estimates*, and later jobs may jump ahead iff they
+  finish before the shadow time or fit in the nodes the reservation
+  leaves spare — utilization rises, the head is never delayed.
+* ``cluster.Priority`` — highest ``Job.priority`` first (ties by
+  arrival), greedy first-fit.
+
+All policy decisions are deterministic functions of (queue, free
+nodes, running set), so runs — and checkpoint-restored runs mid-
+backfill — are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.component import (Component, SubComponent, param, port, slot,
+                              stat, state)
+from ..core.registry import register
+from ..core.units import SimTime
+from .events import Job, JobArrival, JobCompletion, JobLaunch, JobReport
+
+
+class SchedPolicy(SubComponent):
+    """Interface for scheduler policy subcomponents.
+
+    One method: :meth:`pick` returns which queued jobs to launch *now*.
+    The scheduler owns all bookkeeping; a policy is a pure decision
+    procedure plus its own declared statistics/state (which ride the
+    parent's checkpoint and telemetry automatically).
+    """
+
+    def pick(self, queue: List[Job], free: int, now: SimTime,
+             running: Dict[int, Tuple[SimTime, int]]) -> List[Job]:
+        """Jobs to launch now, in launch order.
+
+        ``queue`` is the pending list in arrival order (do not mutate),
+        ``free`` the schedulable node count, ``running`` maps job id to
+        ``(estimated_end_ps, nodes)`` for in-flight jobs.
+        """
+        raise NotImplementedError
+
+
+@register("cluster.FCFS")
+class FCFSPolicy(SchedPolicy):
+    """First-come first-served: launch the queue prefix that fits."""
+
+    s_scheduled = stat.counter("scheduled", doc="jobs launched")
+    s_head_blocked = stat.counter("head_blocked",
+                                  doc="passes ending with the head waiting")
+
+    def pick(self, queue, free, now, running):
+        picked: List[Job] = []
+        for job in queue:
+            if job.nodes > free:
+                self.s_head_blocked.add()
+                break
+            picked.append(job)
+            free -= job.nodes
+        self.s_scheduled.add(len(picked))
+        return picked
+
+
+@register("cluster.EASYBackfill")
+class EASYBackfillPolicy(SchedPolicy):
+    """EASY backfill: FCFS head reservation + conservative hole-filling."""
+
+    scan_limit = param(256, doc="queue prefix scanned for backfill "
+                                "candidates per pass")
+
+    _shadow_ps = state(0, gauge=True,
+                       doc="current head-reservation (shadow) time")
+
+    s_scheduled = stat.counter("scheduled", doc="jobs launched in order")
+    s_backfilled = stat.counter("backfilled",
+                                doc="jobs launched ahead of the head")
+
+    def pick(self, queue, free, now, running):
+        picked: List[Job] = []
+        i = 0
+        while i < len(queue) and queue[i].nodes <= free:
+            job = queue[i]
+            picked.append(job)
+            free -= job.nodes
+            i += 1
+        self.s_scheduled.add(len(picked))
+        if i >= len(queue):
+            self._shadow_ps = 0
+            return picked
+
+        # Reservation for the blocked head: walk estimated releases
+        # until enough nodes accumulate.  ``extra`` is what the head
+        # will leave unused at the shadow time — backfill jobs running
+        # past the shadow may consume at most that.
+        head = queue[i]
+        releases = sorted(
+            [(end, n) for end, n in running.values()]
+            + [(now + j.estimate_ps, j.nodes) for j in picked])
+        avail = free
+        shadow = None
+        extra = 0
+        for end, n in releases:
+            avail += n
+            if avail >= head.nodes:
+                shadow = end
+                extra = avail - head.nodes
+                break
+        if shadow is None:  # head wider than the machine ever gets
+            self._shadow_ps = 0
+            return picked
+        self._shadow_ps = shadow
+
+        scanned = 0
+        for job in queue[i + 1:]:
+            if scanned >= self.scan_limit or free <= 0:
+                break
+            scanned += 1
+            if job.nodes > free:
+                continue
+            ends_before_shadow = now + job.estimate_ps <= shadow
+            if ends_before_shadow or job.nodes <= extra:
+                picked.append(job)
+                free -= job.nodes
+                if not ends_before_shadow:
+                    extra -= job.nodes
+                self.s_backfilled.add()
+        return picked
+
+
+@register("cluster.Priority")
+class PriorityPolicy(SchedPolicy):
+    """Highest priority first (ties by arrival), greedy first-fit."""
+
+    scan_limit = param(1024, doc="queue prefix considered per pass")
+
+    s_scheduled = stat.counter("scheduled", doc="jobs launched")
+    s_jumped = stat.counter("jumped",
+                            doc="launches that bypassed an earlier arrival")
+
+    def pick(self, queue, free, now, running):
+        window = queue[:self.scan_limit]
+        order = sorted(window,
+                       key=lambda j: (-j.priority, j.submit_ps, j.job_id))
+        picked: List[Job] = []
+        for job in order:
+            if job.nodes <= free:
+                if job is not window[0]:
+                    self.s_jumped.add()
+                picked.append(job)
+                free -= job.nodes
+        self.s_scheduled.add(len(picked))
+        return picked
+
+
+@register("cluster.Scheduler")
+class Scheduler(Component):
+    """Batch scheduler: queue + free-node mirror + pluggable policy.
+
+    Event-driven: a scheduling pass runs on every arrival and every
+    completion.  Jobs wider than the machine are counted ``rejected``
+    and dropped.  The scheduler is a primary component — the run ends
+    only when the arrival stream finished AND queue and running set are
+    both empty, so every accepted job completes before exit.
+    """
+
+    submit = port("job arrivals from the source", event=JobArrival)
+    pool = port("launches out to / completions in from the node pool",
+                event=JobCompletion, handler="on_completion")
+    report = port("per-job SLO reports to a collector", required=False)
+
+    nodes = param(16, doc="schedulable node count (mirrors the pool)")
+
+    policy = slot("scheduling policy", base=SchedPolicy,
+                  default="cluster.FCFS",
+                  choices=("cluster.FCFS", "cluster.EASYBackfill",
+                           "cluster.Priority"))
+
+    _queue = state(list, gauge=True, doc="pending jobs, arrival order")
+    _running = state(dict, gauge=True,
+                     doc="job id -> (estimated end, nodes) in flight")
+    _free = state(0, gauge=True, doc="free-node mirror")
+    _stream_done = state(False, doc="arrival stream exhausted")
+    _exit_sent = state(False, doc="final report sentinel sent")
+
+    s_submitted = stat.counter("submitted", doc="jobs accepted into the queue")
+    s_started = stat.counter("started", doc="jobs launched")
+    s_completed = stat.counter("completed", doc="jobs finished")
+    s_rejected = stat.counter("rejected", doc="jobs wider than the machine")
+    s_queue_depth = stat.accumulator("queue_depth",
+                                     doc="queue length at each pass")
+
+    def __init__(self, sim, name, params=None):
+        super().__init__(sim, name, params)
+        self._free = self.nodes
+        self.register_as_primary()
+
+    def on_submit(self, event: JobArrival) -> None:
+        if event.last:
+            self._stream_done = True
+            self._maybe_done()
+            return
+        job = event.job
+        if job.nodes > self.nodes:
+            self.s_rejected.add()
+            self._maybe_done()
+            return
+        self.s_submitted.add()
+        self._queue.append(job)
+        self._dispatch()
+
+    def on_completion(self, event: JobCompletion) -> None:
+        job = event.job
+        self._running.pop(job.job_id, None)
+        self._free += job.nodes
+        job.end_ps = self.now
+        self.s_completed.add()
+        if self.port_connected("report"):
+            self.send("report", JobReport(job))
+        self._dispatch()
+        self._maybe_done()
+
+    def _dispatch(self) -> None:
+        self.s_queue_depth.add(len(self._queue))
+        if not self._queue or self._free <= 0:
+            return
+        picked = self.policy.pick(self._queue, self._free, self.now,
+                                  self._running)
+        if not picked:
+            return
+        picked_ids = {id(job) for job in picked}
+        self._queue = [j for j in self._queue if id(j) not in picked_ids]
+        for job in picked:
+            job.start_ps = self.now
+            self._free -= job.nodes
+            self._running[job.job_id] = (self.now + job.estimate_ps,
+                                         job.nodes)
+            self.s_started.add()
+            self.send("pool", JobLaunch(job))
+
+    def _maybe_done(self) -> None:
+        if (self._stream_done and not self._queue and not self._running
+                and not self._exit_sent):
+            self._exit_sent = True
+            if self.port_connected("report"):
+                # Lets a primary collector keep the run alive until the
+                # reports ahead of this sentinel drain off the link.
+                self.send("report", JobReport(None, last=True))
+            self.primary_ok_to_end()

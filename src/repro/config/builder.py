@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple, Type
 
 from ..core import registry
 from ..core.component import Component
-from ..core.describe import validate_port_name
+from ..core.describe import SpecError, validate_port_name
 from ..core.parallel import ParallelSimulation
 from ..core.params import Params
 from ..core.partition import partition
@@ -29,8 +29,47 @@ from .graph import ConfigError, ConfigGraph
 
 
 def _resolve_classes(graph: ConfigGraph) -> Dict[str, Type[Component]]:
-    return {conf.name: registry.resolve(conf.type_name)
-            for conf in graph.components()}
+    classes = {conf.name: registry.resolve(conf.type_name)
+               for conf in graph.components()}
+    for conf in graph.components():
+        if not issubclass(classes[conf.name], Component):
+            raise ConfigError(
+                f"component {conf.name!r}: {conf.type_name!r} is a "
+                f"subcomponent type — it fills a slot() on a component, "
+                f"it cannot be instantiated as a graph node"
+            )
+    return classes
+
+
+def _validate_slots(graph: ConfigGraph,
+                    classes: Dict[str, Type[Component]]) -> None:
+    """Check every declared slot's configured type, pre-instantiation.
+
+    Mirrors :func:`_validate_ports`: the selected subcomponent type must
+    resolve through the registry and satisfy the slot's base class and
+    ``choices`` — a typo'd policy name fails at graph-build time with
+    the component and slot named instead of mid-construction.
+    """
+    for conf in graph.components():
+        cls = classes[conf.name]
+        for attr, spec in getattr(cls, "_slot_specs", {}).items():
+            type_name = spec.configured_type(conf.params)
+            if type_name is None:
+                continue
+            try:
+                sub_cls = registry.resolve(type_name)
+            except registry.RegistryError:
+                choices = (f" (one of {list(spec.choices)})"
+                           if spec.choices else "")
+                raise ConfigError(
+                    f"component {conf.name!r} slot {attr!r}: unknown "
+                    f"subcomponent type {type_name!r}{choices}"
+                ) from None
+            try:
+                spec.check(type_name, sub_cls)
+            except SpecError as exc:
+                raise ConfigError(
+                    f"component {conf.name!r}: {exc}") from None
 
 
 def _validate_ports(graph: ConfigGraph,
@@ -92,6 +131,7 @@ def build(graph: ConfigGraph, *, sim: Optional[Simulation] = None,
     graph.validate(resolve_types=True)
     classes = _resolve_classes(graph)
     _validate_ports(graph, classes)
+    _validate_slots(graph, classes)
     if sim is None:
         sim = Simulation(seed=seed, queue=queue, verbose=verbose,
                          clock_arbiter=clock_arbiter)
@@ -138,6 +178,7 @@ def build_parallel(graph: ConfigGraph, num_ranks: int, *,
     graph.validate(resolve_types=True)
     classes = _resolve_classes(graph)
     _validate_ports(graph, classes)
+    _validate_slots(graph, classes)
     nodes, edges, weights = graph.partition_inputs()
     result = partition(nodes, edges, num_ranks, strategy=strategy, weights=weights)
     assignment = dict(result.assignment)

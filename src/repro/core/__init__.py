@@ -11,9 +11,10 @@ latency-bearing links.  Everything in :mod:`repro.processor`,
 from .backends import (BACKENDS, ExecutionBackend, JobPool, RankStep,
                        default_jobs, make_backend, make_job_pool)
 from .clock import Clock, ClockArbiter
-from .component import Component, stable_seed
-from .describe import (PortSpec, SpecError, StateSpec, StatSpec,
-                       describe_component, port, state, stat)
+from .component import Component, SubComponent, stable_seed
+from .describe import (ParamSpec, PortSpec, SlotSpec, SpecError, StateSpec,
+                       StatSpec, describe_component, param, port, slot, state,
+                       stat, sweep_axes)
 from .event import (PRIORITY_CLOCK, PRIORITY_EVENT, PRIORITY_FINAL,
                     PRIORITY_STOP, PRIORITY_SYNC, CallbackEvent, Event,
                     NullEvent)
@@ -55,6 +56,7 @@ __all__ = [
     "LinkError",
     "NullEvent",
     "ParamError",
+    "ParamSpec",
     "Params",
     "ParallelRunResult",
     "ParallelSimulation",
@@ -73,12 +75,14 @@ __all__ = [
     "SimTime",
     "Simulation",
     "SimulationError",
+    "SlotSpec",
     "SpecError",
     "SYNC_STRATEGIES",
     "StateSpec",
     "StatSpec",
     "Statistic",
     "StatisticGroup",
+    "SubComponent",
     "SyncStrategy",
     "UnitError",
     "UnusedParamsWarning",
@@ -95,6 +99,7 @@ __all__ = [
     "make_job_pool",
     "make_queue",
     "make_sync",
+    "param",
     "parse_bandwidth",
     "parse_freq_hz",
     "parse_size_bytes",
@@ -104,7 +109,9 @@ __all__ = [
     "register",
     "registered_types",
     "resolve",
+    "slot",
     "stable_seed",
     "stat",
     "state",
+    "sweep_axes",
 ]

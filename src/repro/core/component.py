@@ -44,8 +44,8 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 import numpy as np
 
 from .clock import Clock, ClockHandler
-from .describe import (PortSpec, SpecError, StateSpec, StatSpec,  # noqa: F401
-                       port, state, stat)
+from .describe import (ParamSpec, PortSpec, SlotSpec, SpecError,  # noqa: F401
+                       StateSpec, StatSpec, param, port, slot, state, stat)
 from .event import PRIORITY_CLOCK, Event
 from .link import LinkError, Port
 from .params import Params
@@ -98,6 +98,8 @@ class Component:
     _port_specs: Dict[str, PortSpec] = {}
     _state_specs: Dict[str, StateSpec] = {}
     _stat_specs: Dict[str, StatSpec] = {}
+    _param_specs: Dict[str, ParamSpec] = {}
+    _slot_specs: Dict[str, SlotSpec] = {}
     _state_skip: frozenset = STATE_EXCLUDE
     _gauge_specs: tuple = ()
     _reconstruct_hooks: tuple = ()
@@ -118,6 +120,8 @@ class Component:
         cls._port_specs = specs["ports"]
         cls._state_specs = specs["state"]
         cls._stat_specs = specs["stats"]
+        cls._param_specs = specs["params"]
+        cls._slot_specs = specs["slots"]
         cls._state_skip = frozenset(cls.STATE_EXCLUDE) | {
             attr for attr, spec in cls._state_specs.items() if not spec.save
         }
@@ -165,6 +169,24 @@ class Component:
         # preserving the ``self.s_hits`` fast-access idiom.
         for attr, spec in type(self)._stat_specs.items():
             self.__dict__[attr] = spec.instantiate(self.stats)
+        # Declared typed parameters parse next, so the subclass body
+        # (and slot subcomponents) see ``self.<param>`` already set.
+        for attr, spec in type(self)._param_specs.items():
+            self.__dict__[attr] = spec.parse(self.params)
+        # Declared subcomponent slots resolve through the registry; the
+        # selected type name is the slot-named Params key and the
+        # subcomponent receives the ``<slot>.``-scoped sub-params.
+        for attr, spec in type(self)._slot_specs.items():
+            type_name = spec.configured_type(self.params)
+            if type_name is None:
+                continue
+            self.params.accept(attr)
+            from .registry import resolve
+
+            sub_cls = resolve(type_name)
+            spec.check(type_name, sub_cls)
+            self.__dict__[attr] = sub_cls(self, attr,
+                                          self.params.scoped(attr))
         # Declared scalar ports bind their handlers (decorator, explicit
         # name, or on_<port> convention); indexed families are bound by
         # the subclass, which knows the index range.
@@ -312,9 +334,23 @@ class Component:
         not duplicated).  Overriding this method is deprecated —
         declare the offending attribute with
         ``state(..., save=False, reconstruct=...)`` instead.
+
+        Slot subcomponents are captured *through* their parent: the
+        slot attribute is replaced by a marker dict carrying the
+        subcomponent's registered type name and its own
+        ``capture_state()``, so a restore applies the state into the
+        rebuilt subcomponent instance instead of deserialising a
+        detached copy (live events referencing the subcomponent keep
+        identity via the ckpt reference table).
         """
         skip = type(self)._state_skip
-        return {k: v for k, v in self.__dict__.items() if k not in skip}
+        out = {k: v for k, v in self.__dict__.items() if k not in skip}
+        for attr in type(self)._slot_specs:
+            sub = self.__dict__.get(attr)
+            if isinstance(sub, SubComponent):
+                out[attr] = {"__slot__": type(sub).TYPE_NAME,
+                             "state": sub.capture_state()}
+        return out
 
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Apply state captured by :meth:`capture_state`.
@@ -326,8 +362,31 @@ class Component:
         has that method invoked, in declaration order (base classes
         first), to rebuild ``save=False`` live objects; the ckpt layer
         then calls :meth:`on_restore` once per component.
+
+        Slot markers produced by :meth:`capture_state` are applied into
+        the already-rebuilt subcomponent instances (identity preserved)
+        after a type check — a snapshot taken with one policy cannot be
+        restored into a graph configured with another.
         """
+        slot_specs = type(self)._slot_specs
+        markers: Dict[str, Dict[str, Any]] = {}
+        if slot_specs:
+            state = dict(state)
+            for attr in slot_specs:
+                value = state.get(attr)
+                if isinstance(value, dict) and "__slot__" in value:
+                    markers[attr] = state.pop(attr)
         self.__dict__.update(state)
+        for attr, marker in markers.items():
+            sub = self.__dict__.get(attr)
+            if not isinstance(sub, SubComponent) or \
+                    type(sub).TYPE_NAME != marker["__slot__"]:
+                raise SpecError(
+                    f"{self.name}: snapshot filled slot {attr!r} with "
+                    f"{marker['__slot__']!r} but the rebuilt component "
+                    f"holds {type(sub).__name__!r} — restore into the "
+                    f"same configuration")
+            sub.restore_state(marker["state"])
         for hook in type(self)._reconstruct_hooks:
             getattr(self, hook)()
 
@@ -349,6 +408,11 @@ class Component:
                 out[spec.attr] = float(value)
             elif hasattr(value, "__len__"):
                 out[spec.attr] = float(len(value))
+        for attr in type(self)._slot_specs:
+            sub = self.__dict__.get(attr)
+            if isinstance(sub, SubComponent):
+                for key, value in sub.telemetry_gauges().items():
+                    out[f"{attr}.{key}"] = value
         return out
 
     # ------------------------------------------------------------------
@@ -358,13 +422,24 @@ class Component:
         """Called once after the full graph is wired, before the run.
 
         Override :meth:`on_setup` instead; overriding ``setup()``
-        itself still works (legacy) but bypasses hook dispatch.
+        itself still works (legacy) but bypasses hook dispatch.  Slot
+        subcomponents receive their ``on_setup`` first, so the parent's
+        hook may already rely on a fully initialised policy.
         """
+        for sub in self._slot_subcomponents():
+            sub.on_setup()
         self.on_setup()
 
     def finish(self) -> None:
         """Called once when the run ends.  Override :meth:`on_finish`."""
         self.on_finish()
+        for sub in self._slot_subcomponents():
+            sub.on_finish()
+
+    def _slot_subcomponents(self) -> list:
+        """The live subcomponents filling this component's slots."""
+        return [sub for attr in type(self)._slot_specs
+                if isinstance(sub := self.__dict__.get(attr), SubComponent)]
 
     def on_setup(self) -> None:
         """Graph fully wired; register work, kick off first events."""
@@ -388,6 +463,137 @@ class Component:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SubComponent:
+    """Base class for slot-loaded subcomponents (SST's SubComponent).
+
+    A subcomponent is a swappable strategy object living *inside* a
+    component — a scheduler policy, a replacement policy, an arbiter —
+    selected by registered type name through a :func:`slot` declaration
+    and constructed with ``(parent, slot_name, params)``.  It shares
+    the declarative API of :class:`Component` minus ports and nested
+    slots: declared :func:`state` participates in the parent's
+    checkpoint capture/restore (``reconstruct=`` hooks included),
+    declared :func:`stat` statistics register into the **parent's**
+    statistic group under ``<slot>.<name>`` keys (so harvesting,
+    snapshots and parallel merging need no new machinery), declared
+    :func:`param` values parse from the slot-scoped Params, and
+    ``gauge=True`` state surfaces through the parent's
+    :meth:`Component.telemetry_gauges` as ``<slot>.<attr>``.
+
+    Lifecycle hooks mirror the component ones: ``on_setup`` runs
+    before the parent's, ``on_finish`` after it, ``on_restore`` after a
+    checkpoint restore.
+    """
+
+    #: Attributes owned by the wiring layer, excluded from capture.
+    STATE_EXCLUDE = frozenset({"parent", "name", "params"})
+
+    _state_specs: Dict[str, StateSpec] = {}
+    _stat_specs: Dict[str, StatSpec] = {}
+    _param_specs: Dict[str, ParamSpec] = {}
+    _state_skip: frozenset = STATE_EXCLUDE
+    _gauge_specs: tuple = ()
+    _reconstruct_hooks: tuple = ()
+
+    _rng = state(None, doc="lazily created per-subcomponent random stream")
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        from .describe import collect_specs
+
+        specs = collect_specs(cls)
+        if specs["ports"]:
+            raise SpecError(
+                f"{cls.__name__}: subcomponents declare no ports — events "
+                f"reach them through their parent component")
+        if specs["slots"]:
+            raise SpecError(
+                f"{cls.__name__}: nested subcomponent slots are not "
+                f"supported")
+        cls._state_specs = specs["state"]
+        cls._stat_specs = specs["stats"]
+        cls._param_specs = specs["params"]
+        cls._state_skip = frozenset(cls.STATE_EXCLUDE) | {
+            attr for attr, spec in cls._state_specs.items() if not spec.save
+        }
+        cls._gauge_specs = tuple(
+            spec for spec in cls._state_specs.values() if spec.gauge
+        )
+        cls._reconstruct_hooks = tuple(
+            spec.reconstruct for spec in cls._state_specs.values()
+            if spec.reconstruct is not None
+        )
+
+    def __init__(self, parent: Component, name: str,
+                 params: Optional[Params] = None):
+        self.parent = parent
+        self.name = name
+        self.params = params if params is not None else Params({})
+        self._rng: Optional[np.random.Generator] = None
+        # Declared statistics register into the parent's group under
+        # slot-prefixed names, so every stats consumer (harvest, ckpt
+        # meta, parallel merge, OpenMetrics) sees them for free.
+        for attr, spec in type(self)._stat_specs.items():
+            factory = getattr(parent.stats, spec.kind)
+            self.__dict__[attr] = factory(f"{name}.{spec.name}",
+                                          **spec.kwargs)
+        for attr, spec in type(self)._param_specs.items():
+            self.__dict__[attr] = spec.parse(self.params)
+
+    # -- conveniences mirroring Component -------------------------------
+    @property
+    def sim(self) -> "Simulation":
+        return self.parent.sim
+
+    @property
+    def now(self) -> SimTime:
+        return self.parent.sim.now
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Deterministic stream keyed by ``<parent>.<slot>`` + sim seed."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(
+                stable_seed(f"{self.parent.name}.{self.name}",
+                            self.parent.sim.seed))
+        return self._rng
+
+    # -- checkpoint protocol (driven by the parent component) -----------
+    def capture_state(self) -> Dict[str, Any]:
+        skip = type(self)._state_skip
+        return {k: v for k, v in self.__dict__.items() if k not in skip}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        for hook in type(self)._reconstruct_hooks:
+            getattr(self, hook)()
+
+    # -- telemetry -------------------------------------------------------
+    def telemetry_gauges(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for spec in type(self)._gauge_specs:
+            value = getattr(self, spec.attr, None)
+            if isinstance(value, (int, float)):
+                out[spec.attr] = float(value)
+            elif hasattr(value, "__len__"):
+                out[spec.attr] = float(len(value))
+        return out
+
+    # -- lifecycle hooks -------------------------------------------------
+    def on_setup(self) -> None:
+        """Parent graph fully wired (runs before the parent's hook)."""
+
+    def on_finish(self) -> None:
+        """Run over (runs after the parent's hook)."""
+
+    def on_restore(self) -> None:
+        """Called by `repro.ckpt` after every component was restored."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} "
+                f"{getattr(self.parent, 'name', '?')}.{self.name}>")
 
 
 def _checked_handler(component: Component, port_name: str,

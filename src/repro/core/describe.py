@@ -22,6 +22,19 @@ time:
   ``stat.histogram``) / :class:`StatSpec` — a registered statistic,
   instantiated automatically in ``Component.__init__`` so subclasses
   stop hand-plumbing :class:`~repro.core.statistics.StatisticGroup`.
+* :func:`param` / :class:`ParamSpec` — a typed constructor parameter
+  with a default and optional ``choices``; parsed from the component's
+  :class:`~repro.core.params.Params` at construction, documented by
+  ``component describe``, and — when ``choices`` is given — exported as
+  a sweep dimension by :func:`sweep_axes` for `repro.dse` studies.
+* :func:`slot` / :class:`SlotSpec` — a declared *subcomponent slot*
+  (SST's subcomponent API): a named policy/strategy hole filled at
+  build time by a registered
+  :class:`~repro.core.component.SubComponent` type selected by name
+  from Params.  Slots are validated like ports at graph-build time and
+  the resolved subcomponent's declared state and statistics ride every
+  engine service (checkpointing, telemetry, conformance) through its
+  parent.
 
 Everything here runs at class creation or component construction —
 never on the event hot path.  See ``docs/COMPONENTS.md`` for the
@@ -342,6 +355,209 @@ stat = _StatFactory()
 
 
 # ----------------------------------------------------------------------
+# typed constructor parameters
+# ----------------------------------------------------------------------
+
+#: ``kind`` -> Params accessor used to parse a declared parameter.
+_PARAM_ACCESSORS = {
+    "str": "find_str",
+    "int": "find_int",
+    "float": "find_float",
+    "bool": "find_bool",
+    "time": "find_time",
+    "period": "find_period",
+    "freq": "find_freq_hz",
+    "size": "find_size_bytes",
+    "bandwidth": "find_bandwidth",
+}
+
+
+class ParamSpec:
+    """A declared, typed constructor parameter.
+
+    ``Component.__init__`` (and ``SubComponent.__init__``) parses every
+    declared parameter out of the instance's
+    :class:`~repro.core.params.Params` with the accessor matching
+    ``kind`` and assigns the result to ``self.<attr>`` before the
+    subclass body runs.  ``choices`` both validates the configured
+    value and exports the parameter as a sweep dimension through
+    :func:`sweep_axes`.
+    """
+
+    __slots__ = ("attr", "name", "doc", "default", "kind", "choices")
+
+    def __init__(self, default: Any, *, kind: Optional[str] = None,
+                 choices: Optional[tuple] = None, doc: str = "",
+                 name: Optional[str] = None):
+        if kind is None:
+            if isinstance(default, bool):
+                kind = "bool"
+            elif isinstance(default, int):
+                kind = "int"
+            elif isinstance(default, float):
+                kind = "float"
+            else:
+                kind = "str"
+        if kind not in _PARAM_ACCESSORS:
+            raise SpecError(
+                f"param(): unknown kind {kind!r} "
+                f"(one of {sorted(_PARAM_ACCESSORS)})")
+        self.attr: Optional[str] = None
+        self.name = name
+        self.doc = doc
+        self.default = default
+        self.kind = kind
+        self.choices = tuple(choices) if choices is not None else None
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self.attr = attr
+        if self.name is None:
+            self.name = attr
+
+    def parse(self, params: Any) -> Any:
+        """Fetch + type this parameter from a Params instance."""
+        value = getattr(params, _PARAM_ACCESSORS[self.kind])(
+            self.name, self.default)
+        if self.choices is not None and value not in self.choices:
+            from .params import ParamError
+
+            raise ParamError(
+                f"parameter {self.name!r}={value!r} not one of "
+                f"{list(self.choices)}")
+        return value
+
+    def __get__(self, obj: Any, owner: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.attr]
+        except KeyError:
+            return self.default
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "doc": self.doc,
+            "kind": self.kind,
+            "default": self.default,
+            "choices": list(self.choices) if self.choices else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ParamSpec {self.name!r}>"
+
+
+def param(default: Any, *, kind: Optional[str] = None,
+          choices: Optional[tuple] = None, doc: str = "",
+          name: Optional[str] = None) -> ParamSpec:
+    """Declare a typed constructor parameter (see :class:`ParamSpec`).
+
+    >>> class Scheduler(Component):
+    ...     nodes = param(16, doc="cluster node count")
+    ...     mode = param("poisson", choices=("poisson", "burst"))
+    """
+    return ParamSpec(default, kind=kind, choices=choices, doc=doc, name=name)
+
+
+# ----------------------------------------------------------------------
+# subcomponent slots
+# ----------------------------------------------------------------------
+
+class SlotSpec:
+    """A declared subcomponent slot (SST's subcomponent API).
+
+    The attribute name is both the Params key selecting the registered
+    subcomponent type (``{"policy": "cluster.EASYBackfill"}``) and the
+    sub-parameter scope (``policy.<key>`` params reach the
+    subcomponent).  ``Component.__init__`` resolves the configured type
+    through the registry, checks it against ``base`` (and ``choices``,
+    when given) and instantiates it; the config builder performs the
+    same validation *before* any component is instantiated, so a typo'd
+    policy name fails at graph-build time with the component and slot
+    named.
+    """
+
+    __slots__ = ("attr", "doc", "base", "default", "choices", "required")
+
+    def __init__(self, doc: str = "", *, base: Optional[type] = None,
+                 default: Optional[str] = None,
+                 choices: Optional[tuple] = None, required: bool = True):
+        self.attr: Optional[str] = None
+        self.doc = doc
+        self.base = base
+        self.default = default
+        self.choices = tuple(choices) if choices is not None else None
+        if default is None and required:
+            raise SpecError("slot(): a required slot needs a default "
+                            "registered type name")
+        self.required = required
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self.attr = attr
+
+    def configured_type(self, params: Any) -> Optional[str]:
+        """The registered type name this slot resolves to under ``params``.
+
+        ``params`` may be a :class:`~repro.core.params.Params` or any
+        mapping (the config builder passes the raw conf dict).
+        """
+        value = params.get(self.attr, self.default)
+        return None if value is None else str(value)
+
+    def check(self, type_name: str, sub_cls: type) -> None:
+        """Validate a resolved subcomponent class against this slot.
+
+        Raises :class:`SpecError` on a base-class or choices mismatch;
+        the caller decides whether that surfaces as a config or a
+        construction error.
+        """
+        if self.choices is not None and type_name not in self.choices:
+            raise SpecError(
+                f"slot {self.attr!r}: type {type_name!r} not one of "
+                f"{list(self.choices)}")
+        if self.base is not None and not (isinstance(sub_cls, type)
+                                          and issubclass(sub_cls, self.base)):
+            raise SpecError(
+                f"slot {self.attr!r}: type {type_name!r} ({sub_cls!r}) is "
+                f"not a {self.base.__name__} subclass")
+
+    def __get__(self, obj: Any, owner: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        # The resolved subcomponent lives in the instance __dict__ and
+        # shadows this non-data descriptor; reaching here means the
+        # slot was never filled (required=False without a default).
+        return None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.attr,
+            "doc": self.doc,
+            "base": self.base.__name__ if self.base is not None else None,
+            "default": self.default,
+            "choices": list(self.choices) if self.choices else None,
+            "required": self.required,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SlotSpec {self.attr!r}>"
+
+
+def slot(doc: str = "", *, base: Optional[type] = None,
+         default: Optional[str] = None, choices: Optional[tuple] = None,
+         required: bool = True) -> SlotSpec:
+    """Declare a subcomponent slot (see :class:`SlotSpec`).
+
+    >>> class Scheduler(Component):
+    ...     policy = slot("queue policy", base=SchedPolicy,
+    ...                   default="cluster.FCFS",
+    ...                   choices=("cluster.FCFS", "cluster.EASYBackfill"))
+    """
+    return SlotSpec(doc, base=base, default=default, choices=choices,
+                    required=required)
+
+
+# ----------------------------------------------------------------------
 # class-level introspection
 # ----------------------------------------------------------------------
 
@@ -349,12 +565,15 @@ def collect_specs(cls: type) -> Dict[str, Dict[str, Any]]:
     """MRO-ordered spec tables for a component class.
 
     Returns ``{"ports": {port_name: PortSpec}, "state": {attr:
-    StateSpec}, "stats": {attr: StatSpec}}`` with base-class
-    declarations first and subclass re-declarations overriding.
+    StateSpec}, "stats": {attr: StatSpec}, "params": {attr: ParamSpec},
+    "slots": {attr: SlotSpec}}`` with base-class declarations first and
+    subclass re-declarations overriding.
     """
     ports: Dict[str, PortSpec] = {}
     states: Dict[str, StateSpec] = {}
     stats: Dict[str, StatSpec] = {}
+    params: Dict[str, ParamSpec] = {}
+    slots: Dict[str, SlotSpec] = {}
     for klass in reversed(cls.__mro__):
         for attr, value in vars(klass).items():
             if isinstance(value, PortSpec):
@@ -363,7 +582,35 @@ def collect_specs(cls: type) -> Dict[str, Dict[str, Any]]:
                 states[attr] = value
             elif isinstance(value, StatSpec):
                 stats[attr] = value
-    return {"ports": ports, "state": states, "stats": stats}
+            elif isinstance(value, ParamSpec):
+                params[attr] = value
+            elif isinstance(value, SlotSpec):
+                slots[attr] = value
+    return {"ports": ports, "state": states, "stats": stats,
+            "params": params, "slots": slots}
+
+
+def sweep_axes(cls: type) -> Dict[str, tuple]:
+    """Sweep dimensions derived from a component's declarations.
+
+    Every declared :func:`param` carrying ``choices`` contributes an
+    axis, as does every :func:`slot` (its axis values are the
+    registered type names it accepts).  The result maps the Params key
+    to the value tuple, in declaration order, ready to feed a
+    `repro.dse`-style grid::
+
+        axes = sweep_axes(Scheduler)          # {"policy": (...), ...}
+        for point in itertools.product(*axes.values()):
+            overrides = dict(zip(axes, point))
+    """
+    axes: Dict[str, tuple] = {}
+    for attr, spec in getattr(cls, "_param_specs", {}).items():
+        if spec.choices:
+            axes[spec.name] = tuple(spec.choices)
+    for attr, spec in getattr(cls, "_slot_specs", {}).items():
+        if spec.choices:
+            axes[attr] = tuple(spec.choices)
+    return axes
 
 
 def describe_component(cls: type) -> Dict[str, Any]:
@@ -375,6 +622,8 @@ def describe_component(cls: type) -> Dict[str, Any]:
     ports = getattr(cls, "_port_specs", {})
     states = getattr(cls, "_state_specs", {})
     stats = getattr(cls, "_stat_specs", {})
+    params = getattr(cls, "_param_specs", {})
+    slots = getattr(cls, "_slot_specs", {})
     doc = (cls.__doc__ or "").strip().splitlines()
     return {
         "class": f"{cls.__module__}.{cls.__qualname__}",
@@ -383,6 +632,8 @@ def describe_component(cls: type) -> Dict[str, Any]:
         "ports": [spec.describe() for spec in ports.values()],
         "state": [spec.describe() for spec in states.values()],
         "stats": [spec.describe() for spec in stats.values()],
+        "params": [spec.describe() for spec in params.values()],
+        "slots": [spec.describe() for spec in slots.values()],
         "legacy_ports": (
             dict(cls.PORTS) if not ports and getattr(cls, "PORTS", None)
             else None),

@@ -22,14 +22,14 @@ from __future__ import annotations
 import importlib
 from typing import Dict, Iterable, Type
 
-from .component import Component
+from .component import Component, SubComponent
 
 _REGISTRY: Dict[str, Type[Component]] = {}
 
 #: repro subpackages that will be imported on demand when a type name's
 #: first path element matches.
 _KNOWN_LIBRARIES = ("processor", "memory", "network", "miniapps", "power",
-                    "resilience", "analysis")
+                    "resilience", "analysis", "cluster")
 
 
 class RegistryError(KeyError):
@@ -37,11 +37,18 @@ class RegistryError(KeyError):
 
 
 def register(type_name: str):
-    """Class decorator: make ``cls`` instantiable by name from configs."""
+    """Class decorator: make ``cls`` instantiable by name from configs.
+
+    Both :class:`Component` and :class:`SubComponent` types register
+    here — the former are instantiated by the config builder, the
+    latter resolved into declared slots (``slot()``) by name.
+    """
 
     def decorator(cls: Type[Component]) -> Type[Component]:
-        if not (isinstance(cls, type) and issubclass(cls, Component)):
-            raise TypeError(f"{cls!r} is not a Component subclass")
+        if not (isinstance(cls, type)
+                and issubclass(cls, (Component, SubComponent))):
+            raise TypeError(
+                f"{cls!r} is not a Component or SubComponent subclass")
         existing = _REGISTRY.get(type_name)
         if existing is not None and existing is not cls:
             raise RegistryError(

@@ -49,6 +49,28 @@ def environment_info() -> Dict[str, Any]:
     }
 
 
+def _collect_summaries(sims) -> Dict[str, Any]:
+    """Domain summaries from components exposing ``manifest_summary()``.
+
+    Duck-typed so model libraries (e.g. ``cluster.SLOStats``) can put
+    workload-level roll-ups — SLO metrics, utilization — into the run
+    record without the manifest layer importing them.  Keyed by
+    component name; a summary that raises is skipped rather than
+    poisoning the manifest.
+    """
+    out: Dict[str, Any] = {}
+    for sim in sims:
+        for name, comp in sim.components.items():
+            hook = getattr(comp, "manifest_summary", None)
+            if not callable(hook):
+                continue
+            try:
+                out[name] = hook()
+            except Exception:  # pragma: no cover - defensive
+                continue
+    return out
+
+
 def build_manifest(target: Union[Simulation, ParallelSimulation], result,
                    *, graph=None, invocation: Any = None,
                    extra: Optional[Dict[str, Any]] = None,
@@ -123,6 +145,9 @@ def build_manifest(target: Union[Simulation, ParallelSimulation], result,
         "run": result.as_dict(),
         "sync": sync,
     }
+    summary = _collect_summaries(sims if parallel else [target])
+    if summary:
+        manifest["summary"] = summary
     lineage = getattr(target, "checkpoint_lineage", None)
     written = [str(p) for p in getattr(target, "checkpoints_written", [])]
     if lineage or written:

@@ -53,11 +53,14 @@ def run_conformance(make_graph: Callable[[], ConfigGraph],
        completion;
     2. every component class describes itself
        (:func:`~repro.core.describe.describe_component`) and samples
-       finite telemetry gauges;
+       finite telemetry gauges; every required declared slot is filled
+       by a live :class:`~repro.core.component.SubComponent` whose
+       declared statistics registered into the parent's group;
     3. a second build snapshotted at half the cold end time and
        restored finishes with bit-identical statistics and end time.
     """
     from .ckpt import restore, snapshot
+    from .core.component import SubComponent
 
     cold_stats, cold, sim = _cold_run(make_graph, seed, max_time)
     if cold.reason not in ("exit", "max_time"):
@@ -73,6 +76,25 @@ def run_conformance(make_graph: Callable[[], ConfigGraph],
                 raise ConformanceError(
                     f"{comp.name}.{attr}: gauge sampled {value!r}, "
                     f"expected float")
+        for attr, spec in getattr(type(comp), "_slot_specs", {}).items():
+            sub = comp.__dict__.get(attr)
+            if sub is None:
+                if spec.required:
+                    raise ConformanceError(
+                        f"{comp.name}: required slot {attr!r} is unfilled")
+                continue
+            if not isinstance(sub, SubComponent):
+                raise ConformanceError(
+                    f"{comp.name}.{attr}: slot holds {type(sub).__name__}, "
+                    f"not a SubComponent")
+            registered = comp.stats.all()
+            for sattr, sspec in type(sub)._stat_specs.items():
+                key = f"{attr}.{sspec.name}"
+                if registered.get(key) is not getattr(sub, sattr):
+                    raise ConformanceError(
+                        f"{comp.name}.{attr}: subcomponent statistic "
+                        f"{sspec.name!r} is not registered as {key!r} on "
+                        f"the parent")
 
     mid = cold.end_time // 2
     if mid <= 0:

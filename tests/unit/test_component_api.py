@@ -320,8 +320,20 @@ class TestComponentCLI:
         assert info["type_name"] == "memory.Cache"
 
     def test_describe_unknown_type_fails(self):
+        """Unknown names exit 1 with a one-line error, not a traceback."""
         proc = self._run("component", "describe", "nosuch.Thing")
         assert proc.returncode == 1
+        assert "Traceback" not in proc.stderr
+        assert proc.stderr.count("\n") <= 1
+        assert "error: unknown component type 'nosuch.Thing'" in proc.stderr
+        assert "component list" in proc.stderr
+
+    def test_describe_lists_slots_and_params(self):
+        proc = self._run("component", "describe", "cluster.Scheduler")
+        assert proc.returncode == 0, proc.stderr
+        assert "slots:" in proc.stdout and "params:" in proc.stdout
+        assert "cluster.FCFS" in proc.stdout
+        assert "cluster.EASYBackfill" in proc.stdout
 
     def test_run_port_typo_is_one_line_error(self, tmp_path):
         from repro.config import ConfigGraph, save

@@ -142,6 +142,25 @@ def job_graph() -> ConfigGraph:
     return g
 
 
+def _cluster_graph(policy: str):
+    def make() -> ConfigGraph:
+        g = ConfigGraph(f"conf-cluster-{policy.split('.')[-1].lower()}")
+        g.component("src", "cluster.JobSource",
+                    {"jobs": 120, "mode": "burst", "burst_size": 16,
+                     "burst_gap": "50ms", "mean_runtime": "30ms",
+                     "max_nodes": 8, "window": 8})
+        g.component("sched", "cluster.Scheduler",
+                    {"nodes": 16, "policy": policy})
+        g.component("pool", "cluster.NodePool", {"nodes": 16})
+        g.component("slo", "cluster.SLOStats", {"capacity": 16})
+        g.link("src", "out", "sched", "submit", latency="10ns")
+        g.link("sched", "pool", "pool", "sched", latency="10ns")
+        g.link("sched", "report", "slo", "report", latency="10ns")
+        return g
+
+    return make
+
+
 def trace_graph_factory(tmp_path):
     from repro.processor import TraceSpec
     from repro.processor.tracefile import record_trace
@@ -174,6 +193,12 @@ GRAPHS = {
     "miniapp-ranks": miniapp_graph,
     "stat-sampler": sampler_graph,
     "checkpointed-job": job_graph,
+    # The three cluster graphs cover every registered policy
+    # subcomponent through the Scheduler's slot (snapshot/restore lands
+    # mid-backfill by construction: bursts keep the queue non-empty).
+    "cluster-fcfs": _cluster_graph("cluster.FCFS"),
+    "cluster-backfill": _cluster_graph("cluster.EASYBackfill"),
+    "cluster-priority": _cluster_graph("cluster.Priority"),
 }
 
 
@@ -190,11 +215,20 @@ def test_conformance_covers_every_registered_component():
     """The sweep above must name every library component at least once."""
     from repro.core.registry import load_all_libraries, registered_types
 
+    from repro.core.registry import resolve
+
     load_all_libraries()
     covered = set()
     for make in list(GRAPHS.values()):
-        for comp in make().components():
-            covered.add(comp.type_name)
+        for conf in make().components():
+            covered.add(conf.type_name)
+            # Subcomponents never appear as graph nodes: count the
+            # types each declared slot resolves for this config.
+            cls = resolve(conf.type_name)
+            for spec in getattr(cls, "_slot_specs", {}).values():
+                slot_type = spec.configured_type(conf.params)
+                if slot_type is not None:
+                    covered.add(slot_type)
     covered.add("processor.TraceReplayCore")
     missing = set()
     for type_name in registered_types():
